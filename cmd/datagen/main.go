@@ -1,0 +1,62 @@
+// Command datagen emits the evaluation datasets to files so they can
+// be inspected or fed to other tools: sparse matrices in MatrixMarket
+// coordinate format, dense matrices in a dense MatrixMarket-like
+// array format.
+//
+// Usage:
+//
+//	datagen -data ssyn -scale 0.5 -o ssyn.mtx
+//	datagen -data video -o video.mtx
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hpcnmf/internal/core"
+	"hpcnmf/internal/datasets"
+)
+
+func main() {
+	var (
+		data  = flag.String("data", "ssyn", "dataset: dsyn, ssyn, video, webbase, bow")
+		scale = flag.Float64("scale", 0.25, "dataset scale factor")
+		seed  = flag.Uint64("seed", 42, "random seed")
+		out   = flag.String("o", "", "output path (default <data>.mtx)")
+	)
+	flag.Parse()
+
+	path := *out
+	if path == "" {
+		path = *data + ".mtx"
+	}
+	ds, err := datasets.ByName(*data, datasets.Scale(*scale), *seed)
+	if err != nil {
+		fatal("%v", err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatal("%v", err)
+	}
+	defer f.Close()
+
+	m, n := ds.Matrix.Dims()
+	if csr, ok := core.UnwrapSparse(ds.Matrix); ok {
+		if err := csr.WriteMatrixMarket(f); err != nil {
+			fatal("writing %s: %v", path, err)
+		}
+	} else if d, ok := core.UnwrapDense(ds.Matrix); ok {
+		if err := d.WriteMatrixMarket(f); err != nil {
+			fatal("writing %s: %v", path, err)
+		}
+	} else {
+		fatal("dataset %s has unknown storage", ds.Name)
+	}
+	fmt.Printf("wrote %s: %s %dx%d (nnz %d)\n", path, ds.Name, m, n, ds.Matrix.NNZ())
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "datagen: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,88 @@
+// Command nmfbench regenerates the paper's evaluation artifacts
+// (Figures 3a–3h, Tables 2 and 3, and the §6.2 Hadoop comparison) on
+// the simulated cluster. See DESIGN.md for the experiment index.
+//
+// Usage:
+//
+//	nmfbench -exp fig3a            # one experiment
+//	nmfbench -exp fig3a,fig3b     # several
+//	nmfbench -exp all             # everything (minutes at full scale)
+//	nmfbench -exp all -scale 0.25 # quick pass
+//
+// Output columns are per-iteration seconds per task in the α-β-γ
+// modeled view by default (-view measured|modeled|both).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"hpcnmf/internal/experiments"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "experiment id(s), comma-separated, or 'all': "+strings.Join(experiments.Names(), ", "))
+		scale = flag.Float64("scale", 1.0, "dataset scale factor (1.0 = paper-shaped defaults)")
+		iters = flag.Int("iters", 3, "alternating iterations to measure")
+		seed  = flag.Uint64("seed", 42, "random seed")
+		view  = flag.String("view", "modeled", "time view: modeled, measured, both, or csv (figure experiments)")
+		p     = flag.Int("p", 16, "processor count for comparison experiments")
+		k     = flag.Int("k", 50, "rank for scaling experiments")
+		ks    = flag.String("ks", "10,20,30,40,50", "rank sweep for comparison experiments")
+		ps    = flag.String("ps", "4,16,64", "processor sweep for scaling experiments")
+	)
+	flag.Parse()
+
+	cfg := experiments.Config{
+		Scale:  *scale,
+		Seed:   *seed,
+		Iters:  *iters,
+		FixedP: *p,
+		FixedK: *k,
+		View:   *view,
+	}
+	var err error
+	if cfg.Ks, err = parseInts(*ks); err != nil {
+		fatal("bad -ks: %v", err)
+	}
+	if cfg.Ps, err = parseInts(*ps); err != nil {
+		fatal("bad -ps: %v", err)
+	}
+
+	ids := strings.Split(*exp, ",")
+	if *exp == "all" {
+		ids = experiments.Names()
+	}
+	for i, id := range ids {
+		if i > 0 {
+			fmt.Println()
+		}
+		if err := experiments.Run(strings.TrimSpace(id), cfg, os.Stdout); err != nil {
+			fatal("%s: %v", id, err)
+		}
+	}
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		if v < 1 {
+			return nil, fmt.Errorf("value %d < 1", v)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "nmfbench: "+format+"\n", args...)
+	os.Exit(1)
+}

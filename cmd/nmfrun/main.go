@@ -1,0 +1,138 @@
+// Command nmfrun factorizes a dataset with any of the algorithms and
+// prints convergence history and the per-iteration task breakdown.
+//
+// Usage:
+//
+//	nmfrun -data ssyn -k 16 -alg hpc2d -p 16 -iters 10
+//	nmfrun -data video -alg hpc1d -p 8
+//	nmfrun -mm matrix.mtx -alg naive -p 4        # MatrixMarket input
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hpcnmf"
+)
+
+func main() {
+	var (
+		data   = flag.String("data", "dsyn", "dataset: dsyn, ssyn, video, webbase, bow (ignored with -mm)")
+		mmPath = flag.String("mm", "", "read a MatrixMarket file instead of generating a dataset")
+		scale  = flag.Float64("scale", 0.25, "dataset scale factor")
+		alg    = flag.String("alg", "hpc2d", "algorithm: seq, naive, hpc1d, hpc2d, auto (cost-model pick)")
+		solver = flag.String("solver", "bpp", "local NLS solver: bpp, activeset, mu, hals, pgd")
+		sweeps = flag.Int("sweeps", 1, "inner sweeps for mu/hals")
+		k      = flag.Int("k", 10, "factorization rank")
+		p      = flag.Int("p", 16, "processor count (parallel algorithms)")
+		iters  = flag.Int("iters", 10, "max alternating iterations")
+		tol    = flag.Float64("tol", 0, "early-stop tolerance on relative-error decrease (0 = off)")
+		seed   = flag.Uint64("seed", 42, "random seed")
+		view   = flag.String("view", "both", "breakdown view: modeled, measured, both")
+		out    = flag.String("out", "", "write factors to <out>.W and <out>.H (binary)")
+	)
+	flag.Parse()
+
+	var a hpcnmf.Matrix
+	var name string
+	if *mmPath != "" {
+		f, err := os.Open(*mmPath)
+		if err != nil {
+			fatal("%v", err)
+		}
+		csr, err := hpcnmf.ReadMatrixMarket(f)
+		f.Close()
+		if err != nil {
+			fatal("parsing %s: %v", *mmPath, err)
+		}
+		a = hpcnmf.WrapSparse(csr)
+		name = *mmPath
+	} else {
+		ds := hpcnmf.GenerateDataset(*data, *scale, *seed)
+		a = ds.Matrix
+		name = ds.Name
+	}
+
+	opts := hpcnmf.Options{
+		K:            *k,
+		MaxIter:      *iters,
+		Tol:          *tol,
+		Sweeps:       *sweeps,
+		Seed:         *seed,
+		ComputeError: true,
+	}
+	switch *solver {
+	case "bpp":
+		opts.Solver = hpcnmf.SolverBPP
+	case "activeset":
+		opts.Solver = hpcnmf.SolverActiveSet
+	case "mu":
+		opts.Solver = hpcnmf.SolverMU
+	case "hals":
+		opts.Solver = hpcnmf.SolverHALS
+	case "pgd":
+		opts.Solver = hpcnmf.SolverPGD
+	default:
+		fatal("unknown solver %q", *solver)
+	}
+
+	var res *hpcnmf.Result
+	var err error
+	if *alg == "auto" {
+		adv := hpcnmf.Advise(a, *k, *p)
+		fmt.Println("cost-model forecast (fastest first):")
+		for _, row := range adv {
+			fmt.Printf("  %-14s %.6f s/iter\n", row.Algorithm, row.Seconds)
+		}
+		if adv[0].Algorithm == "Naive" {
+			*alg = "naive"
+		} else if adv[0].Algorithm == "HPC-NMF-1D" {
+			*alg = "hpc1d"
+		} else {
+			*alg = "hpc2d"
+		}
+		fmt.Printf("selected: %s\n\n", *alg)
+	}
+	switch *alg {
+	case "seq":
+		res, err = hpcnmf.Run(a, opts)
+	case "naive":
+		res, err = hpcnmf.RunNaive(a, *p, opts)
+	case "hpc1d":
+		res, err = hpcnmf.RunOnGrid(a, *p, 1, opts)
+	case "hpc2d":
+		res, err = hpcnmf.RunParallel(a, *p, opts)
+	default:
+		fatal("unknown algorithm %q", *alg)
+	}
+	if err != nil {
+		fatal("%v", err)
+	}
+
+	m, n := a.Dims()
+	fmt.Printf("dataset:   %s (%dx%d, nnz=%d)\n", name, m, n, a.NNZ())
+	fmt.Printf("algorithm: %s, solver %s, k=%d\n", res.Algorithm, *solver, *k)
+	fmt.Printf("iterations: %d\n\n", res.Iterations)
+	fmt.Println("relative error per iteration:")
+	for i, e := range res.RelErr {
+		fmt.Printf("  iter %3d: %.6f\n", i+1, e)
+	}
+	fmt.Printf("\nper-iteration task breakdown:\n%s", res.Breakdown.Format(*view))
+
+	if *out != "" {
+		if err := hpcnmf.SaveFactor(*out+".W", res.W); err != nil {
+			fatal("saving W: %v", err)
+		}
+		if err := hpcnmf.SaveFactor(*out+".H", res.H); err != nil {
+			fatal("saving H: %v", err)
+		}
+		fmt.Printf("\nwrote %s.W (%dx%d) and %s.H (%dx%d)\n",
+			*out, res.W.Rows, res.W.Cols, *out, res.H.Rows, res.H.Cols)
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "nmfrun: "+format+"\n", args...)
+	os.Exit(1)
+}

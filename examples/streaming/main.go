@@ -1,0 +1,95 @@
+// Streaming background subtraction — the live-camera scenario the
+// paper describes (§6.1.1): only the last stretch of video is kept,
+// and the factorization is adjusted incrementally as frames arrive.
+// Frames stream in one at a time; the sliding-window NMF keeps a
+// rank-k background model; per-frame foreground energy spikes exactly
+// when objects cross the scene — and when the lighting changes, the
+// model re-adapts within a window.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"strings"
+
+	"hpcnmf"
+)
+
+const (
+	width, height = 24, 18
+	pixels        = width * height * 3
+	window        = 40 // frames retained (the "last minute")
+	rank          = 3
+)
+
+func main() {
+	st, err := hpcnmf.NewStreaming(pixels, hpcnmf.StreamingOptions{
+		K: rank, Window: window, RefineSweeps: 1, Seed: 7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := hpcnmf.NewRandomStream(99)
+
+	// Scene state: a static background that brightens halfway through
+	// (lighting change), and a car that crosses during two intervals.
+	background := make([]float64, pixels)
+	for i := range background {
+		background[i] = 0.3 + 0.4*float64(i%width)/width
+	}
+	fmt.Println("frame  foreground-energy  event")
+	for f := 0; f < 160; f++ {
+		col := hpcnmf.NewDense(pixels, 1)
+		brightness := 1.0
+		if f >= 80 {
+			brightness = 1.3 // lighting change at frame 80
+		}
+		for i := 0; i < pixels; i++ {
+			col.Set(i, 0, clamp(background[i]*brightness+0.01*s.Normal()))
+		}
+		event := ""
+		carCrossing := (f >= 30 && f < 45) || (f >= 120 && f < 135)
+		if carCrossing {
+			event = "car in frame"
+			x := (f * 2) % width
+			paintCar(col, x)
+		}
+		if f == 80 {
+			event = "lighting change"
+		}
+		if err := st.Push(col); err != nil {
+			log.Fatal(err)
+		}
+		if f%5 == 0 || event != "" {
+			e := st.ForegroundEnergy(st.Len() - 1)
+			bar := strings.Repeat("#", int(math.Min(50, e*8)))
+			fmt.Printf("%5d  %17.3f  %-16s %s\n", f, e, event, bar)
+		}
+	}
+	fmt.Printf("\nfinal window fit: relative error %.4f over %d frames\n", st.RelErr(), st.Len())
+	fmt.Println("(energy spikes during car crossings; the frame-80 lighting step")
+	fmt.Println(" causes a transient that decays as the old regime evicts)")
+}
+
+func clamp(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// paintCar draws a bright rectangle at column x.
+func paintCar(col *hpcnmf.Dense, x int) {
+	for dy := 8; dy < 12; dy++ {
+		for dx := 0; dx < 5; dx++ {
+			px := ((dy*width + (x+dx)%width) * 3)
+			col.Set(px, 0, 0.95)
+			col.Set(px+1, 0, 0.1)
+			col.Set(px+2, 0, 0.1)
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module hpcnmf
+
+go 1.22

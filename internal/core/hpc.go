@@ -1,0 +1,258 @@
+package core
+
+import (
+	"fmt"
+
+	"hpcnmf/internal/grid"
+	"hpcnmf/internal/mat"
+	"hpcnmf/internal/mpi"
+	"hpcnmf/internal/perf"
+)
+
+// RunParallelAuto runs HPC-NMF with the communication-minimizing grid
+// chosen automatically for the matrix shape (grid.Choose).
+func RunParallelAuto(a Matrix, p int, opts Options) (*Result, error) {
+	m, n := a.Dims()
+	return RunHPC(a, grid.Choose(m, n, p), opts)
+}
+
+// RunHPC executes HPC-NMF (Algorithm 3) on a pr×pc processor grid.
+// The data matrix is distributed as 2D blocks Aij (m/pr × n/pc); W is
+// distributed row-wise with (Wi)j (m/p × k) on processor (i,j), and H
+// column-wise with (Hj)i (k × n/p). Each alternating step costs two
+// all-reduces of the k×k Gram matrices, an all-gather of the factor
+// block within a grid row or column, and a reduce-scatter of the
+// matrix-product contribution — O(log p) messages and, with the grid
+// chosen per grid.Choose, O(√(mnk²/p)) words: the communication-
+// optimal schedule of Theorem 5.1.
+//
+// Passing a 1D grid (pr = p, pc = 1) yields the paper's HPC-NMF-1D
+// variant used for tall-skinny matrices.
+func RunHPC(a Matrix, g grid.Grid, opts Options) (*Result, error) {
+	m, n := a.Dims()
+	opts, err := opts.withDefaults(m, n)
+	if err != nil {
+		return nil, err
+	}
+	if m < g.PR || n < g.PC {
+		return nil, fmt.Errorf("core: %dx%d matrix cannot be split on a %dx%d grid", m, n, g.PR, g.PC)
+	}
+	p := g.Size()
+	k := opts.K
+	normA2 := a.SquaredFrobeniusNorm()
+
+	world := mpi.NewWorld(p)
+	trackers := make([]*perf.Tracker, p)
+	traffic := make([]*mpi.Counters, p)
+	var res *Result
+
+	body := func(c *mpi.Comm) {
+		rank := c.Rank()
+		gi, gj := g.Coords(rank)
+		tr := perf.NewTracker()
+
+		// Block geometry (Figure 2): rows [r0,r1) × cols [c0,c1) of A;
+		// within them, this rank's W piece covers rows
+		// r0+BlockRange(mi,pc,gj) and its H piece covers columns
+		// c0+BlockRange(nj,pr,gi).
+		r0, r1 := grid.BlockRange(m, g.PR, gi)
+		c0, c1 := grid.BlockRange(n, g.PC, gj)
+		mi, nj := r1-r0, c1-c0
+		wLo, wHi := grid.BlockRange(mi, g.PC, gj)
+		hLo, hHi := grid.BlockRange(nj, g.PR, gi)
+
+		aij := a.Block(r0, r1, c0, c1)
+		wij := localInitW(opts, wHi-wLo, r0+wLo) // (Wi)j: m/p × k
+		hij := localInitH(opts, hHi-hLo, c0+hLo) // (Hj)i: k × n/p
+		solver := opts.Solver.New(opts.Sweeps)
+
+		// Row and column communicators (the "proc row"/"proc column"
+		// collectives of lines 5, 7, 11, 13).
+		rowComm := c.Sub(g.RowMembers(gi))
+		colComm := c.Sub(g.ColMembers(gj))
+
+		// Row counts for the v-variant collectives (scaled by the
+		// chunk width at each call).
+		hRowCounts := grid.BlockCounts(nj, g.PR)
+		wRowCounts := grid.BlockCounts(mi, g.PC)
+		chunk := opts.CommChunk
+		if chunk <= 0 || chunk > k {
+			chunk = k
+		}
+
+		var relErr []float64
+		iters := 0
+		setupTr := tr.Snapshot()
+		setupTraffic := c.Counters().Snapshot()
+		for it := 0; it < opts.MaxIter; it++ {
+			iters++
+			// --- Compute W given H (lines 3-8) ---
+			stop := tr.Go(perf.TaskGram)
+			uij := mat.GramT(hij) // line 3: Uij = (Hj)i·(Hj)iᵀ
+			stop()
+			tr.AddFlops(perf.TaskGram, gramFlops(hHi-hLo, k))
+
+			stop = tr.Go(perf.TaskAllReduce)
+			hht := &mat.Dense{Rows: k, Cols: k, Data: c.AllReduce(uij.Data)} // line 4
+			stop()
+
+			// Lines 5-7: assemble Hj (as Hjᵀ) across the processor
+			// column, multiply locally, reduce-scatter the result by
+			// row blocks of Wi — optionally blocked into column
+			// chunks (§5 memory/latency trade; opts.CommChunk).
+			ahtij := mat.NewDense(wHi-wLo, k)
+			for c0 := 0; c0 < k; c0 += chunk {
+				c1 := min(c0+chunk, k)
+				kc := c1 - c0
+				stop = tr.Go(perf.TaskAllGather)
+				hjTChunk := &mat.Dense{Rows: nj, Cols: kc, Data: colComm.AllGatherV(
+					hij.Submatrix(c0, c1, 0, hHi-hLo).T().Data,
+					grid.ScaleCounts(hRowCounts, kc))}
+				stop()
+				stop = tr.Go(perf.TaskMM)
+				vijChunk := aij.MulBt(hjTChunk) // Vij columns [c0,c1)
+				stop()
+				tr.AddFlops(perf.TaskMM, 2*int64(aij.NNZ())*int64(kc))
+				stop = tr.Go(perf.TaskReduceScatter)
+				got := &mat.Dense{Rows: wHi - wLo, Cols: kc, Data: rowComm.ReduceScatter(
+					vijChunk.Data, grid.ScaleCounts(wRowCounts, kc))}
+				stop()
+				ahtij.SetSubmatrix(0, c0, got)
+			}
+
+			gw, fw := applyReg(hht, ahtij.T(), opts.L2W, opts.L1W)
+			stop = tr.Go(perf.TaskNLS)
+			wt, st, serr := solver.Solve(gw, fw, wij.T()) // line 8
+			stop()
+			if serr != nil {
+				panic(fmt.Sprintf("core: HPC W update failed at iteration %d: %v", it, serr))
+			}
+			tr.AddFlops(perf.TaskNLS, st.Flops)
+			wij = wt.T()
+			checkFactorSanity("W", wij)
+
+			// --- Compute H given W (lines 9-14) ---
+			stop = tr.Go(perf.TaskGram)
+			xij := mat.Gram(wij) // line 9: Xij = (Wi)jᵀ·(Wi)j
+			stop()
+			tr.AddFlops(perf.TaskGram, gramFlops(wHi-wLo, k))
+
+			stop = tr.Go(perf.TaskAllReduce)
+			wtw := &mat.Dense{Rows: k, Cols: k, Data: c.AllReduce(xij.Data)} // line 10
+			stop()
+
+			// Lines 11-13: assemble Wi across the processor row,
+			// multiply, reduce-scatter by column blocks of Hj —
+			// the same optionally-blocked pipeline.
+			wtaT := mat.NewDense(hHi-hLo, k)
+			for c0 := 0; c0 < k; c0 += chunk {
+				c1 := min(c0+chunk, k)
+				kc := c1 - c0
+				stop = tr.Go(perf.TaskAllGather)
+				wiChunk := &mat.Dense{Rows: mi, Cols: kc, Data: rowComm.AllGatherV(
+					wij.SubmatrixCols(c0, c1).Data,
+					grid.ScaleCounts(wRowCounts, kc))}
+				stop()
+				stop = tr.Go(perf.TaskMM)
+				yijChunk := aij.MulAtB(wiChunk) // Yij rows [c0,c1), kc×nj
+				stop()
+				tr.AddFlops(perf.TaskMM, 2*int64(aij.NNZ())*int64(kc))
+				stop = tr.Go(perf.TaskReduceScatter)
+				got := &mat.Dense{Rows: hHi - hLo, Cols: kc, Data: colComm.ReduceScatter(
+					yijChunk.T().Data, grid.ScaleCounts(hRowCounts, kc))}
+				stop()
+				wtaT.SetSubmatrix(0, c0, got)
+			}
+
+			// Stationarity measure for TolGrad: gradient at the old
+			// Hij under the refreshed W (see RunSequential).
+			pgLocal, pgRefLocal := 0.0, 0.0
+			if opts.TolGrad > 0 {
+				pgLocal = projGradSq(wtw, wtaT.T(), hij)
+				pgRefLocal = wtaT.SquaredFrobeniusNorm()
+			}
+
+			gh, fh := applyReg(wtw, wtaT.T(), opts.L2H, opts.L1H)
+			stop = tr.Go(perf.TaskNLS)
+			hNew, st2, serr := solver.Solve(gh, fh, hij) // line 14
+			stop()
+			if serr != nil {
+				panic(fmt.Sprintf("core: HPC H update failed at iteration %d: %v", it, serr))
+			}
+			tr.AddFlops(perf.TaskNLS, st2.Flops)
+			hij = hNew
+			checkFactorSanity("H", hij)
+
+			// --- Objective (optional): the "global aggregation for
+			// residual" of §5, one scalar all-reduce. ---
+			if opts.ComputeError {
+				stop = tr.Go(perf.TaskGram)
+				hijGram := mat.GramT(hij)
+				stop()
+				tr.AddFlops(perf.TaskGram, gramFlops(hHi-hLo, k))
+				payload := []float64{mat.Dot(wtaT.T(), hij), mat.Dot(wtw, hijGram)}
+				if opts.TolGrad > 0 {
+					payload = append(payload, pgLocal, pgRefLocal)
+				}
+				stop = tr.Go(perf.TaskAllReduce)
+				parts := c.AllReduce(payload)
+				stop()
+				relErr = append(relErr, relErrFrom(normA2, parts[0], parts[1]))
+				pg, pgRef := 0.0, 0.0
+				if opts.TolGrad > 0 {
+					pg, pgRef = parts[2], parts[3]
+				}
+				if shouldStop(relErr, opts.Tol) || gradConverged(opts.TolGrad, pg, pgRef) {
+					break
+				}
+			}
+		}
+		trackers[rank] = tr.Diff(setupTr)
+		traffic[rank] = c.Counters().Diff(setupTraffic)
+
+		// --- Gather factors on world rank 0 (outside the measured loop) ---
+		wWordCounts := make([]int, p)
+		hWordCounts := make([]int, p)
+		for r := 0; r < p; r++ {
+			ri, rj := g.Coords(r)
+			rmi := grid.BlockSize(m, g.PR, ri)
+			rnj := grid.BlockSize(n, g.PC, rj)
+			wWordCounts[r] = grid.BlockSize(rmi, g.PC, rj) * k
+			hWordCounts[r] = grid.BlockSize(rnj, g.PR, ri) * k
+		}
+		wAll := c.GatherV(0, wij.Data, wWordCounts)
+		hTAll := c.GatherV(0, hij.T().Data, hWordCounts)
+		if rank == 0 {
+			w := mat.NewDense(m, k)
+			hT := mat.NewDense(n, k)
+			wPos, hPos := 0, 0
+			for r := 0; r < p; r++ {
+				ri, rj := g.Coords(r)
+				rr0, _ := grid.BlockRange(m, g.PR, ri)
+				rc0, _ := grid.BlockRange(n, g.PC, rj)
+				rmi := grid.BlockSize(m, g.PR, ri)
+				rnj := grid.BlockSize(n, g.PC, rj)
+				sLo, sHi := grid.BlockRange(rmi, g.PC, rj)
+				block := &mat.Dense{Rows: sHi - sLo, Cols: k, Data: wAll[wPos : wPos+wWordCounts[r]]}
+				w.SetSubmatrix(rr0+sLo, 0, block)
+				wPos += wWordCounts[r]
+				tLo, tHi := grid.BlockRange(rnj, g.PR, ri)
+				hBlock := &mat.Dense{Rows: tHi - tLo, Cols: k, Data: hTAll[hPos : hPos+hWordCounts[r]]}
+				hT.SetSubmatrix(rc0+tLo, 0, hBlock)
+				hPos += hWordCounts[r]
+			}
+			res = &Result{
+				W:          w,
+				H:          hT.T(),
+				RelErr:     relErr,
+				Iterations: iters,
+				Algorithm:  fmt.Sprintf("HPC-NMF %dx%d", g.PR, g.PC),
+			}
+		}
+	}
+	if err := safely(func() { world.Run(body) }); err != nil {
+		return nil, err
+	}
+	res.Breakdown = perf.Aggregate(opts.Model, trackers, traffic).Scale(res.Iterations)
+	return res, nil
+}

@@ -1,0 +1,176 @@
+package core
+
+import (
+	"fmt"
+
+	"hpcnmf/internal/grid"
+	"hpcnmf/internal/mat"
+	"hpcnmf/internal/mpi"
+	"hpcnmf/internal/perf"
+)
+
+// RunNaive executes Naive-Parallel-NMF (Algorithm 2, after Fairbanks
+// et al.): the data matrix is double-partitioned — processor i owns
+// row block Ai (m/p×n) and column block Aⁱ (m×n/p) — and each
+// iteration all-gathers the full W and H so every processor can solve
+// its independent NLS block. The Gram matrices are computed
+// redundantly on every rank. This is the communication-heavy baseline
+// the paper improves upon.
+func RunNaive(a Matrix, p int, opts Options) (*Result, error) {
+	m, n := a.Dims()
+	opts, err := opts.withDefaults(m, n)
+	if err != nil {
+		return nil, err
+	}
+	if p < 1 {
+		return nil, fmt.Errorf("core: naive algorithm needs p ≥ 1, got %d", p)
+	}
+	if m < p || n < p {
+		return nil, fmt.Errorf("core: %dx%d matrix cannot be split across %d processors", m, n, p)
+	}
+	k := opts.K
+	normA2 := a.SquaredFrobeniusNorm()
+
+	rowCounts := grid.BlockCounts(m, p)
+	colCounts := grid.BlockCounts(n, p)
+	wWordCounts := grid.ScaleCounts(rowCounts, k)
+	hWordCounts := grid.ScaleCounts(colCounts, k)
+
+	world := mpi.NewWorld(p)
+	trackers := make([]*perf.Tracker, p)
+	traffic := make([]*mpi.Counters, p)
+	var res *Result
+
+	body := func(c *mpi.Comm) {
+		rank := c.Rank()
+		tr := perf.NewTracker()
+		trackers[rank] = tr
+
+		r0, r1 := grid.BlockRange(m, p, rank)
+		c0, c1 := grid.BlockRange(n, p, rank)
+		// The double partition of Algorithm 2 (Figure 1): both a row
+		// block and a column block of A live on each processor.
+		aRow := a.Block(r0, r1, 0, n)
+		aCol := a.Block(0, m, c0, c1)
+		mi := r1 - r0
+		ni := c1 - c0
+
+		hi := localInitH(opts, ni, c0)
+		wi := localInitW(opts, mi, r0)
+		solver := opts.Solver.New(opts.Sweeps)
+
+		var relErr []float64
+		iters := 0
+		setupTr := tr.Snapshot()
+		setupTraffic := c.Counters().Snapshot()
+		for it := 0; it < opts.MaxIter; it++ {
+			iters++
+			// --- Compute W given H (lines 3-4) ---
+			stop := tr.Go(perf.TaskAllGather)
+			hT := &mat.Dense{Rows: n, Cols: k, Data: c.AllGatherV(hi.T().Data, hWordCounts)}
+			stop()
+
+			stop = tr.Go(perf.TaskGram)
+			hGram := mat.Gram(hT) // (Hᵀ)ᵀHᵀ = HHᵀ, computed redundantly
+			stop()
+			tr.AddFlops(perf.TaskGram, gramFlops(n, k))
+
+			stop = tr.Go(perf.TaskMM)
+			aiht := aRow.MulBt(hT) // Ai·Hᵀ, mi×k
+			stop()
+			tr.AddFlops(perf.TaskMM, 2*int64(aRow.NNZ())*int64(k))
+
+			gw, fw := applyReg(hGram, aiht.T(), opts.L2W, opts.L1W)
+			stop = tr.Go(perf.TaskNLS)
+			wt, st, serr := solver.Solve(gw, fw, wi.T())
+			stop()
+			if serr != nil {
+				panic(fmt.Sprintf("core: naive W update failed at iteration %d: %v", it, serr))
+			}
+			tr.AddFlops(perf.TaskNLS, st.Flops)
+			wi = wt.T()
+			checkFactorSanity("W", wi)
+
+			// --- Compute H given W (lines 5-6) ---
+			stop = tr.Go(perf.TaskAllGather)
+			w := &mat.Dense{Rows: m, Cols: k, Data: c.AllGatherV(wi.Data, wWordCounts)}
+			stop()
+
+			stop = tr.Go(perf.TaskGram)
+			wtw := mat.Gram(w) // redundant on every rank
+			stop()
+			tr.AddFlops(perf.TaskGram, gramFlops(m, k))
+
+			stop = tr.Go(perf.TaskMM)
+			wtai := aCol.MulAtB(w) // Wᵀ·Aⁱ, k×ni
+			stop()
+			tr.AddFlops(perf.TaskMM, 2*int64(aCol.NNZ())*int64(k))
+
+			// Stationarity measure for TolGrad: gradient at the old
+			// Hi under the refreshed W (see RunSequential).
+			pgLocal, pgRefLocal := 0.0, 0.0
+			if opts.TolGrad > 0 {
+				pgLocal = projGradSq(wtw, wtai, hi)
+				pgRefLocal = wtai.SquaredFrobeniusNorm()
+			}
+
+			gh, fh := applyReg(wtw, wtai, opts.L2H, opts.L1H)
+			stop = tr.Go(perf.TaskNLS)
+			hNew, st2, serr := solver.Solve(gh, fh, hi)
+			stop()
+			if serr != nil {
+				panic(fmt.Sprintf("core: naive H update failed at iteration %d: %v", it, serr))
+			}
+			tr.AddFlops(perf.TaskNLS, st2.Flops)
+			hi = hNew
+			checkFactorSanity("H", hi)
+
+			// --- Objective (optional): local partials + one all-reduce ---
+			if opts.ComputeError {
+				stop = tr.Go(perf.TaskGram)
+				hiGram := mat.GramT(hi)
+				stop()
+				tr.AddFlops(perf.TaskGram, gramFlops(ni, k))
+				payload := []float64{mat.Dot(wtai, hi), mat.Dot(wtw, hiGram)}
+				if opts.TolGrad > 0 {
+					payload = append(payload, pgLocal, pgRefLocal)
+				}
+				stop = tr.Go(perf.TaskAllReduce)
+				parts := c.AllReduce(payload)
+				stop()
+				relErr = append(relErr, relErrFrom(normA2, parts[0], parts[1]))
+				pg, pgRef := 0.0, 0.0
+				if opts.TolGrad > 0 {
+					pg, pgRef = parts[2], parts[3]
+				}
+				if shouldStop(relErr, opts.Tol) || gradConverged(opts.TolGrad, pg, pgRef) {
+					break
+				}
+			}
+		}
+		// Freeze the measured iteration window before the final
+		// gather adds unrelated traffic.
+		trackers[rank] = tr.Diff(setupTr)
+		traffic[rank] = c.Counters().Diff(setupTraffic)
+
+		// --- Gather factors on rank 0 (outside the measured loop) ---
+		wAll := c.GatherV(0, wi.Data, wWordCounts)
+		hTAll := c.GatherV(0, hi.T().Data, hWordCounts)
+		if rank == 0 {
+			w := &mat.Dense{Rows: m, Cols: k, Data: wAll}
+			hT := &mat.Dense{Rows: n, Cols: k, Data: hTAll}
+			res = &Result{
+				W:          w.Clone(),
+				H:          hT.T(),
+				RelErr:     relErr,
+				Iterations: iters,
+				Algorithm:  fmt.Sprintf("Naive p=%d", p),
+			}
+		}
+	}
+	if err := safely(func() { world.Run(body) }); err != nil {
+		return nil, err
+	}
+	res.Breakdown = perf.Aggregate(opts.Model, trackers, traffic).Scale(res.Iterations)
+	return res, nil
+}

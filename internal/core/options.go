@@ -1,0 +1,301 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"hpcnmf/internal/mat"
+	"hpcnmf/internal/nnls"
+	"hpcnmf/internal/perf"
+)
+
+// SolverKind selects the local NLS method (the paper's "flexibility"
+// axis, §1): the alternating framework is identical, only the local
+// solve changes.
+type SolverKind int
+
+const (
+	// SolverBPP is block principal pivoting (§4.2), the paper's default.
+	SolverBPP SolverKind = iota
+	// SolverActiveSet is the classical Lawson–Hanson method.
+	SolverActiveSet
+	// SolverMU is the multiplicative update rule (Eq. 3).
+	SolverMU
+	// SolverHALS is hierarchical alternating least squares (Eq. 4).
+	SolverHALS
+	// SolverPGD is projected gradient descent (Lin 2007).
+	SolverPGD
+)
+
+// String returns the solver's display name.
+func (k SolverKind) String() string {
+	switch k {
+	case SolverBPP:
+		return "BPP"
+	case SolverActiveSet:
+		return "ActiveSet"
+	case SolverMU:
+		return "MU"
+	case SolverHALS:
+		return "HALS"
+	case SolverPGD:
+		return "PGD"
+	default:
+		return fmt.Sprintf("SolverKind(%d)", int(k))
+	}
+}
+
+// New instantiates the solver; sweeps applies to the inexact methods.
+func (k SolverKind) New(sweeps int) nnls.Solver {
+	switch k {
+	case SolverBPP:
+		return nnls.NewBPP()
+	case SolverActiveSet:
+		return nnls.NewActiveSet()
+	case SolverMU:
+		return nnls.NewMU(sweeps)
+	case SolverHALS:
+		return nnls.NewHALS(sweeps)
+	case SolverPGD:
+		return nnls.NewPGD(sweeps)
+	default:
+		panic(fmt.Sprintf("core: unknown solver kind %d", int(k)))
+	}
+}
+
+// Options configures an NMF run. The zero value is not valid; use
+// DefaultOptions or fill K at minimum.
+type Options struct {
+	// K is the factorization rank (required, ≥ 1).
+	K int
+	// MaxIter bounds alternating iterations (default 30).
+	MaxIter int
+	// Tol stops early when the relative error decreases by less than
+	// Tol between iterations (requires ComputeError). ≤ 0 disables.
+	Tol float64
+	// TolGrad stops when the projected-gradient norm of the
+	// H-subproblem falls below TolGrad times ‖WᵀA‖_F (the natural
+	// gradient scale) — the convergence test of Lin (2007), computed
+	// from iteration byproducts at negligible cost (requires
+	// ComputeError). ≤ 0 disables.
+	TolGrad float64
+	// Solver selects the local NLS method (default BPP).
+	Solver SolverKind
+	// Sweeps is the inner sweep count for MU/HALS (default 1).
+	Sweeps int
+	// Seed drives the deterministic, layout-independent factor
+	// initialization (§6.1.3).
+	Seed uint64
+	// ComputeError computes the relative objective each iteration.
+	// It adds a small all-reduce per iteration (the "global
+	// aggregation for residual" of §5) plus one local Gram product.
+	ComputeError bool
+	// CommChunk blocks the all-gather + local-multiply +
+	// reduce-scatter pipeline of HPC-NMF into column chunks of at
+	// most CommChunk of the k factor columns, trading latency
+	// (×⌈k/CommChunk⌉ messages) for temporary memory (the paper's §5
+	// "Memory Requirements" remark: "the computation of ((AHᵀ)i)j …
+	// can be blocked, decreasing the local memory requirements at the
+	// expense of greater latency costs"). 0 disables blocking.
+	// Results are identical with or without blocking.
+	CommChunk int
+	// InitW and InitH supply explicit initial factors (m×K and K×n)
+	// instead of the default element-addressed random init — e.g. the
+	// output of NNDSVD. The parallel algorithms slice the provided
+	// matrices deterministically, so with explicit init a parallel
+	// run still computes the same iterates as a sequential one.
+	InitW, InitH *mat.Dense
+	// Regularization extends the objective to
+	//   ‖A−WH‖²_F + L2W·‖W‖²_F + L1W·Σᵢⱼ Wᵢⱼ + L2H·‖H‖²_F + L1H·Σᵢⱼ Hᵢⱼ
+	// (the sparse-NMF variant of Kim & Park that the paper cites as
+	// an application [10]; L1 promotes sparse factors, L2 bounds
+	// them). Implemented exactly in the normal equations — the Gram
+	// gains λ₂ on the diagonal, the right-hand side loses λ₁/2 — so
+	// every algorithm and solver supports it uniformly. All must be
+	// ≥ 0.
+	L2W, L1W, L2H, L1H float64
+	// Model supplies α-β-γ constants for the modeled breakdown;
+	// the zero value means perf.Edison().
+	Model perf.Model
+}
+
+// withDefaults validates and normalizes the options.
+func (o Options) withDefaults(m, n int) (Options, error) {
+	if o.K < 1 {
+		return o, fmt.Errorf("core: rank K = %d, want ≥ 1", o.K)
+	}
+	if o.K > m || o.K > n {
+		return o, fmt.Errorf("core: rank K = %d exceeds matrix dims %dx%d", o.K, m, n)
+	}
+	if o.MaxIter <= 0 {
+		o.MaxIter = 30
+	}
+	if o.Sweeps <= 0 {
+		o.Sweeps = 1
+	}
+	if o.Model == (perf.Model{}) {
+		o.Model = perf.Edison()
+	}
+	if (o.Tol > 0 || o.TolGrad > 0) && !o.ComputeError {
+		return o, fmt.Errorf("core: Tol/TolGrad require ComputeError")
+	}
+	if o.L2W < 0 || o.L1W < 0 || o.L2H < 0 || o.L1H < 0 {
+		return o, fmt.Errorf("core: regularization weights must be ≥ 0")
+	}
+	if o.InitW != nil && (o.InitW.Rows != m || o.InitW.Cols != o.K) {
+		return o, fmt.Errorf("core: InitW is %dx%d, want %dx%d", o.InitW.Rows, o.InitW.Cols, m, o.K)
+	}
+	if o.InitH != nil && (o.InitH.Rows != o.K || o.InitH.Cols != n) {
+		return o, fmt.Errorf("core: InitH is %dx%d, want %dx%d", o.InitH.Rows, o.InitH.Cols, o.K, n)
+	}
+	if (o.InitW != nil && o.InitW.Min() < 0) || (o.InitH != nil && o.InitH.Min() < 0) {
+		return o, fmt.Errorf("core: explicit initial factors must be non-negative")
+	}
+	return o, nil
+}
+
+// localInitH returns this rank's k×cols block of the initial H
+// starting at global column colOff: sliced from an explicit InitH, or
+// element-addressed otherwise — identical across layouts either way.
+func localInitH(opts Options, cols, colOff int) *mat.Dense {
+	if opts.InitH != nil {
+		return opts.InitH.SubmatrixCols(colOff, colOff+cols)
+	}
+	return initH(opts.K, cols, colOff, opts.Seed)
+}
+
+// localInitW returns this rank's rows×k block of the initial W
+// starting at global row rowOff.
+func localInitW(opts Options, rows, rowOff int) *mat.Dense {
+	if opts.InitW != nil {
+		return opts.InitW.SubmatrixRows(rowOff, rowOff+rows)
+	}
+	return initW(rows, opts.K, rowOff, opts.Seed)
+}
+
+// applyReg folds the regularization terms into a normal-equations
+// NNLS instance: returns (G + λ₂·I, F − λ₁/2), leaving the inputs
+// untouched when both weights are zero (the common case pays no
+// copy).
+func applyReg(g, f *mat.Dense, l2, l1 float64) (*mat.Dense, *mat.Dense) {
+	if l2 == 0 && l1 == 0 {
+		return g, f
+	}
+	if l2 != 0 {
+		g = g.Clone()
+		for i := 0; i < g.Rows; i++ {
+			g.Set(i, i, g.At(i, i)+l2)
+		}
+	}
+	if l1 != 0 {
+		f = f.Clone()
+		half := l1 / 2
+		for i := range f.Data {
+			f.Data[i] -= half
+		}
+	}
+	return g, f
+}
+
+// wSeedSalt decorrelates the W initialization stream from H's.
+const wSeedSalt = 0x9e3779b97f4a7c15
+
+// initH fills a k×localCols block of the global H (k×n) starting at
+// global column colOff, identically across all layouts.
+func initH(k, localCols, colOff int, seed uint64) *mat.Dense {
+	h := mat.NewDense(k, localCols)
+	h.InitAddressed(seed, 0, colOff)
+	return h
+}
+
+// initW fills a localRows×k block of the global W (m×k) starting at
+// global row rowOff. W's init only serves as a warm start: BPP's
+// result does not depend on it, while MU/HALS iterate from it.
+func initW(localRows, k, rowOff int, seed uint64) *mat.Dense {
+	w := mat.NewDense(localRows, k)
+	w.InitAddressed(seed^wSeedSalt, rowOff, 0)
+	return w
+}
+
+// Result reports a finished factorization.
+type Result struct {
+	// W is the m×k left factor; H is the k×n right factor. For the
+	// parallel algorithms these are gathered onto the caller.
+	W, H *mat.Dense
+	// RelErr holds ‖A−WH‖_F/‖A‖_F after each iteration when
+	// ComputeError is set (empty otherwise).
+	RelErr []float64
+	// Iterations is the number of alternating iterations performed.
+	Iterations int
+	// Breakdown is the per-iteration task breakdown (averaged over
+	// iterations, max over ranks; excludes setup and final gathering).
+	Breakdown *perf.Breakdown
+	// Algorithm and Grid describe how the run was executed, for
+	// reports ("Sequential", "Naive p=16", "HPC-NMF 4x4").
+	Algorithm string
+}
+
+// relErrFrom computes ‖A−WH‖_F/‖A‖_F from the iteration byproducts:
+// ‖A‖² − 2·⟨WᵀA, H⟩ + ⟨WᵀW, HHᵀ⟩, clamped at zero against roundoff.
+func relErrFrom(normA2, cross, wtwDotHht float64) float64 {
+	v := normA2 - 2*cross + wtwDotHht
+	if v < 0 {
+		v = 0
+	}
+	if normA2 <= 0 {
+		return 0
+	}
+	return math.Sqrt(v) / math.Sqrt(normA2)
+}
+
+// shouldStop implements the Tol early-exit rule on the error history.
+func shouldStop(relErr []float64, tol float64) bool {
+	n := len(relErr)
+	if tol <= 0 || n < 2 {
+		return false
+	}
+	return relErr[n-2]-relErr[n-1] < tol
+}
+
+// projGradSq returns ‖P[∇_H f]‖²_F for the H-subproblem from the
+// iteration byproducts: ∇ = 2(WᵀW·H − WᵀA); the projection keeps the
+// full gradient on positive entries and only its negative part on
+// zero entries (those may only move inward).
+func projGradSq(wtw, wta, h *mat.Dense) float64 {
+	grad := mat.Mul(wtw, h)
+	grad.Sub(wta)
+	s := 0.0
+	for i, hv := range h.Data {
+		g := 2 * grad.Data[i]
+		if hv > 0 || g < 0 {
+			s += g * g
+		}
+	}
+	return s
+}
+
+// gradConverged applies the TolGrad rule in squared norms:
+// ‖P[∇]‖² ≤ TolGrad²·refSq, where refSq = ‖WᵀA‖²_F sets the scale
+// (at any stationary point WᵀW·H balances WᵀA, so this reference is
+// O(signal) even when the very first iterate is already optimal —
+// the case a first-iteration-gradient reference gets wrong).
+func gradConverged(tolGrad, pgSq, refSq float64) bool {
+	if tolGrad <= 0 {
+		return false
+	}
+	if refSq <= 0 {
+		return pgSq == 0
+	}
+	return pgSq <= tolGrad*tolGrad*refSq
+}
+
+// gramFlops is the flop count of a k×k Gram product over c vectors.
+func gramFlops(c, k int) int64 { return int64(c) * int64(k) * int64(k+1) }
+
+// checkFactorSanity panics early (with a clear message) if a factor
+// went non-finite — the failure mode of a diverging solver.
+func checkFactorSanity(name string, f *mat.Dense) {
+	if !f.IsFinite() {
+		panic(fmt.Sprintf("core: factor %s became non-finite; the local NLS solver diverged", name))
+	}
+}

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// RankPoint is one entry of a rank sweep.
+type RankPoint struct {
+	K      int
+	RelErr float64
+	Iters  int
+}
+
+// RankSweep factorizes A at each candidate rank and returns the final
+// relative error per rank — the curve practitioners use to pick k by
+// its elbow (k is "typically less than 100" per the paper's intro,
+// but problem-dependent). The runs share options except K; each uses
+// the sequential algorithm (rank selection is an offline step).
+func RankSweep(a Matrix, ks []int, opts Options) ([]RankPoint, error) {
+	if len(ks) == 0 {
+		return nil, fmt.Errorf("core: empty rank list")
+	}
+	sorted := append([]int(nil), ks...)
+	sort.Ints(sorted)
+	opts.ComputeError = true
+	out := make([]RankPoint, 0, len(sorted))
+	for _, k := range sorted {
+		o := opts
+		o.K = k
+		res, err := RunSequential(a, o)
+		if err != nil {
+			return nil, fmt.Errorf("core: rank sweep at k=%d: %w", k, err)
+		}
+		out = append(out, RankPoint{
+			K:      k,
+			RelErr: res.RelErr[len(res.RelErr)-1],
+			Iters:  res.Iterations,
+		})
+	}
+	return out, nil
+}
+
+// Elbow picks the sweep point after which additional rank stops
+// paying: the largest k whose error improvement over the previous
+// point is at least frac times the sweep's largest improvement.
+// It returns the first point when the sweep has fewer than 3 entries.
+func Elbow(points []RankPoint, frac float64) RankPoint {
+	if len(points) == 0 {
+		return RankPoint{}
+	}
+	if len(points) < 3 {
+		return points[0]
+	}
+	if frac <= 0 {
+		frac = 0.1
+	}
+	maxDrop := 0.0
+	for i := 1; i < len(points); i++ {
+		if d := points[i-1].RelErr - points[i].RelErr; d > maxDrop {
+			maxDrop = d
+		}
+	}
+	best := points[0]
+	for i := 1; i < len(points); i++ {
+		if points[i-1].RelErr-points[i].RelErr >= frac*maxDrop {
+			best = points[i]
+		}
+	}
+	return best
+}

@@ -1,0 +1,69 @@
+package core
+
+import "testing"
+
+func TestRankSweepErrorsDecrease(t *testing.T) {
+	a := WrapDense(lowRankDense(40, 32, 4, 0.02, 211))
+	opts := Options{MaxIter: 8, Seed: 3}
+	points, err := RankSweep(a, []int{1, 2, 4, 6}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 4 {
+		t.Fatalf("got %d points", len(points))
+	}
+	// Error must be non-increasing in k (larger model fits better).
+	for i := 1; i < len(points); i++ {
+		if points[i].RelErr > points[i-1].RelErr*(1+1e-6) {
+			t.Fatalf("error increased from k=%d (%g) to k=%d (%g)",
+				points[i-1].K, points[i-1].RelErr, points[i].K, points[i].RelErr)
+		}
+	}
+	// The true rank (4) should capture nearly everything: the drop
+	// from k=4 to k=6 must be small compared to k=2 -> k=4.
+	drop24 := points[1].RelErr - points[2].RelErr
+	drop46 := points[2].RelErr - points[3].RelErr
+	if drop46 > drop24 {
+		t.Fatalf("no elbow at the true rank: drops %g then %g", drop24, drop46)
+	}
+}
+
+func TestRankSweepSortsInput(t *testing.T) {
+	a := WrapDense(lowRankDense(20, 16, 2, 0.01, 213))
+	points, err := RankSweep(a, []int{4, 1, 2}, Options{MaxIter: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if points[0].K != 1 || points[2].K != 4 {
+		t.Fatalf("points not sorted: %+v", points)
+	}
+}
+
+func TestRankSweepRejectsEmpty(t *testing.T) {
+	a := WrapDense(lowRankDense(10, 8, 2, 0, 217))
+	if _, err := RankSweep(a, nil, Options{MaxIter: 2}); err == nil {
+		t.Fatal("empty rank list accepted")
+	}
+}
+
+func TestElbowPicksTrueRank(t *testing.T) {
+	a := WrapDense(lowRankDense(40, 32, 3, 0.01, 219))
+	points, err := RankSweep(a, []int{1, 2, 3, 4, 5}, Options{MaxIter: 8, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pick := Elbow(points, 0.1)
+	if pick.K < 3 || pick.K > 4 {
+		t.Fatalf("elbow picked k=%d for a rank-3 matrix (%+v)", pick.K, points)
+	}
+}
+
+func TestElbowDegenerate(t *testing.T) {
+	if got := Elbow(nil, 0.1); got.K != 0 {
+		t.Fatal("empty elbow wrong")
+	}
+	one := []RankPoint{{K: 2, RelErr: 0.5}}
+	if got := Elbow(one, 0.1); got.K != 2 {
+		t.Fatal("single-point elbow wrong")
+	}
+}

@@ -1,0 +1,170 @@
+package core
+
+import (
+	"fmt"
+
+	"hpcnmf/internal/mat"
+	"hpcnmf/internal/nnls"
+)
+
+// Streaming maintains a non-negative factorization of a sliding
+// window of data columns, the scenario the paper describes for video
+// (§6.1.1): "only the last minute or two of video is taken from the
+// live video camera. The algorithm to incrementally adjust the NMF
+// based on the new streaming video is presented in [12]." New columns
+// are first projected onto the current basis (one NNLS solve with W
+// fixed — cheap), then a configurable number of full ANLS refinement
+// sweeps adapt the basis to the evicting window.
+type Streaming struct {
+	m, k   int
+	window int
+	sweeps int
+	solver nnls.Solver
+	seed   uint64
+	pushes int
+	// data holds the current window, one column per retained sample,
+	// as an m×w dense matrix; h is the matching k×w coefficient block.
+	data *mat.Dense
+	w    *mat.Dense // m×k basis
+	h    *mat.Dense // k×window coefficients
+}
+
+// StreamingOptions configures a Streaming factorizer.
+type StreamingOptions struct {
+	// K is the factorization rank.
+	K int
+	// Window is the maximum number of columns retained (> 0).
+	Window int
+	// RefineSweeps is the number of ANLS sweeps run after each Push
+	// to adapt the basis (default 1; 0 keeps the basis frozen and
+	// only projects, which tracks a stationary background for free).
+	RefineSweeps int
+	// Seed drives the deterministic basis initialization.
+	Seed uint64
+}
+
+// NewStreaming creates a streaming factorizer for m-row columns.
+func NewStreaming(m int, opts StreamingOptions) (*Streaming, error) {
+	if opts.K < 1 {
+		return nil, fmt.Errorf("core: streaming rank %d, want ≥ 1", opts.K)
+	}
+	if opts.Window < opts.K {
+		return nil, fmt.Errorf("core: streaming window %d must be ≥ K=%d", opts.Window, opts.K)
+	}
+	if m < opts.K {
+		return nil, fmt.Errorf("core: %d rows < rank %d", m, opts.K)
+	}
+	sweeps := opts.RefineSweeps
+	if sweeps < 0 {
+		sweeps = 0
+	}
+	return &Streaming{
+		m:      m,
+		k:      opts.K,
+		window: opts.Window,
+		sweeps: sweeps,
+		solver: nnls.NewBPP(),
+		seed:   opts.Seed,
+		data:   mat.NewDense(m, 0),
+		w:      initW(m, opts.K, 0, opts.Seed),
+		h:      mat.NewDense(opts.K, 0),
+	}, nil
+}
+
+// Push appends new columns (an m×c matrix, newest last), evicts the
+// oldest columns beyond the window, projects the new columns onto the
+// current basis, and runs the configured refinement sweeps.
+func (s *Streaming) Push(cols *mat.Dense) error {
+	if cols.Rows != s.m {
+		return fmt.Errorf("core: pushed columns have %d rows, want %d", cols.Rows, s.m)
+	}
+	if cols.Cols == 0 {
+		return nil
+	}
+	// Project new columns: h_new = argmin ‖W·h − c‖, h ≥ 0.
+	wtw := mat.Gram(s.w)
+	wtc := mat.MulAtB(s.w, cols) // k×c
+	hNew, _, err := s.solver.Solve(wtw, wtc, nil)
+	if err != nil {
+		return fmt.Errorf("core: streaming projection failed: %w", err)
+	}
+	s.data = mat.StackCols(s.data, cols)
+	s.h = mat.StackCols(s.h, hNew)
+	// Evict beyond the window.
+	if s.data.Cols > s.window {
+		drop := s.data.Cols - s.window
+		s.data = s.data.SubmatrixCols(drop, s.data.Cols)
+		s.h = s.h.SubmatrixCols(drop, s.h.Cols)
+	}
+	s.pushes++
+
+	// Refinement: standard ANLS sweeps over the retained window,
+	// warm-started from the current factors.
+	a := WrapDense(s.data)
+	for sweep := 0; sweep < s.sweeps; sweep++ {
+		hGram := mat.GramT(s.h)
+		aht := a.MulHt(s.h)
+		wt, _, err := s.solver.Solve(hGram, aht.T(), s.w.T())
+		if err != nil {
+			return fmt.Errorf("core: streaming W refinement failed: %w", err)
+		}
+		s.w = wt.T()
+		wtw = mat.Gram(s.w)
+		wta := a.MulAtB(s.w)
+		if s.h, _, err = s.solver.Solve(wtw, wta, s.h); err != nil {
+			return fmt.Errorf("core: streaming H refinement failed: %w", err)
+		}
+	}
+	return nil
+}
+
+// Len reports the number of columns currently retained.
+func (s *Streaming) Len() int { return s.data.Cols }
+
+// Factors returns (copies of) the current basis W (m×k) and window
+// coefficients H (k×len).
+func (s *Streaming) Factors() (w, h *mat.Dense) { return s.w.Clone(), s.h.Clone() }
+
+// RelErr returns ‖A_window − W·H‖_F / ‖A_window‖_F for the retained
+// window (0 for an empty window).
+func (s *Streaming) RelErr() float64 {
+	if s.data.Cols == 0 {
+		return 0
+	}
+	normA2 := s.data.SquaredFrobeniusNorm()
+	if normA2 == 0 {
+		return 0
+	}
+	wta := mat.MulAtB(s.w, s.data)
+	wtw := mat.Gram(s.w)
+	hGram := mat.GramT(s.h)
+	return relErrFrom(normA2, mat.Dot(wta, s.h), mat.Dot(wtw, hGram))
+}
+
+// Residual returns the reconstruction residual of the j-th retained
+// column (newest = Len()-1): the per-pixel foreground signal in the
+// background-subtraction use case.
+func (s *Streaming) Residual(j int) []float64 {
+	if j < 0 || j >= s.data.Cols {
+		panic(fmt.Sprintf("core: residual column %d of %d", j, s.data.Cols))
+	}
+	out := make([]float64, s.m)
+	for i := 0; i < s.m; i++ {
+		rec := 0.0
+		for t := 0; t < s.k; t++ {
+			rec += s.w.At(i, t) * s.h.At(t, j)
+		}
+		out[i] = s.data.At(i, j) - rec
+	}
+	return out
+}
+
+// ForegroundEnergy returns ‖residual(j)‖² — a scalar motion signal.
+func (s *Streaming) ForegroundEnergy(j int) float64 {
+	r := s.Residual(j)
+	e := 0.0
+	for _, v := range r {
+		e += v * v
+	}
+	return e
+}

@@ -1,0 +1,187 @@
+package core
+
+import (
+	"testing"
+
+	"hpcnmf/internal/mat"
+	"hpcnmf/internal/rng"
+)
+
+// streamColumns generates columns from basis b (m×k) with random
+// non-negative coefficients plus noise.
+func streamColumns(b *mat.Dense, c int, noise float64, s *rng.Stream) *mat.Dense {
+	coef := mat.NewDense(b.Cols, c)
+	coef.RandomUniform(s)
+	out := mat.Mul(b, coef)
+	for i := range out.Data {
+		v := out.Data[i] + noise*s.Normal()
+		if v < 0 {
+			v = 0
+		}
+		out.Data[i] = v
+	}
+	return out
+}
+
+func TestStreamingValidation(t *testing.T) {
+	if _, err := NewStreaming(10, StreamingOptions{K: 0, Window: 5}); err == nil {
+		t.Fatal("K=0 accepted")
+	}
+	if _, err := NewStreaming(10, StreamingOptions{K: 3, Window: 2}); err == nil {
+		t.Fatal("window < K accepted")
+	}
+	if _, err := NewStreaming(2, StreamingOptions{K: 3, Window: 5}); err == nil {
+		t.Fatal("m < K accepted")
+	}
+	st, err := NewStreaming(10, StreamingOptions{K: 2, Window: 6, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Push(mat.NewDense(9, 1)); err == nil {
+		t.Fatal("wrong row count accepted")
+	}
+	if err := st.Push(mat.NewDense(10, 0)); err != nil {
+		t.Fatal("empty push rejected")
+	}
+}
+
+func TestStreamingFitsStationaryStream(t *testing.T) {
+	s := rng.New(5)
+	basis := mat.NewDense(30, 3)
+	basis.RandomUniform(s)
+	st, err := NewStreaming(30, StreamingOptions{K: 3, Window: 24, RefineSweeps: 2, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for batch := 0; batch < 10; batch++ {
+		if err := st.Push(streamColumns(basis, 4, 0.01, s)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st.Len() != 24 {
+		t.Fatalf("window length %d, want 24", st.Len())
+	}
+	if e := st.RelErr(); e > 0.08 {
+		t.Fatalf("stationary stream fit %g", e)
+	}
+	w, h := st.Factors()
+	if w.Min() < 0 || h.Min() < 0 {
+		t.Fatal("streaming factors not non-negative")
+	}
+	if h.Cols != st.Len() || w.Rows != 30 || w.Cols != 3 {
+		t.Fatal("factor shapes wrong")
+	}
+}
+
+func TestStreamingAdaptsToRegimeChange(t *testing.T) {
+	s := rng.New(9)
+	basisA := mat.NewDense(24, 2)
+	basisA.RandomUniform(s)
+	basisB := mat.NewDense(24, 2)
+	basisB.RandomUniform(s)
+	st, err := NewStreaming(24, StreamingOptions{K: 2, Window: 16, RefineSweeps: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if err := st.Push(streamColumns(basisA, 4, 0.005, s)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	settled := st.RelErr()
+	// Regime change: new basis. The first post-change windows mix both
+	// regimes; after the old data evicts, the fit must recover.
+	var after float64
+	for i := 0; i < 8; i++ {
+		if err := st.Push(streamColumns(basisB, 4, 0.005, s)); err != nil {
+			t.Fatal(err)
+		}
+		after = st.RelErr()
+	}
+	if after > settled*3+0.05 {
+		t.Fatalf("did not adapt to regime change: settled %g, after %g", settled, after)
+	}
+}
+
+func TestStreamingFrozenBasisOnlyProjects(t *testing.T) {
+	s := rng.New(13)
+	basis := mat.NewDense(20, 2)
+	basis.RandomUniform(s)
+	st, err := NewStreaming(20, StreamingOptions{K: 2, Window: 10, RefineSweeps: 0, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w0, _ := st.Factors()
+	if err := st.Push(streamColumns(basis, 6, 0, s)); err != nil {
+		t.Fatal(err)
+	}
+	w1, _ := st.Factors()
+	if d := w0.MaxDiff(w1); d != 0 {
+		t.Fatalf("frozen basis moved by %g", d)
+	}
+}
+
+func TestStreamingMatchesBatchOnWindow(t *testing.T) {
+	// With enough refinement sweeps, the streaming fit of the final
+	// window should approach a batch NMF of the same data.
+	s := rng.New(17)
+	basis := mat.NewDense(28, 3)
+	basis.RandomUniform(s)
+	window := streamColumns(basis, 20, 0.01, s)
+	st, err := NewStreaming(28, StreamingOptions{K: 3, Window: 20, RefineSweeps: 6, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Push(window); err != nil {
+		t.Fatal(err)
+	}
+	batch, err := RunSequential(WrapDense(window), Options{K: 3, MaxIter: 12, Seed: 5, ComputeError: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batchErr := batch.RelErr[len(batch.RelErr)-1]
+	if st.RelErr() > batchErr*1.5+0.02 {
+		t.Fatalf("streaming fit %g vs batch %g", st.RelErr(), batchErr)
+	}
+}
+
+func TestStreamingResidualDetectsOutlier(t *testing.T) {
+	s := rng.New(21)
+	basis := mat.NewDense(40, 2)
+	basis.RandomUniform(s)
+	st, err := NewStreaming(40, StreamingOptions{K: 2, Window: 12, RefineSweeps: 1, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := st.Push(streamColumns(basis, 4, 0.005, s)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	baseline := st.ForegroundEnergy(st.Len() - 1)
+	// Inject an "object": a column with a bright patch the basis
+	// cannot explain.
+	anomaly := streamColumns(basis, 1, 0.005, s)
+	for i := 10; i < 18; i++ {
+		anomaly.Set(i, 0, anomaly.At(i, 0)+3)
+	}
+	if err := st.Push(anomaly); err != nil {
+		t.Fatal(err)
+	}
+	if got := st.ForegroundEnergy(st.Len() - 1); got < 5*baseline+1 {
+		t.Fatalf("outlier energy %g not above baseline %g", got, baseline)
+	}
+}
+
+func TestStreamingResidualPanicsOutOfRange(t *testing.T) {
+	st, err := NewStreaming(10, StreamingOptions{K: 2, Window: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range residual did not panic")
+		}
+	}()
+	st.Residual(0)
+}

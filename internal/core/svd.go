@@ -1,0 +1,193 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"hpcnmf/internal/mat"
+	"hpcnmf/internal/rng"
+)
+
+// TruncatedSVD computes the top-k singular triplets of A: U (m×k),
+// sigma (descending), V (n×k) with A ≈ U·diag(sigma)·Vᵀ. It uses
+// subspace iteration on AᵀA (touching A only through the two products
+// the Matrix interface provides, so sparse inputs stay sparse)
+// followed by a Rayleigh–Ritz projection with a dense Jacobi
+// eigensolver on the small k×k system.
+//
+// iters controls subspace-iteration sweeps; 0 means a default that is
+// ample when the spectrum decays (the NMF-initialization use case).
+func TruncatedSVD(a Matrix, k, iters int, seed uint64) (u *mat.Dense, sigma []float64, v *mat.Dense, err error) {
+	m, n := a.Dims()
+	if k < 1 || k > m || k > n {
+		return nil, nil, nil, fmt.Errorf("core: TruncatedSVD rank %d out of range for %dx%d", k, m, n)
+	}
+	if iters <= 0 {
+		iters = 30
+	}
+	// Random start, orthonormalized.
+	v = mat.NewDense(n, k)
+	s := rng.New(seed ^ 0xc2b2ae3d27d4eb4f)
+	for i := range v.Data {
+		v.Data[i] = s.Normal()
+	}
+	mat.Orthonormalize(v)
+
+	for it := 0; it < iters; it++ {
+		// V ← orth(Aᵀ(A·V)).
+		av := a.MulBt(v)         // m×k
+		atav := a.MulAtB(av).T() // (k×n)ᵀ = n×k
+		v = atav
+		mat.Orthonormalize(v)
+	}
+	// Rayleigh–Ritz: T = Vᵀ(AᵀA)V, eigendecompose, rotate.
+	av := a.MulBt(v)  // m×k
+	t := mat.Gram(av) // k×k = Vᵀ Aᵀ A V
+	vals, e, err := mat.SymEigen(t)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	v = mat.Mul(v, e)
+	av = mat.Mul(av, e)
+	sigma = make([]float64, k)
+	u = mat.NewDense(m, k)
+	for j := 0; j < k; j++ {
+		if vals[j] < 0 {
+			vals[j] = 0
+		}
+		sigma[j] = math.Sqrt(vals[j])
+		if sigma[j] > 1e-300 {
+			inv := 1 / sigma[j]
+			for i := 0; i < m; i++ {
+				u.Set(i, j, av.At(i, j)*inv)
+			}
+		}
+	}
+	return u, sigma, v, nil
+}
+
+// NNDSVD computes the non-negative double SVD initialization of
+// Boutsidis & Gallopoulos (2008), the standard structured NMF
+// initialization: the leading singular triplet seeds the first
+// component directly; each further triplet contributes whichever of
+// its positive or negative part pair carries more mass. The result
+// (W, H) can be passed via Options.InitW/InitH to any of the
+// algorithms (all of them slice explicit initial factors
+// deterministically, so parallel runs still match sequential ones).
+//
+// When fillMean is true, exact zeros are replaced by the mean entry
+// of A divided by k (the "NNDSVDa" variant), which solvers like MU —
+// unable to reactivate zeros — need.
+func NNDSVD(a Matrix, k int, fillMean bool, seed uint64) (w, h *mat.Dense, err error) {
+	m, n := a.Dims()
+	u, sigma, v, err := TruncatedSVD(a, k, 0, seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	w = mat.NewDense(m, k)
+	h = mat.NewDense(k, n)
+
+	// Leading component: |u0|, |v0| (Perron–Frobenius makes the true
+	// leading pair of a non-negative matrix non-negative up to sign).
+	s0 := math.Sqrt(sigma[0])
+	for i := 0; i < m; i++ {
+		w.Set(i, 0, s0*math.Abs(u.At(i, 0)))
+	}
+	for j := 0; j < n; j++ {
+		h.Set(0, j, s0*math.Abs(v.At(j, 0)))
+	}
+
+	for c := 1; c < k; c++ {
+		// Split the c-th pair into positive and negative parts.
+		var nxp, nxn, nyp, nyn float64
+		for i := 0; i < m; i++ {
+			x := u.At(i, c)
+			if x > 0 {
+				nxp += x * x
+			} else {
+				nxn += x * x
+			}
+		}
+		for j := 0; j < n; j++ {
+			y := v.At(j, c)
+			if y > 0 {
+				nyp += y * y
+			} else {
+				nyn += y * y
+			}
+		}
+		nxp, nxn, nyp, nyn = math.Sqrt(nxp), math.Sqrt(nxn), math.Sqrt(nyp), math.Sqrt(nyn)
+		mp, mn := nxp*nyp, nxn*nyn
+		var scale, xnorm, ynorm float64
+		var takePositive bool
+		if mp >= mn {
+			takePositive, scale, xnorm, ynorm = true, mp, nxp, nyp
+		} else {
+			takePositive, scale, xnorm, ynorm = false, mn, nxn, nyn
+		}
+		if scale == 0 || xnorm == 0 || ynorm == 0 {
+			continue // degenerate component stays zero (or gets filled below)
+		}
+		f := math.Sqrt(sigma[c] * scale)
+		for i := 0; i < m; i++ {
+			x := u.At(i, c)
+			switch {
+			case takePositive && x > 0:
+				w.Set(i, c, f*x/xnorm)
+			case !takePositive && x < 0:
+				w.Set(i, c, f*-x/xnorm)
+			}
+		}
+		for j := 0; j < n; j++ {
+			y := v.At(j, c)
+			switch {
+			case takePositive && y > 0:
+				h.Set(c, j, f*y/ynorm)
+			case !takePositive && y < 0:
+				h.Set(c, j, f*-y/ynorm)
+			}
+		}
+	}
+	if fillMean {
+		mean := meanEntry(a)
+		fill := mean / float64(k)
+		if fill <= 0 {
+			fill = 1e-8
+		}
+		for i, x := range w.Data {
+			if x == 0 {
+				w.Data[i] = fill
+			}
+		}
+		for i, x := range h.Data {
+			if x == 0 {
+				h.Data[i] = fill
+			}
+		}
+	}
+	return w, h, nil
+}
+
+// meanEntry returns the mean of all entries (zeros included for
+// sparse storage), computed without densifying.
+func meanEntry(a Matrix) float64 {
+	m, n := a.Dims()
+	if m == 0 || n == 0 {
+		return 0
+	}
+	if d, ok := UnwrapDense(a); ok {
+		sum := 0.0
+		for _, x := range d.Data {
+			sum += x
+		}
+		return sum / float64(m*n)
+	}
+	if s, ok := UnwrapSparse(a); ok {
+		sum := 0.0
+		for _, x := range s.Val {
+			sum += x
+		}
+		return sum / float64(m*n)
+	}
+	return 0
+}

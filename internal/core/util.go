@@ -1,0 +1,16 @@
+package core
+
+import "fmt"
+
+// safely runs fn, converting a panic (e.g. a rank failure inside
+// mpi.World.Run) into an error so the public Run functions keep the
+// usual Go error contract.
+func safely(fn func()) (err error) {
+	defer func() {
+		if e := recover(); e != nil {
+			err = fmt.Errorf("core: parallel run failed: %v", e)
+		}
+	}()
+	fn()
+	return nil
+}

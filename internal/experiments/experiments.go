@@ -1,0 +1,621 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation (§6) on the simulated cluster. Each experiment
+// id corresponds to one artifact (see DESIGN.md's per-experiment
+// index); the harness runs the same three algorithm configurations
+// the paper benchmarks — Naive (Algorithm 2), HPC-NMF with a 1D grid,
+// and HPC-NMF with a 2D grid — and reports the per-iteration task
+// breakdown in α-β-γ modeled seconds (the cluster-faithful view; see
+// DESIGN.md's substitution table) alongside measured wall time.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+
+	"hpcnmf/internal/core"
+	"hpcnmf/internal/costmodel"
+	"hpcnmf/internal/datasets"
+	"hpcnmf/internal/grid"
+	"hpcnmf/internal/partition"
+	"hpcnmf/internal/perf"
+)
+
+// Config tunes experiment size so the full suite can run from seconds
+// (benchmarks) to minutes (full harness).
+type Config struct {
+	// Scale multiplies dataset dimensions (1.0 = harness defaults).
+	Scale float64
+	// Seed drives dataset generation and factor initialization.
+	Seed uint64
+	// Iters is the number of alternating iterations to measure.
+	Iters int
+	// Ks is the rank sweep for comparison experiments
+	// (default 10..50 step 10, as in Figure 3).
+	Ks []int
+	// Ps is the processor sweep for scaling experiments
+	// (default 4, 16, 64; powers of two keep the collectives on
+	// their O(log p) paths).
+	Ps []int
+	// FixedP is the processor count for comparison experiments.
+	FixedP int
+	// FixedK is the rank for scaling experiments (paper: 50).
+	FixedK int
+	// View selects "modeled", "measured", or "both" in reports.
+	View string
+}
+
+// DefaultConfig returns the harness defaults.
+func DefaultConfig() Config {
+	return Config{
+		Scale:  1.0,
+		Seed:   42,
+		Iters:  3,
+		Ks:     []int{10, 20, 30, 40, 50},
+		Ps:     []int{4, 16, 64},
+		FixedP: 16,
+		FixedK: 50,
+		View:   "modeled",
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.Scale <= 0 {
+		c.Scale = d.Scale
+	}
+	if c.Iters <= 0 {
+		c.Iters = d.Iters
+	}
+	if len(c.Ks) == 0 {
+		c.Ks = d.Ks
+	}
+	if len(c.Ps) == 0 {
+		c.Ps = d.Ps
+	}
+	if c.FixedP <= 0 {
+		c.FixedP = d.FixedP
+	}
+	if c.FixedK <= 0 {
+		c.FixedK = d.FixedK
+	}
+	if c.View == "" {
+		c.View = d.View
+	}
+	return c
+}
+
+// Algorithm names used across the harness.
+const (
+	AlgNaive = "Naive"
+	AlgHPC1D = "HPC-NMF-1D"
+	AlgHPC2D = "HPC-NMF-2D"
+)
+
+// Algorithms lists the three benchmarked configurations in the
+// paper's presentation order.
+func Algorithms() []string { return []string{AlgNaive, AlgHPC1D, AlgHPC2D} }
+
+// runAlg dispatches one algorithm configuration.
+func runAlg(alg string, a core.Matrix, p int, opts core.Options) (*core.Result, error) {
+	switch alg {
+	case AlgNaive:
+		return core.RunNaive(a, p, opts)
+	case AlgHPC1D:
+		return core.RunHPC(a, grid.New(p, 1), opts)
+	case AlgHPC2D:
+		m, n := a.Dims()
+		return core.RunHPC(a, grid.Choose(m, n, p), opts)
+	default:
+		return nil, fmt.Errorf("experiments: unknown algorithm %q", alg)
+	}
+}
+
+// Row is one measured configuration: a point in one of the paper's
+// figures.
+type Row struct {
+	Dataset   string
+	Alg       string
+	K, P      int
+	Breakdown *perf.Breakdown
+}
+
+// ModeledSeconds is the per-iteration modeled total.
+func (r Row) ModeledSeconds() float64 { return r.Breakdown.ModeledTotal() }
+
+// MeasuredSeconds is the per-iteration measured total.
+func (r Row) MeasuredSeconds() float64 { return r.Breakdown.MeasuredTotal() }
+
+// sweep runs one dataset across the given (alg, k, p) combinations.
+func sweep(dsName string, cfg Config, points []struct {
+	alg  string
+	k, p int
+}) ([]Row, error) {
+	ds, err := datasets.ByName(dsName, datasets.Scale(cfg.Scale), cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	var rows []Row
+	for _, pt := range points {
+		opts := core.Options{K: pt.k, MaxIter: cfg.Iters, Seed: cfg.Seed}
+		res, err := runAlg(pt.alg, ds.Matrix, pt.p, opts)
+		if err != nil {
+			return nil, fmt.Errorf("%s %s k=%d p=%d: %w", dsName, pt.alg, pt.k, pt.p, err)
+		}
+		rows = append(rows, Row{Dataset: ds.Name, Alg: pt.alg, K: pt.k, P: pt.p, Breakdown: res.Breakdown})
+	}
+	return rows, nil
+}
+
+// Comparison reproduces the left column of Figure 3: fixed p, rank
+// sweep, all three algorithms.
+func Comparison(dsName string, cfg Config) ([]Row, error) {
+	cfg = cfg.withDefaults()
+	var points []struct {
+		alg  string
+		k, p int
+	}
+	for _, alg := range Algorithms() {
+		for _, k := range cfg.Ks {
+			points = append(points, struct {
+				alg  string
+				k, p int
+			}{alg, k, cfg.FixedP})
+		}
+	}
+	return sweep(dsName, cfg, points)
+}
+
+// Scaling reproduces the right column of Figure 3: fixed rank,
+// processor sweep, all three algorithms (strong scaling).
+func Scaling(dsName string, cfg Config) ([]Row, error) {
+	cfg = cfg.withDefaults()
+	var points []struct {
+		alg  string
+		k, p int
+	}
+	for _, alg := range Algorithms() {
+		for _, p := range cfg.Ps {
+			points = append(points, struct {
+				alg  string
+				k, p int
+			}{alg, cfg.FixedK, p})
+		}
+	}
+	return sweep(dsName, cfg, points)
+}
+
+// Table3 reproduces the per-iteration running-time table: k fixed,
+// all datasets × algorithms × processor counts.
+func Table3(cfg Config) ([]Row, error) {
+	cfg = cfg.withDefaults()
+	var rows []Row
+	for _, ds := range datasets.Names() {
+		r, err := Scaling(ds, cfg)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, r...)
+	}
+	return rows, nil
+}
+
+// figures maps experiment ids to their dataset and kind.
+var figures = map[string]struct {
+	dataset string
+	scaling bool
+	caption string
+}{
+	"fig3a": {"ssyn", false, "Sparse Synthetic (SSYN) Comparison"},
+	"fig3b": {"ssyn", true, "Sparse Synthetic (SSYN) Scaling"},
+	"fig3c": {"dsyn", false, "Dense Synthetic (DSYN) Comparison"},
+	"fig3d": {"dsyn", true, "Dense Synthetic (DSYN) Scaling"},
+	"fig3e": {"webbase", false, "Webbase Comparison"},
+	"fig3f": {"webbase", true, "Webbase Scaling"},
+	"fig3g": {"video", false, "Video Comparison"},
+	"fig3h": {"video", true, "Video Scaling"},
+}
+
+// Names lists every experiment id in presentation order.
+func Names() []string {
+	ids := make([]string, 0, len(figures)+4)
+	for id := range figures {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return append(ids, "table2", "table3", "hadoopqual", "partition", "weakscaling", "largep", "solvers")
+}
+
+// Run executes one experiment by id and writes its report to w.
+func Run(id string, cfg Config, w io.Writer) error {
+	cfg = cfg.withDefaults()
+	if fig, ok := figures[id]; ok {
+		var rows []Row
+		var err error
+		if fig.scaling {
+			rows, err = Scaling(fig.dataset, cfg)
+		} else {
+			rows, err = Comparison(fig.dataset, cfg)
+		}
+		if err != nil {
+			return err
+		}
+		if cfg.View == "csv" {
+			WriteCSV(w, rows)
+			return nil
+		}
+		fmt.Fprintf(w, "== %s: %s ==\n", id, fig.caption)
+		writeRows(w, rows, cfg.View, fig.scaling)
+		return nil
+	}
+	switch id {
+	case "table2":
+		return runTable2(cfg, w)
+	case "table3":
+		rows, err := Table3(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "== table3: Per-iteration running times (k=%d, modeled seconds) ==\n", cfg.FixedK)
+		writeTable3(w, rows, cfg)
+		return nil
+	case "hadoopqual":
+		return runHadoopQual(cfg, w)
+	case "partition":
+		return runPartition(cfg, w)
+	case "weakscaling":
+		return runWeakScaling(cfg, w)
+	case "largep":
+		return runLargeP(cfg, w)
+	case "solvers":
+		return runSolvers(cfg, w)
+	default:
+		return fmt.Errorf("experiments: unknown experiment %q (known: %s)", id, strings.Join(Names(), ", "))
+	}
+}
+
+// WriteCSV emits rows in a plotting-friendly CSV layout: one line per
+// (dataset, algorithm, k, p) with both modeled and measured per-task
+// seconds plus traffic counts.
+func WriteCSV(w io.Writer, rows []Row) {
+	cols := []perf.Task{perf.TaskNLS, perf.TaskMM, perf.TaskGram, perf.TaskAllGather, perf.TaskReduceScatter, perf.TaskAllReduce}
+	fmt.Fprint(w, "dataset,algorithm,k,p")
+	for _, c := range cols {
+		fmt.Fprintf(w, ",modeled_%s", c)
+	}
+	fmt.Fprint(w, ",modeled_total,measured_total,msgs,words,flops\n")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s,%s,%d,%d", r.Dataset, r.Alg, r.K, r.P)
+		for _, c := range cols {
+			fmt.Fprintf(w, ",%.9g", r.Breakdown.ModeledSeconds[c])
+		}
+		var msgs, words, flops int64
+		for _, c := range cols {
+			msgs += r.Breakdown.Msgs[c]
+			words += r.Breakdown.Words[c]
+			flops += r.Breakdown.Flops[c]
+		}
+		fmt.Fprintf(w, ",%.9g,%.9g,%d,%d,%d\n",
+			r.Breakdown.ModeledTotal(), r.Breakdown.MeasuredTotal(), msgs, words, flops)
+	}
+}
+
+// writeRows prints one figure's data: a line per (algorithm, x) with
+// the per-task stacked breakdown, matching Figure 3's legend.
+func writeRows(w io.Writer, rows []Row, view string, scaling bool) {
+	xLabel := "k"
+	if scaling {
+		xLabel = "p"
+	}
+	cols := []perf.Task{perf.TaskNLS, perf.TaskMM, perf.TaskGram, perf.TaskAllGather, perf.TaskReduceScatter, perf.TaskAllReduce}
+	fmt.Fprintf(w, "%-12s %4s", "algorithm", xLabel)
+	for _, c := range cols {
+		fmt.Fprintf(w, " %10s", c)
+	}
+	fmt.Fprintf(w, " %10s", "total")
+	if view == "both" {
+		fmt.Fprintf(w, " %12s", "measured")
+	}
+	fmt.Fprintln(w)
+	for _, r := range rows {
+		x := r.K
+		if scaling {
+			x = r.P
+		}
+		fmt.Fprintf(w, "%-12s %4d", r.Alg, x)
+		sel := r.Breakdown.ModeledSeconds
+		if view == "measured" {
+			sel = r.Breakdown.MeasuredSeconds
+		}
+		total := 0.0
+		for _, c := range cols {
+			fmt.Fprintf(w, " %10.6f", sel[c])
+			total += sel[c]
+		}
+		fmt.Fprintf(w, " %10.6f", total)
+		if view == "both" {
+			fmt.Fprintf(w, " %12.6f", r.Breakdown.MeasuredTotal())
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// writeTable3 prints the Table 3 layout: one row per processor count,
+// one column per (algorithm, dataset).
+func writeTable3(w io.Writer, rows []Row, cfg Config) {
+	type key struct {
+		alg string
+		ds  string
+		p   int
+	}
+	vals := map[key]float64{}
+	for _, r := range rows {
+		vals[key{r.Alg, r.Dataset, r.P}] = r.ModeledSeconds()
+	}
+	dsOrder := []string{"DSYN", "SSYN", "Video", "Webbase"}
+	short := map[string]string{AlgNaive: "Naive", AlgHPC1D: "HPC1D", AlgHPC2D: "HPC2D"}
+	fmt.Fprintf(w, "%6s", "cores")
+	for _, alg := range Algorithms() {
+		for _, ds := range dsOrder {
+			fmt.Fprintf(w, " %14s", short[alg]+"/"+ds)
+		}
+	}
+	fmt.Fprintln(w)
+	for _, p := range cfg.Ps {
+		fmt.Fprintf(w, "%6d", p)
+		for _, alg := range Algorithms() {
+			for _, ds := range dsOrder {
+				if v, ok := vals[key{alg, ds, p}]; ok {
+					fmt.Fprintf(w, " %14.6f", v)
+				} else {
+					fmt.Fprintf(w, " %14s", "-")
+				}
+			}
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// runTable2 prints the analytical Table 2 for the configured problem
+// and verifies the implementation's counted traffic against the exact
+// model on a divisible instance.
+func runTable2(cfg Config, w io.Writer) error {
+	m, n := 1024, 768
+	k, p := 16, cfg.FixedP
+	fmt.Fprintf(w, "== table2: Algorithmic costs (m=%d n=%d k=%d p=%d) ==\n", m, n, k, p)
+	fmt.Fprintln(w, "Paper's asymptotic expressions (dense case):")
+	fmt.Fprint(w, costmodel.FormatTable2(costmodel.Table2(m, n, k, p)))
+
+	g := grid.Choose(m, n, p)
+	hpc := costmodel.HPCExact(m, n, k, g, int64(m*n/p))
+	naive := costmodel.NaiveExact(m, n, k, p, int64(2*m*n/p))
+	fmt.Fprintf(w, "\nExact per-iteration critical-path counts from this runtime's collectives (grid %dx%d):\n", g.PR, g.PC)
+	fmt.Fprintf(w, "%-10s %12s %10s %14s %14s\n", "algorithm", "words", "msgs", "flops(MM)", "flops(Gram)")
+	fmt.Fprintf(w, "%-10s %12d %10d %14d %14d\n", "Naive", naive.TotalWords(), naive.TotalMsgs(), naive.FlopsMM, naive.FlopsGram)
+	fmt.Fprintf(w, "%-10s %12d %10d %14d %14d\n", "HPC-NMF", hpc.TotalWords(), hpc.TotalMsgs(), hpc.FlopsMM, hpc.FlopsGram)
+
+	// Verify against an actual run.
+	a := core.WrapDense(datasets.DSYN(m, n, cfg.Seed))
+	opts := core.Options{K: k, MaxIter: 2, Seed: cfg.Seed}
+	res, err := core.RunHPC(a, g, opts)
+	if err != nil {
+		return err
+	}
+	gotWords := res.Breakdown.Words[perf.TaskAllGather] +
+		res.Breakdown.Words[perf.TaskReduceScatter] +
+		res.Breakdown.Words[perf.TaskAllReduce]
+	fmt.Fprintf(w, "\nMeasured HPC-NMF words/iteration: %d (model %d) — %s\n",
+		gotWords, hpc.TotalWords(), matchLabel(gotWords == hpc.TotalWords()))
+	nres, err := core.RunNaive(a, p, opts)
+	if err != nil {
+		return err
+	}
+	gotN := nres.Breakdown.Words[perf.TaskAllGather]
+	fmt.Fprintf(w, "Measured Naive words/iteration:   %d (model %d) — %s\n",
+		gotN, naive.TotalWords(), matchLabel(gotN == naive.TotalWords()))
+	return nil
+}
+
+// runPartition reproduces the §7 future-work analysis: the even 2D
+// distribution does not load balance the nonzeros of a skewed sparse
+// matrix (the Webbase case), which imbalances MM; random row/column
+// permutations spread the mass. The experiment reports the block-nnz
+// imbalance before/after, and the measured max-rank MM flops of an
+// actual HPC-NMF iteration on both layouts.
+func runPartition(cfg Config, w io.Writer) error {
+	ds, err := datasets.ByName("webbase", datasets.Scale(cfg.Scale), cfg.Seed)
+	if err != nil {
+		return err
+	}
+	a, ok := core.UnwrapSparse(ds.Matrix)
+	if !ok {
+		return fmt.Errorf("experiments: webbase dataset is not sparse")
+	}
+	p := cfg.FixedP
+	g := grid.Choose(a.Rows, a.Cols, p)
+	rep := partition.Analyze(a, g, cfg.Seed)
+	fmt.Fprintf(w, "== partition: nonzero load balance on Webbase (%dx%d, nnz=%d) ==\n",
+		a.Rows, a.Cols, a.NNZ())
+	fmt.Fprintf(w, "%s\n", rep)
+
+	balanced, _, _ := partition.Balance(a, cfg.Seed)
+	opts := core.Options{K: cfg.FixedK, MaxIter: cfg.Iters, Seed: cfg.Seed}
+	before, err := core.RunHPC(core.WrapSparse(a), g, opts)
+	if err != nil {
+		return err
+	}
+	after, err := core.RunHPC(core.WrapSparse(balanced), g, opts)
+	if err != nil {
+		return err
+	}
+	meanMM := 4 * int64(a.NNZ()) / int64(p) * int64(cfg.FixedK)
+	fmt.Fprintf(w, "max-rank MM flops/iter:  original %d, permuted %d (perfect balance %d)\n",
+		before.Breakdown.Flops[perf.TaskMM], after.Breakdown.Flops[perf.TaskMM], meanMM)
+	fmt.Fprintf(w, "max-rank MM time/iter:   original %.4fs, permuted %.4fs (modeled)\n",
+		before.Breakdown.ModeledSeconds[perf.TaskMM], after.Breakdown.ModeledSeconds[perf.TaskMM])
+	return nil
+}
+
+// runWeakScaling grows the problem with the machine (m, n ∝ √p so
+// the per-rank data volume is constant) — the complement to the
+// paper's strong-scaling study. Under the Table 2 model, HPC-NMF's
+// per-rank time should stay nearly flat while Naive's grows with the
+// (m+n)k²-and-(m+n)k redundant terms.
+func runWeakScaling(cfg Config, w io.Writer) error {
+	fmt.Fprintf(w, "== weakscaling: per-rank data fixed, k=%d (modeled s/iter) ==\n", cfg.FixedK)
+	fmt.Fprintf(w, "%6s %10s %10s %8s %12s %12s\n", "p", "m", "n", "grid", "Naive", "HPC-NMF-2D")
+	for _, p := range cfg.Ps {
+		// √p scaling keeps m·n/p constant.
+		scale := math.Sqrt(float64(p) / float64(cfg.Ps[0]))
+		m := int(float64(432)*scale) / p * p // divisible for clean splits
+		n := int(float64(288)*scale) / p * p
+		if m < p || n < p {
+			m, n = p, p
+		}
+		a := core.WrapDense(datasets.DSYN(m, n, cfg.Seed))
+		opts := core.Options{K: cfg.FixedK, MaxIter: cfg.Iters, Seed: cfg.Seed}
+		naive, err := core.RunNaive(a, p, opts)
+		if err != nil {
+			return err
+		}
+		g := grid.Choose(m, n, p)
+		hpc, err := core.RunHPC(a, g, opts)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%6d %10d %10d %7s %12.6f %12.6f\n",
+			p, m, n, fmt.Sprintf("%dx%d", g.PR, g.PC),
+			naive.Breakdown.ModeledTotal(), hpc.Breakdown.ModeledTotal())
+	}
+	return nil
+}
+
+// runLargeP realizes the paper's §7 wish: "we would like to expand
+// our benchmarks to larger numbers of nodes on the same size datasets
+// to study performance behavior when communication costs completely
+// dominate the running time." Fixed-size SSYN, p up to 1024.
+func runLargeP(cfg Config, w io.Writer) error {
+	ds, err := datasets.ByName("ssyn", datasets.Scale(cfg.Scale), cfg.Seed)
+	if err != nil {
+		return err
+	}
+	m, n := ds.Matrix.Dims()
+	fmt.Fprintf(w, "== largep: strong scaling into the communication-dominated regime (SSYN %dx%d, k=%d) ==\n", m, n, cfg.FixedK)
+	fmt.Fprintf(w, "%6s %8s %12s %12s %12s %10s\n", "p", "grid", "compute(s)", "comm(s)", "total(s)", "comm-share")
+	for _, p := range []int{16, 64, 256, 1024} {
+		if m < p || n < p {
+			break
+		}
+		g := grid.Choose(m, n, p)
+		opts := core.Options{K: cfg.FixedK, MaxIter: cfg.Iters, Seed: cfg.Seed}
+		res, err := core.RunHPC(ds.Matrix, g, opts)
+		if err != nil {
+			return err
+		}
+		b := res.Breakdown
+		compute := b.ModeledSeconds[perf.TaskNLS] + b.ModeledSeconds[perf.TaskMM] + b.ModeledSeconds[perf.TaskGram]
+		comm := b.ModeledSeconds[perf.TaskAllGather] + b.ModeledSeconds[perf.TaskReduceScatter] + b.ModeledSeconds[perf.TaskAllReduce]
+		total := compute + comm
+		share := 0.0
+		if total > 0 {
+			share = comm / total
+		}
+		fmt.Fprintf(w, "%6d %7s %12.6f %12.6f %12.6f %9.0f%%\n",
+			p, fmt.Sprintf("%dx%d", g.PR, g.PC), compute, comm, total, 100*share)
+	}
+	return nil
+}
+
+// runSolvers addresses the question §7 leaves open: "Because most of
+// the time per iteration of HPC-NMF is spent on local NLS, we believe
+// further empirical exploration is necessary to confirm the
+// advantages of BPP in the parallel case." For each local solver it
+// reports the per-iteration cost, the error trajectory, and —
+// the metric that decides the trade — the total modeled time to reach
+// within 2% of the best final error any solver achieves.
+func runSolvers(cfg Config, w io.Writer) error {
+	ds, err := datasets.ByName("dsyn", datasets.Scale(cfg.Scale), cfg.Seed)
+	if err != nil {
+		return err
+	}
+	m, n := ds.Matrix.Dims()
+	const iters = 20
+	k, p := cfg.FixedK, cfg.FixedP
+	fmt.Fprintf(w, "== solvers: local NLS methods within parallel ANLS (DSYN %dx%d, k=%d, p=%d, %d iters) ==\n", m, n, k, p, iters)
+
+	type runRec struct {
+		kind   core.SolverKind
+		relErr []float64
+		perIt  float64
+	}
+	kinds := []core.SolverKind{core.SolverBPP, core.SolverActiveSet, core.SolverHALS, core.SolverMU, core.SolverPGD}
+	var recs []runRec
+	bestFinal := math.Inf(1)
+	for _, kind := range kinds {
+		opts := core.Options{K: k, MaxIter: iters, Seed: cfg.Seed, Solver: kind, Sweeps: 2, ComputeError: true}
+		res, err := core.RunParallelAuto(ds.Matrix, p, opts)
+		if err != nil {
+			// A solver hitting its budget is itself a finding worth
+			// reporting, not a reason to abort the comparison.
+			fmt.Fprintf(w, "%-10s failed: %v\n", kind, err)
+			continue
+		}
+		rec := runRec{kind: kind, relErr: res.RelErr, perIt: res.Breakdown.ModeledTotal()}
+		recs = append(recs, rec)
+		if f := rec.relErr[len(rec.relErr)-1]; f < bestFinal {
+			bestFinal = f
+		}
+	}
+	target := bestFinal * 1.02
+	fmt.Fprintf(w, "%-10s %14s %12s %12s %16s\n", "solver", "modeled-s/iter", "final-err", "iters@tgt", "time-to-target")
+	for _, r := range recs {
+		itersToTarget := -1
+		for i, e := range r.relErr {
+			if e <= target {
+				itersToTarget = i + 1
+				break
+			}
+		}
+		itStr, timeStr := "-", "-"
+		if itersToTarget > 0 {
+			itStr = fmt.Sprintf("%d", itersToTarget)
+			timeStr = fmt.Sprintf("%.6f", float64(itersToTarget)*r.perIt)
+		}
+		fmt.Fprintf(w, "%-10s %14.6f %12.6f %12s %16s\n",
+			r.kind, r.perIt, r.relErr[len(r.relErr)-1], itStr, timeStr)
+	}
+	fmt.Fprintf(w, "(target = best final error × 1.02 = %.6f; '-' = never reached)\n", target)
+	return nil
+}
+
+func matchLabel(ok bool) string {
+	if ok {
+		return "EXACT MATCH"
+	}
+	return "MISMATCH"
+}
+
+// runHadoopQual reproduces the §6.2 qualitative comparison: a single
+// MU iteration on a large sparse matrix, to contrast with the cited
+// ~50 min/iteration Hadoop figure (the paper's own run took ~1 s on
+// 24 nodes at 10× this scale in every dimension).
+func runHadoopQual(cfg Config, w io.Writer) error {
+	m, n := 1<<14, 1<<13
+	nnzTarget := 2e8 / 100 // paper's 2·10⁸ nonzeros, scaled like the dims
+	density := nnzTarget / float64(m) / float64(n)
+	k, p := 8, 16
+	a := core.WrapSparse(datasets.SSYN(m, n, density, cfg.Seed))
+	opts := core.Options{K: k, MaxIter: cfg.Iters, Seed: cfg.Seed, Solver: core.SolverMU}
+	res, err := core.RunParallelAuto(a, p, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "== hadoopqual: MU on sparse %dx%d (nnz=%d, k=%d, p=%d) ==\n", m, n, a.NNZ(), k, p)
+	fmt.Fprintf(w, "per-iteration modeled time:  %.4f s\n", res.Breakdown.ModeledTotal())
+	fmt.Fprintf(w, "per-iteration measured time: %.4f s\n", res.Breakdown.MeasuredTotal())
+	fmt.Fprintf(w, "(paper: Hadoop MU took ~50 min/iteration at 100x this nnz; the\n")
+	fmt.Fprintf(w, " in-memory MPI-style implementation stays in the seconds range.)\n")
+	return nil
+}

@@ -1,0 +1,142 @@
+package grid
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRankCoordsRoundTrip(t *testing.T) {
+	g := New(3, 4)
+	for r := 0; r < g.Size(); r++ {
+		i, j := g.Coords(r)
+		if g.Rank(i, j) != r {
+			t.Fatalf("rank %d -> (%d,%d) -> %d", r, i, j, g.Rank(i, j))
+		}
+	}
+}
+
+func TestRowColMembers(t *testing.T) {
+	g := New(2, 3)
+	row1 := g.RowMembers(1)
+	if len(row1) != 3 || row1[0] != 3 || row1[2] != 5 {
+		t.Fatalf("RowMembers(1) = %v", row1)
+	}
+	col2 := g.ColMembers(2)
+	if len(col2) != 2 || col2[0] != 2 || col2[1] != 5 {
+		t.Fatalf("ColMembers(2) = %v", col2)
+	}
+	// Row and column through a rank intersect exactly at that rank.
+	i, j := g.Coords(4)
+	seen := map[int]int{}
+	for _, r := range g.RowMembers(i) {
+		seen[r]++
+	}
+	for _, r := range g.ColMembers(j) {
+		seen[r]++
+	}
+	if seen[4] != 2 {
+		t.Fatal("rank 4 not at intersection of its row and column")
+	}
+}
+
+func TestGridPanics(t *testing.T) {
+	g := New(2, 2)
+	for _, fn := range []func(){
+		func() { New(0, 3) },
+		func() { g.Rank(2, 0) },
+		func() { g.Coords(4) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("invalid grid use did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestBlockCountsProperties(t *testing.T) {
+	f := func(nRaw, pRaw uint8) bool {
+		n := int(nRaw)
+		p := int(pRaw)%16 + 1
+		counts := BlockCounts(n, p)
+		sum := 0
+		for i, c := range counts {
+			sum += c
+			if c != BlockSize(n, p, i) {
+				return false
+			}
+			// Sizes differ by at most one and are non-increasing.
+			if c < n/p || c > n/p+1 {
+				return false
+			}
+		}
+		return sum == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBlockOffsetsContiguous(t *testing.T) {
+	for _, tc := range []struct{ n, p int }{{10, 3}, {7, 7}, {5, 8}, {0, 4}, {100, 1}} {
+		at := 0
+		for i := 0; i < tc.p; i++ {
+			lo, hi := BlockRange(tc.n, tc.p, i)
+			if lo != at {
+				t.Fatalf("n=%d p=%d: block %d starts at %d, want %d", tc.n, tc.p, i, lo, at)
+			}
+			at = hi
+		}
+		if at != tc.n {
+			t.Fatalf("n=%d p=%d: blocks cover %d items", tc.n, tc.p, at)
+		}
+	}
+}
+
+func TestScaleCounts(t *testing.T) {
+	got := ScaleCounts([]int{2, 3, 0}, 5)
+	if got[0] != 10 || got[1] != 15 || got[2] != 0 {
+		t.Fatalf("ScaleCounts = %v", got)
+	}
+}
+
+func TestChooseTallSkinny(t *testing.T) {
+	// m/p > n: the paper mandates a 1D grid (pr = p, pc = 1).
+	g := Choose(1_000_000, 100, 16)
+	if g.PR != 16 || g.PC != 1 {
+		t.Fatalf("tall-skinny Choose = %dx%d, want 16x1", g.PR, g.PC)
+	}
+}
+
+func TestChooseSquare(t *testing.T) {
+	// Square matrix, square processor count: expect a square grid.
+	g := Choose(10000, 10000, 16)
+	if g.PR != 4 || g.PC != 4 {
+		t.Fatalf("square Choose = %dx%d, want 4x4", g.PR, g.PC)
+	}
+}
+
+func TestChooseAspectMatching(t *testing.T) {
+	// m:n = 4:1 with p=16 — the minimizer should give m/pr ≈ n/pc,
+	// i.e. pr:pc ≈ 8:2.
+	g := Choose(4000, 1000, 16)
+	if g.PR != 8 || g.PC != 2 {
+		t.Fatalf("Choose = %dx%d, want 8x2", g.PR, g.PC)
+	}
+}
+
+func TestChooseAlwaysValid(t *testing.T) {
+	f := func(mRaw, nRaw uint16, pRaw uint8) bool {
+		m := int(mRaw) + 1
+		n := int(nRaw) + 1
+		p := int(pRaw)%64 + 1
+		g := Choose(m, n, p)
+		return g.PR*g.PC == p && g.PR >= 1 && g.PC >= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,128 @@
+package mat
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrNotPositiveDefinite is returned by Cholesky when the input matrix
+// is not numerically positive definite.
+var ErrNotPositiveDefinite = errors.New("mat: matrix is not positive definite")
+
+// Cholesky computes the lower-triangular factor L with G = L·Lᵀ for a
+// symmetric positive definite matrix G. Only the lower triangle of G
+// is read. Cost: k³/3 flops.
+func Cholesky(g *Dense) (*Dense, error) {
+	if g.Rows != g.Cols {
+		panic(fmt.Sprintf("mat: Cholesky of non-square %dx%d", g.Rows, g.Cols))
+	}
+	k := g.Rows
+	l := NewDense(k, k)
+	for j := 0; j < k; j++ {
+		d := g.At(j, j)
+		lrowj := l.Row(j)
+		for t := 0; t < j; t++ {
+			d -= lrowj[t] * lrowj[t]
+		}
+		if d <= 0 || math.IsNaN(d) {
+			return nil, ErrNotPositiveDefinite
+		}
+		dj := math.Sqrt(d)
+		lrowj[j] = dj
+		inv := 1 / dj
+		for i := j + 1; i < k; i++ {
+			s := g.At(i, j)
+			lrowi := l.Row(i)
+			for t := 0; t < j; t++ {
+				s -= lrowi[t] * lrowj[t]
+			}
+			lrowi[j] = s * inv
+		}
+	}
+	return l, nil
+}
+
+// CholSolve solves G·X = B given the Cholesky factor L of G, for a
+// k×r right-hand side B. It overwrites nothing; the solution is a new
+// matrix. Cost: 2·k²·r flops.
+func CholSolve(l *Dense, b *Dense) *Dense {
+	k := l.Rows
+	if b.Rows != k {
+		panic(fmt.Sprintf("mat: CholSolve RHS rows %d != %d", b.Rows, k))
+	}
+	x := b.Clone()
+	r := b.Cols
+	// Forward substitution: L·Y = B.
+	for i := 0; i < k; i++ {
+		lrow := l.Row(i)
+		xrow := x.Row(i)
+		for t := 0; t < i; t++ {
+			if lrow[t] == 0 {
+				continue
+			}
+			xt := x.Data[t*r : (t+1)*r]
+			c := lrow[t]
+			for j := range xrow {
+				xrow[j] -= c * xt[j]
+			}
+		}
+		inv := 1 / lrow[i]
+		for j := range xrow {
+			xrow[j] *= inv
+		}
+	}
+	// Back substitution: Lᵀ·X = Y.
+	for i := k - 1; i >= 0; i-- {
+		xrow := x.Row(i)
+		for t := i + 1; t < k; t++ {
+			c := l.At(t, i)
+			if c == 0 {
+				continue
+			}
+			xt := x.Data[t*r : (t+1)*r]
+			for j := range xrow {
+				xrow[j] -= c * xt[j]
+			}
+		}
+		inv := 1 / l.At(i, i)
+		for j := range xrow {
+			xrow[j] *= inv
+		}
+	}
+	return x
+}
+
+// SolveSPD solves G·X = B for symmetric positive definite G. If G is
+// numerically singular it retries with progressively larger diagonal
+// regularization (G + εI), which is the standard safeguard for the
+// rank-deficient Gram matrices that can arise mid-iteration in NMF
+// when a factor column collapses to zero.
+func SolveSPD(g, b *Dense) (*Dense, error) {
+	l, err := Cholesky(g)
+	if err == nil {
+		return CholSolve(l, b), nil
+	}
+	// Scale the jitter to the matrix magnitude.
+	maxDiag := 0.0
+	for i := 0; i < g.Rows; i++ {
+		if d := math.Abs(g.At(i, i)); d > maxDiag {
+			maxDiag = d
+		}
+	}
+	if maxDiag == 0 {
+		maxDiag = 1
+	}
+	eps := 1e-12 * maxDiag
+	for try := 0; try < 8; try++ {
+		gj := g.Clone()
+		for i := 0; i < gj.Rows; i++ {
+			gj.Data[i*gj.Cols+i] += eps
+		}
+		if l, err = Cholesky(gj); err == nil {
+			return CholSolve(l, b), nil
+		}
+		eps *= 100
+	}
+	return nil, ErrNotPositiveDefinite
+}

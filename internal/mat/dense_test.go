@@ -1,0 +1,475 @@
+package mat
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"hpcnmf/internal/rng"
+)
+
+func randomDense(rows, cols int, seed uint64) *Dense {
+	m := NewDense(rows, cols)
+	m.RandomUniform(rng.New(seed))
+	return m
+}
+
+// naiveMul is the O(mnp) reference multiply tests compare against.
+func naiveMul(a, b *Dense) *Dense {
+	c := NewDense(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < b.Cols; j++ {
+			s := 0.0
+			for l := 0; l < a.Cols; l++ {
+				s += a.At(i, l) * b.At(l, j)
+			}
+			c.Set(i, j, s)
+		}
+	}
+	return c
+}
+
+func TestAtSetRoundTrip(t *testing.T) {
+	m := NewDense(3, 4)
+	m.Set(1, 2, 7.5)
+	if m.At(1, 2) != 7.5 {
+		t.Fatalf("At(1,2) = %v after Set", m.At(1, 2))
+	}
+	if m.At(2, 1) != 0 {
+		t.Fatal("unrelated entry modified")
+	}
+}
+
+func TestFromRows(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	if m.Rows != 3 || m.Cols != 2 || m.At(2, 1) != 6 {
+		t.Fatalf("FromRows produced %v", m)
+	}
+}
+
+func TestFromRowsRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ragged FromRows did not panic")
+		}
+	}()
+	FromRows([][]float64{{1, 2}, {3}})
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	a := randomDense(4, 5, 1)
+	b := a.Clone()
+	b.Set(0, 0, 99)
+	if a.At(0, 0) == 99 {
+		t.Fatal("Clone shares storage with original")
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	a := randomDense(5, 3, 2)
+	at := a.T()
+	if at.Rows != 3 || at.Cols != 5 {
+		t.Fatalf("T shape %dx%d", at.Rows, at.Cols)
+	}
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < a.Cols; j++ {
+			if a.At(i, j) != at.At(j, i) {
+				t.Fatalf("T mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+	if !a.T().T().Equal(a, 0) {
+		t.Fatal("double transpose is not identity")
+	}
+}
+
+func TestSubmatrixAndStack(t *testing.T) {
+	a := randomDense(6, 4, 3)
+	top := a.SubmatrixRows(0, 2)
+	bottom := a.SubmatrixRows(2, 6)
+	if !StackRows(top, bottom).Equal(a, 0) {
+		t.Fatal("StackRows(SubmatrixRows...) != original")
+	}
+	left := a.SubmatrixCols(0, 1)
+	right := a.SubmatrixCols(1, 4)
+	if !StackCols(left, right).Equal(a, 0) {
+		t.Fatal("StackCols(SubmatrixCols...) != original")
+	}
+	blk := a.Submatrix(1, 3, 2, 4)
+	if blk.Rows != 2 || blk.Cols != 2 || blk.At(0, 0) != a.At(1, 2) {
+		t.Fatal("Submatrix block wrong")
+	}
+	b := NewDense(6, 4)
+	b.SetSubmatrix(1, 2, blk)
+	if b.At(2, 3) != a.At(2, 3) {
+		t.Fatal("SetSubmatrix did not place block")
+	}
+}
+
+func TestSubmatrixPanics(t *testing.T) {
+	a := NewDense(3, 3)
+	for _, fn := range []func(){
+		func() { a.SubmatrixRows(-1, 2) },
+		func() { a.SubmatrixRows(2, 4) },
+		func() { a.SubmatrixCols(0, 5) },
+		func() { a.Submatrix(0, 1, 2, 5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("out-of-range submatrix did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	a := randomDense(3, 3, 4)
+	b := randomDense(3, 3, 5)
+	sum := a.Clone()
+	sum.Add(b)
+	diff := sum.Clone()
+	diff.Sub(b)
+	if diff.MaxDiff(a) > 1e-15 {
+		t.Fatal("Add then Sub is not identity")
+	}
+	s := a.Clone()
+	s.Scale(2)
+	twice := a.Clone()
+	twice.Add(a)
+	if s.MaxDiff(twice) > 1e-15 {
+		t.Fatal("Scale(2) != A+A")
+	}
+}
+
+func TestClampNonneg(t *testing.T) {
+	a := FromRows([][]float64{{-1, 2}, {0, -3}})
+	a.ClampNonneg()
+	if a.Min() < 0 {
+		t.Fatalf("negative entries survive clamp: %v", a)
+	}
+	if a.At(0, 1) != 2 {
+		t.Fatal("clamp changed positive entries")
+	}
+}
+
+func TestNorms(t *testing.T) {
+	a := FromRows([][]float64{{3, 0}, {0, 4}})
+	if got := a.FrobeniusNorm(); math.Abs(got-5) > 1e-14 {
+		t.Fatalf("‖A‖_F = %v, want 5", got)
+	}
+	if got := a.SquaredFrobeniusNorm(); math.Abs(got-25) > 1e-13 {
+		t.Fatalf("‖A‖²_F = %v, want 25", got)
+	}
+}
+
+func TestDotTrace(t *testing.T) {
+	a := randomDense(4, 4, 6)
+	b := randomDense(4, 4, 7)
+	// ⟨A, B⟩ = trace(AᵀB)
+	want := MulAtB(a, b).Trace()
+	if got := Dot(a, b); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Dot = %v, trace(AᵀB) = %v", got, want)
+	}
+}
+
+func TestMinMaxIsFinite(t *testing.T) {
+	a := FromRows([][]float64{{-2, 5}, {1, 0}})
+	if a.Min() != -2 || a.Max() != 5 {
+		t.Fatalf("Min/Max = %v/%v", a.Min(), a.Max())
+	}
+	if !a.IsFinite() {
+		t.Fatal("finite matrix reported non-finite")
+	}
+	a.Set(0, 0, math.NaN())
+	if a.IsFinite() {
+		t.Fatal("NaN not detected")
+	}
+}
+
+func TestMulAgainstNaive(t *testing.T) {
+	for _, dims := range [][3]int{{1, 1, 1}, {3, 4, 5}, {7, 2, 9}, {10, 10, 10}, {1, 8, 3}} {
+		a := randomDense(dims[0], dims[1], uint64(dims[0]*100+dims[1]))
+		b := randomDense(dims[1], dims[2], uint64(dims[2]))
+		got := Mul(a, b)
+		want := naiveMul(a, b)
+		if got.MaxDiff(want) > 1e-12 {
+			t.Fatalf("Mul mismatch for dims %v: max diff %g", dims, got.MaxDiff(want))
+		}
+	}
+}
+
+func TestMulAtBAgainstNaive(t *testing.T) {
+	a := randomDense(9, 4, 11)
+	b := randomDense(9, 6, 12)
+	got := MulAtB(a, b)
+	want := naiveMul(a.T(), b)
+	if got.MaxDiff(want) > 1e-12 {
+		t.Fatalf("MulAtB mismatch: %g", got.MaxDiff(want))
+	}
+}
+
+func TestMulABtAgainstNaive(t *testing.T) {
+	a := randomDense(5, 7, 13)
+	b := randomDense(8, 7, 14)
+	got := MulABt(a, b)
+	want := naiveMul(a, b.T())
+	if got.MaxDiff(want) > 1e-12 {
+		t.Fatalf("MulABt mismatch: %g", got.MaxDiff(want))
+	}
+}
+
+func TestMulAddToAccumulates(t *testing.T) {
+	a := randomDense(3, 4, 15)
+	b := randomDense(4, 2, 16)
+	c := randomDense(3, 2, 17)
+	orig := c.Clone()
+	MulAddTo(c, a, b)
+	c.Sub(naiveMul(a, b))
+	if c.MaxDiff(orig) > 1e-12 {
+		t.Fatal("MulAddTo did not accumulate")
+	}
+}
+
+func TestMulDimensionPanics(t *testing.T) {
+	a := NewDense(2, 3)
+	b := NewDense(4, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("dimension mismatch did not panic")
+		}
+	}()
+	Mul(a, b)
+}
+
+func TestGramAgainstNaive(t *testing.T) {
+	a := randomDense(10, 5, 18)
+	got := Gram(a)
+	want := naiveMul(a.T(), a)
+	if got.MaxDiff(want) > 1e-12 {
+		t.Fatalf("Gram mismatch: %g", got.MaxDiff(want))
+	}
+}
+
+func TestGramTAgainstNaive(t *testing.T) {
+	a := randomDense(4, 12, 19)
+	got := GramT(a)
+	want := naiveMul(a, a.T())
+	if got.MaxDiff(want) > 1e-12 {
+		t.Fatalf("GramT mismatch: %g", got.MaxDiff(want))
+	}
+}
+
+func TestGramSymmetryProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		a := randomDense(6, 4, seed)
+		g := Gram(a)
+		for i := 0; i < g.Rows; i++ {
+			for j := 0; j < g.Cols; j++ {
+				if g.At(i, j) != g.At(j, i) {
+					return false
+				}
+			}
+			if g.At(i, i) < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInitAddressedLayoutIndependence(t *testing.T) {
+	// A 6x4 matrix generated whole must equal the same matrix
+	// generated as two 3x4 blocks with row offsets.
+	whole := NewDense(6, 4)
+	whole.InitAddressed(99, 0, 0)
+	top := NewDense(3, 4)
+	top.InitAddressed(99, 0, 0)
+	bottom := NewDense(3, 4)
+	bottom.InitAddressed(99, 3, 0)
+	if !StackRows(top, bottom).Equal(whole, 0) {
+		t.Fatal("InitAddressed depends on block layout")
+	}
+}
+
+func TestCholeskySolve(t *testing.T) {
+	// Build an SPD matrix G = MᵀM + I and check G·X = B round-trips.
+	m := randomDense(8, 5, 20)
+	g := Gram(m)
+	for i := 0; i < 5; i++ {
+		g.Set(i, i, g.At(i, i)+1)
+	}
+	b := randomDense(5, 3, 21)
+	l, err := Cholesky(g)
+	if err != nil {
+		t.Fatalf("Cholesky failed on SPD matrix: %v", err)
+	}
+	// L·Lᵀ must reconstruct G.
+	if rec := MulABt(l, l); rec.MaxDiff(g) > 1e-10 {
+		t.Fatalf("L·Lᵀ != G: %g", rec.MaxDiff(g))
+	}
+	x := CholSolve(l, b)
+	if res := Mul(g, x); res.MaxDiff(b) > 1e-9 {
+		t.Fatalf("G·X != B: %g", res.MaxDiff(b))
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	g := FromRows([][]float64{{1, 2}, {2, 1}}) // eigenvalues 3, -1
+	if _, err := Cholesky(g); err == nil {
+		t.Fatal("Cholesky accepted an indefinite matrix")
+	}
+}
+
+func TestSolveSPDRegularizesSingular(t *testing.T) {
+	// Rank-1 Gram: singular but PSD; SolveSPD must still return
+	// something finite satisfying the regularized system.
+	v := FromRows([][]float64{{1, 2, 3}})
+	g := Gram(v) // 3x3 rank 1
+	b := randomDense(3, 2, 22)
+	x, err := SolveSPD(g, b)
+	if err != nil {
+		t.Fatalf("SolveSPD failed on PSD singular matrix: %v", err)
+	}
+	if !x.IsFinite() {
+		t.Fatal("SolveSPD returned non-finite solution")
+	}
+}
+
+func TestSolveSPDPropertyRoundTrip(t *testing.T) {
+	f := func(seed uint64) bool {
+		m := randomDense(10, 4, seed)
+		g := Gram(m)
+		for i := 0; i < 4; i++ {
+			g.Set(i, i, g.At(i, i)+0.5)
+		}
+		b := randomDense(4, 3, seed+1)
+		x, err := SolveSPD(g, b)
+		if err != nil {
+			return false
+		}
+		return Mul(g, x).MaxDiff(b) < 1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFillCopyFromString(t *testing.T) {
+	a := NewDense(2, 3)
+	a.Fill(4.5)
+	if a.At(1, 2) != 4.5 {
+		t.Fatal("Fill wrong")
+	}
+	b := NewDense(2, 3)
+	b.CopyFrom(a)
+	if !b.Equal(a, 0) {
+		t.Fatal("CopyFrom wrong")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("CopyFrom shape mismatch did not panic")
+			}
+		}()
+		NewDense(3, 2).CopyFrom(a)
+	}()
+	if s := a.String(); len(s) == 0 {
+		t.Fatal("String empty")
+	}
+	big := NewDense(50, 50)
+	if s := big.String(); s != "Dense{50x50}" {
+		t.Fatalf("large String = %q", s)
+	}
+}
+
+func TestEqualShapeMismatch(t *testing.T) {
+	if NewDense(2, 2).Equal(NewDense(2, 3), 1) {
+		t.Fatal("different shapes reported equal")
+	}
+}
+
+func TestNewDensePanicsNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative dims did not panic")
+		}
+	}()
+	NewDense(-1, 2)
+}
+
+func TestAddSubPanicOnMismatch(t *testing.T) {
+	a, b := NewDense(2, 2), NewDense(2, 3)
+	for _, fn := range []func(){func() { a.Add(b) }, func() { a.Sub(b) }} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("shape mismatch did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestSymEigenZeroMatrix(t *testing.T) {
+	vals, vecs, err := SymEigen(NewDense(3, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range vals {
+		if v != 0 {
+			t.Fatal("zero matrix has nonzero eigenvalue")
+		}
+	}
+	// Eigenvectors default to identity.
+	if vecs.At(0, 0) != 1 || vecs.At(1, 0) != 0 {
+		t.Fatal("zero-matrix eigenvectors not identity-like")
+	}
+}
+
+func TestSymEigenNonSquare(t *testing.T) {
+	if _, _, err := SymEigen(NewDense(2, 3)); err == nil {
+		t.Fatal("non-square accepted")
+	}
+}
+
+func TestSymEigenDiagonal(t *testing.T) {
+	g := FromRows([][]float64{{5, 0, 0}, {0, 1, 0}, {0, 0, 3}})
+	vals, vecs, err := SymEigen(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals[0] != 5 || vals[1] != 3 || vals[2] != 1 {
+		t.Fatalf("diagonal eigenvalues %v", vals)
+	}
+	// Columns must be signed unit vectors matching the sort order.
+	if math.Abs(math.Abs(vecs.At(0, 0))-1) > 1e-14 {
+		t.Fatal("leading eigenvector wrong")
+	}
+}
+
+func TestOrthonormalizeProducesOrthonormal(t *testing.T) {
+	v := randomDense(12, 4, 77)
+	kept := Orthonormalize(v)
+	if kept != 4 {
+		t.Fatalf("kept %d of 4 independent columns", kept)
+	}
+	g := Gram(v)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if math.Abs(g.At(i, j)-want) > 1e-12 {
+				t.Fatalf("not orthonormal at (%d,%d): %g", i, j, g.At(i, j))
+			}
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// SymEigen computes the full eigendecomposition of a symmetric matrix
+// G = E·diag(λ)·Eᵀ using the cyclic Jacobi method, which is simple,
+// unconditionally stable, and fast for the small k×k matrices this
+// library produces (k ≤ 100). Eigenvalues are returned in descending
+// order with matching eigenvector columns.
+func SymEigen(g *Dense) (eigvals []float64, eigvecs *Dense, err error) {
+	if g.Rows != g.Cols {
+		return nil, nil, fmt.Errorf("mat: SymEigen of non-square %dx%d", g.Rows, g.Cols)
+	}
+	n := g.Rows
+	a := g.Clone()
+	v := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		v.Set(i, i, 1)
+	}
+	// Convergence threshold scaled to the matrix magnitude.
+	norm := a.FrobeniusNorm()
+	if norm == 0 {
+		vals := make([]float64, n)
+		return vals, v, nil
+	}
+	tol := 1e-14 * norm
+	const maxSweeps = 100
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := 0.0
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += a.At(i, j) * a.At(i, j)
+			}
+		}
+		if math.Sqrt(2*off) < tol {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := a.At(p, q)
+				if math.Abs(apq) < tol/float64(n*n) {
+					continue
+				}
+				app, aqq := a.At(p, p), a.At(q, q)
+				// Jacobi rotation annihilating a_pq.
+				theta := (aqq - app) / (2 * apq)
+				t := math.Copysign(1, theta) / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+				// Apply the rotation to A from both sides.
+				for i := 0; i < n; i++ {
+					aip, aiq := a.At(i, p), a.At(i, q)
+					a.Set(i, p, c*aip-s*aiq)
+					a.Set(i, q, s*aip+c*aiq)
+				}
+				for i := 0; i < n; i++ {
+					api, aqi := a.At(p, i), a.At(q, i)
+					a.Set(p, i, c*api-s*aqi)
+					a.Set(q, i, s*api+c*aqi)
+				}
+				// Accumulate eigenvectors.
+				for i := 0; i < n; i++ {
+					vip, viq := v.At(i, p), v.At(i, q)
+					v.Set(i, p, c*vip-s*viq)
+					v.Set(i, q, s*vip+c*viq)
+				}
+			}
+		}
+	}
+	// Extract and sort descending.
+	type pair struct {
+		val float64
+		idx int
+	}
+	pairs := make([]pair, n)
+	for i := 0; i < n; i++ {
+		pairs[i] = pair{val: a.At(i, i), idx: i}
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].val > pairs[j].val })
+	eigvals = make([]float64, n)
+	eigvecs = NewDense(n, n)
+	for c, pr := range pairs {
+		eigvals[c] = pr.val
+		for r := 0; r < n; r++ {
+			eigvecs.Set(r, c, v.At(r, pr.idx))
+		}
+	}
+	return eigvals, eigvecs, nil
+}
+
+// Orthonormalize applies modified Gram–Schmidt to the columns of V in
+// place, returning the number of numerically independent columns kept
+// (dependent columns are zeroed).
+func Orthonormalize(v *Dense) int {
+	n, k := v.Rows, v.Cols
+	kept := 0
+	for j := 0; j < k; j++ {
+		// Subtract projections onto previous columns.
+		for l := 0; l < j; l++ {
+			dot := 0.0
+			for i := 0; i < n; i++ {
+				dot += v.At(i, j) * v.At(i, l)
+			}
+			if dot == 0 {
+				continue
+			}
+			for i := 0; i < n; i++ {
+				v.Set(i, j, v.At(i, j)-dot*v.At(i, l))
+			}
+		}
+		norm := 0.0
+		for i := 0; i < n; i++ {
+			norm += v.At(i, j) * v.At(i, j)
+		}
+		norm = math.Sqrt(norm)
+		if norm < 1e-12 {
+			for i := 0; i < n; i++ {
+				v.Set(i, j, 0)
+			}
+			continue
+		}
+		inv := 1 / norm
+		for i := 0; i < n; i++ {
+			v.Set(i, j, v.At(i, j)*inv)
+		}
+		kept++
+	}
+	return kept
+}

@@ -1,0 +1,45 @@
+package mat
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadMatrixMarketArray hardens the dense array parser.
+func FuzzReadMatrixMarketArray(f *testing.F) {
+	f.Add("%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n4\n")
+	f.Add("%%MatrixMarket matrix array real general\n0 0\n")
+	f.Add("")
+	f.Add("%%MatrixMarket matrix array real general\n1 2\n1\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		a, err := ReadMatrixMarketArray(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if len(a.Data) != a.Rows*a.Cols {
+			t.Fatalf("inconsistent dense matrix from %q", input)
+		}
+	})
+}
+
+// FuzzReadBinary hardens the binary factor reader against corrupt
+// checkpoints.
+func FuzzReadBinary(f *testing.F) {
+	var buf bytes.Buffer
+	m := NewDense(2, 3)
+	m.Set(1, 2, 4.5)
+	_ = m.WriteBinary(&buf)
+	f.Add(buf.Bytes())
+	f.Add([]byte("HPNMFD01"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, input []byte) {
+		a, err := ReadBinary(bytes.NewReader(input))
+		if err != nil {
+			return
+		}
+		if len(a.Data) != a.Rows*a.Cols {
+			t.Fatal("inconsistent matrix accepted")
+		}
+	})
+}

@@ -1,0 +1,135 @@
+package mat
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// binaryMagic identifies the library's dense binary format.
+const binaryMagic = "HPNMFD01"
+
+// WriteBinary writes the matrix in a compact little-endian binary
+// format (magic, rows, cols, row-major float64 data) — the fast path
+// for checkpointing factor matrices between runs.
+func (a *Dense) WriteBinary(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(binaryMagic); err != nil {
+		return err
+	}
+	hdr := [2]int64{int64(a.Rows), int64(a.Cols)}
+	if err := binary.Write(bw, binary.LittleEndian, hdr[:]); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, a.Data); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadBinary parses a matrix written by WriteBinary.
+func ReadBinary(r io.Reader) (*Dense, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(binaryMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("mat: reading magic: %w", err)
+	}
+	if string(magic) != binaryMagic {
+		return nil, fmt.Errorf("mat: bad magic %q", magic)
+	}
+	var hdr [2]int64
+	if err := binary.Read(br, binary.LittleEndian, hdr[:]); err != nil {
+		return nil, fmt.Errorf("mat: reading header: %w", err)
+	}
+	rows, cols := int(hdr[0]), int(hdr[1])
+	if rows < 0 || cols < 0 || (cols != 0 && rows > (1<<40)/cols) {
+		return nil, fmt.Errorf("mat: implausible dims %dx%d", rows, cols)
+	}
+	// Read incrementally so a corrupt header cannot force a huge
+	// allocation before any data has been validated: memory grows
+	// only as actual payload arrives.
+	total := rows * cols
+	data := make([]float64, 0, min(total, 1<<16))
+	chunk := make([]float64, 1<<16)
+	for len(data) < total {
+		n := min(total-len(data), len(chunk))
+		if err := binary.Read(br, binary.LittleEndian, chunk[:n]); err != nil {
+			return nil, fmt.Errorf("mat: reading data at element %d of %d: %w", len(data), total, err)
+		}
+		data = append(data, chunk[:n]...)
+	}
+	return &Dense{Rows: rows, Cols: cols, Data: data}, nil
+}
+
+// WriteMatrixMarket writes the matrix in MatrixMarket array format
+// (column-major, per the specification).
+func (a *Dense) WriteMatrixMarket(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%%%%MatrixMarket matrix array real general\n%d %d\n", a.Rows, a.Cols); err != nil {
+		return err
+	}
+	for j := 0; j < a.Cols; j++ {
+		for i := 0; i < a.Rows; i++ {
+			if _, err := fmt.Fprintf(bw, "%.17g\n", a.At(i, j)); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadMatrixMarketArray parses a MatrixMarket array-format dense
+// matrix.
+func ReadMatrixMarketArray(r io.Reader) (*Dense, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("mat: empty MatrixMarket input")
+	}
+	header := strings.ToLower(sc.Text())
+	if !strings.HasPrefix(header, "%%matrixmarket") || !strings.Contains(header, "array") {
+		return nil, fmt.Errorf("mat: unsupported MatrixMarket header %q", sc.Text())
+	}
+	var rows, cols int
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		if _, err := fmt.Sscan(line, &rows, &cols); err != nil {
+			return nil, fmt.Errorf("mat: bad size line %q: %w", line, err)
+		}
+		break
+	}
+	if rows < 0 || cols < 0 {
+		return nil, fmt.Errorf("mat: negative dims %dx%d", rows, cols)
+	}
+	a := NewDense(rows, cols)
+	idx := 0
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		v, err := strconv.ParseFloat(line, 64)
+		if err != nil {
+			return nil, fmt.Errorf("mat: bad value %q: %w", line, err)
+		}
+		if idx >= rows*cols {
+			return nil, fmt.Errorf("mat: more than %d values in %dx%d array", rows*cols, rows, cols)
+		}
+		// Column-major order per the format.
+		a.Set(idx%rows, idx/rows, v)
+		idx++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if idx != rows*cols {
+		return nil, fmt.Errorf("mat: got %d of %d values", idx, rows*cols)
+	}
+	return a, nil
+}

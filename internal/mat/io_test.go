@@ -1,0 +1,71 @@
+package mat
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestBinaryRoundTrip(t *testing.T) {
+	a := randomDense(13, 7, 21)
+	var buf bytes.Buffer
+	if err := a.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b, 0) {
+		t.Fatal("binary round trip changed the matrix")
+	}
+}
+
+func TestBinaryRejectsGarbage(t *testing.T) {
+	if _, err := ReadBinary(strings.NewReader("notamatrix")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := ReadBinary(strings.NewReader("")); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	// Truncated data section.
+	a := randomDense(4, 4, 22)
+	var buf bytes.Buffer
+	if err := a.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-8]
+	if _, err := ReadBinary(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("truncated input accepted")
+	}
+}
+
+func TestMatrixMarketArrayRoundTrip(t *testing.T) {
+	a := randomDense(6, 9, 23)
+	var buf bytes.Buffer
+	if err := a.WriteMatrixMarket(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b, err := ReadMatrixMarketArray(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MaxDiff(b) > 0 {
+		t.Fatal("MatrixMarket array round trip changed the matrix")
+	}
+}
+
+func TestMatrixMarketArrayRejects(t *testing.T) {
+	cases := []string{
+		"junk",
+		"%%MatrixMarket matrix coordinate real general\n1 1 1\n1 1 1\n", // wrong flavor
+		"%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n",      // too few values
+		"%%MatrixMarket matrix array real general\n1 1\n1\n2\n",         // too many
+		"%%MatrixMarket matrix array real general\n1 1\nxyz\n",          // bad value
+	}
+	for i, c := range cases {
+		if _, err := ReadMatrixMarketArray(strings.NewReader(c)); err == nil {
+			t.Fatalf("case %d accepted", i)
+		}
+	}
+}

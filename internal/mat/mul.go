@@ -1,0 +1,166 @@
+package mat
+
+import "fmt"
+
+// Mul returns C = A·B. Dimensions: (m×p)·(p×n) → m×n.
+// Cost: 2·m·p·n flops.
+func Mul(a, b *Dense) *Dense {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("mat: Mul dimension mismatch %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	c := NewDense(a.Rows, b.Cols)
+	MulTo(c, a, b)
+	return c
+}
+
+// MulTo computes C = A·B into an existing matrix, overwriting it.
+// The i-l-j loop order streams rows of B and accumulates into rows of
+// C, which keeps all three operands in cache for the tall-skinny
+// shapes NMF produces.
+func MulTo(c, a, b *Dense) {
+	if a.Cols != b.Rows || c.Rows != a.Rows || c.Cols != b.Cols {
+		panic("mat: MulTo dimension mismatch")
+	}
+	c.Zero()
+	MulAddTo(c, a, b)
+}
+
+// MulAddTo computes C += A·B.
+func MulAddTo(c, a, b *Dense) {
+	if a.Cols != b.Rows || c.Rows != a.Rows || c.Cols != b.Cols {
+		panic("mat: MulAddTo dimension mismatch")
+	}
+	n := b.Cols
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		crow := c.Row(i)
+		for l, ail := range arow {
+			if ail == 0 {
+				continue
+			}
+			brow := b.Data[l*n : (l+1)*n]
+			for j, blj := range brow {
+				crow[j] += ail * blj
+			}
+		}
+	}
+}
+
+// MulAtB returns C = Aᵀ·B. Dimensions: (m×p)ᵀ·(m×n) → p×n.
+// Cost: 2·m·p·n flops.
+func MulAtB(a, b *Dense) *Dense {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("mat: MulAtB dimension mismatch %dx%d ᵀ· %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	c := NewDense(a.Cols, b.Cols)
+	MulAtBAddTo(c, a, b)
+	return c
+}
+
+// MulAtBAddTo computes C += Aᵀ·B by streaming matched rows of A and B.
+func MulAtBAddTo(c, a, b *Dense) {
+	if a.Rows != b.Rows || c.Rows != a.Cols || c.Cols != b.Cols {
+		panic("mat: MulAtBAddTo dimension mismatch")
+	}
+	n := b.Cols
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		brow := b.Row(i)
+		for l, ail := range arow {
+			if ail == 0 {
+				continue
+			}
+			crow := c.Data[l*n : (l+1)*n]
+			for j, bij := range brow {
+				crow[j] += ail * bij
+			}
+		}
+	}
+}
+
+// MulABt returns C = A·Bᵀ. Dimensions: (m×k)·(n×k)ᵀ → m×n.
+// Cost: 2·m·n·k flops.
+func MulABt(a, b *Dense) *Dense {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("mat: MulABt dimension mismatch %dx%d · %dx%dᵀ", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	c := NewDense(a.Rows, b.Rows)
+	MulABtTo(c, a, b)
+	return c
+}
+
+// MulABtTo computes C = A·Bᵀ into c: each output entry is a dot
+// product of one row of A with one row of B.
+func MulABtTo(c, a, b *Dense) {
+	if a.Cols != b.Cols || c.Rows != a.Rows || c.Cols != b.Rows {
+		panic("mat: MulABtTo dimension mismatch")
+	}
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		crow := c.Row(i)
+		for j := 0; j < b.Rows; j++ {
+			brow := b.Row(j)
+			s := 0.0
+			for l, v := range arow {
+				s += v * brow[l]
+			}
+			crow[j] = s
+		}
+	}
+}
+
+// Gram returns G = Aᵀ·A (k×k for A of shape m×k), exploiting symmetry.
+// Cost: m·k·(k+1) flops (half of a full multiply).
+func Gram(a *Dense) *Dense {
+	k := a.Cols
+	g := NewDense(k, k)
+	GramAddTo(g, a)
+	return g
+}
+
+// GramAddTo computes G += Aᵀ·A, filling both triangles.
+func GramAddTo(g *Dense, a *Dense) {
+	k := a.Cols
+	if g.Rows != k || g.Cols != k {
+		panic("mat: GramAddTo dimension mismatch")
+	}
+	for i := 0; i < a.Rows; i++ {
+		row := a.Row(i)
+		for l, v := range row {
+			if v == 0 {
+				continue
+			}
+			grow := g.Data[l*k : (l+1)*k]
+			for j := l; j < k; j++ {
+				grow[j] += v * row[j]
+			}
+		}
+	}
+	// Mirror the upper triangle into the lower triangle.
+	for l := 1; l < k; l++ {
+		for j := 0; j < l; j++ {
+			g.Data[l*k+j] = g.Data[j*k+l]
+		}
+	}
+}
+
+// GramT returns G = A·Aᵀ (k×k for A of shape k×n). This is the Gram
+// matrix of the *rows*, used for HHᵀ where H is k×n.
+// Cost: n·k·(k+1) flops.
+func GramT(a *Dense) *Dense {
+	k := a.Rows
+	g := NewDense(k, k)
+	for i := 0; i < k; i++ {
+		ri := a.Row(i)
+		for j := i; j < k; j++ {
+			rj := a.Row(j)
+			s := 0.0
+			for l, v := range ri {
+				s += v * rj[l]
+			}
+			g.Set(i, j, s)
+			g.Set(j, i, s)
+		}
+	}
+	return g
+}

@@ -1,0 +1,164 @@
+package mpi
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// Comm is a communicator: an ordered group of ranks that take part in
+// collective operations together, analogous to an MPI communicator.
+// A Comm value belongs to exactly one rank (it is that rank's handle).
+type Comm struct {
+	world   *World
+	rank    int   // this rank's position within the communicator
+	members []int // communicator rank -> world rank
+	id      uint32
+	seq     int // per-rank collective sequence number, advances in lockstep
+}
+
+// Rank returns this process's rank within the communicator.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the number of ranks in the communicator.
+func (c *Comm) Size() int { return len(c.members) }
+
+// WorldRank returns this process's rank in the world communicator.
+func (c *Comm) WorldRank() int { return c.members[c.rank] }
+
+// Counters returns this rank's world-level traffic counters. All
+// communicators of a rank share one counter set.
+func (c *Comm) Counters() *Counters { return c.world.counters[c.WorldRank()] }
+
+// opBase reserves a tag namespace for one collective call. All
+// members advance seq in lockstep because they execute the same
+// program order, so matching calls agree on the base.
+func (c *Comm) opBase() int {
+	c.seq++
+	return (int(c.id)*131071 + c.seq) * 4096
+}
+
+// userTag namespaces explicit point-to-point tags away from the tags
+// collectives generate internally.
+func (c *Comm) userTag(tag int) int { return 1<<30 + int(c.id)*131071 + tag }
+
+// Send sends data to communicator rank dst with a user tag. The data
+// is copied; the caller may reuse its buffer immediately.
+func (c *Comm) Send(dst, tag int, data []float64) {
+	c.world.send(c.WorldRank(), c.members[dst], c.userTag(tag), data, CatP2P)
+}
+
+// Recv blocks until a message with the given user tag arrives from
+// communicator rank src and returns its payload.
+func (c *Comm) Recv(src, tag int) []float64 {
+	return c.world.recv(c.members[src], c.WorldRank(), c.userTag(tag))
+}
+
+// send and recv are the internal primitives used by collectives; dst
+// and src are communicator ranks.
+func (c *Comm) send(dst, tag int, data []float64, cat Category) {
+	c.world.send(c.WorldRank(), c.members[dst], tag, data, cat)
+}
+
+func (c *Comm) recv(src, tag int) []float64 {
+	return c.world.recv(c.members[src], c.WorldRank(), tag)
+}
+
+// Sub creates a sub-communicator from the parent. members lists the
+// parent-communicator ranks belonging to the new group, in the order
+// that defines their new ranks. Every listed rank must call Sub with
+// an identical members slice; ranks not listed must not call. Sub
+// performs no communication (group membership is computed locally,
+// as with MPI_Comm_create_group when the group is known).
+func (c *Comm) Sub(members []int) *Comm {
+	myNew := -1
+	world := make([]int, len(members))
+	for i, m := range members {
+		if m < 0 || m >= c.Size() {
+			panic(fmt.Sprintf("mpi: Sub member %d outside communicator of size %d", m, c.Size()))
+		}
+		world[i] = c.members[m]
+		if m == c.rank {
+			myNew = i
+		}
+	}
+	if myNew < 0 {
+		panic(fmt.Sprintf("mpi: rank %d called Sub but is not in the member list", c.rank))
+	}
+	h := fnv.New32a()
+	var buf [4]byte
+	put := func(v uint32) {
+		buf[0], buf[1], buf[2], buf[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+		h.Write(buf[:])
+	}
+	put(c.id + 1)
+	for _, wr := range world {
+		put(uint32(wr))
+	}
+	return &Comm{world: c.world, rank: myNew, members: world, id: h.Sum32()}
+}
+
+// Split partitions the communicator by color, like MPI_Comm_split:
+// ranks with equal color form a new communicator, ordered by (key,
+// parent rank). The exchange of colors is a collective (an all-gather
+// charged to the Setup category, since communicator construction is
+// one-time cost outside the iteration loop).
+func (c *Comm) Split(color, key int) *Comm {
+	pairs := c.allGatherV([]float64{float64(color), float64(key)}, uniformCounts(c.Size(), 2), CatSetup)
+	type entry struct{ rank, key int }
+	var group []entry
+	for r := 0; r < c.Size(); r++ {
+		if int(pairs[2*r]) == color {
+			group = append(group, entry{rank: r, key: int(pairs[2*r+1])})
+		}
+	}
+	sort.Slice(group, func(i, j int) bool {
+		if group[i].key != group[j].key {
+			return group[i].key < group[j].key
+		}
+		return group[i].rank < group[j].rank
+	})
+	members := make([]int, len(group))
+	for i, g := range group {
+		members[i] = g.rank
+	}
+	return c.Sub(members)
+}
+
+// Barrier blocks until every rank in the communicator has entered it
+// (dissemination algorithm, ⌈log₂ p⌉ rounds).
+func (c *Comm) Barrier() {
+	base := c.opBase()
+	p := c.Size()
+	step := 0
+	for dist := 1; dist < p; dist <<= 1 {
+		dst := (c.rank + dist) % p
+		src := (c.rank - dist + p) % p
+		c.send(dst, base+step, nil, CatBarrier)
+		c.recv(src, base+step)
+		step++
+	}
+}
+
+// uniformCounts returns a counts slice of n entries all equal to size.
+func uniformCounts(n, size int) []int {
+	counts := make([]int, n)
+	for i := range counts {
+		counts[i] = size
+	}
+	return counts
+}
+
+// offsetsOf returns the exclusive prefix sums of counts plus the total.
+func offsetsOf(counts []int) ([]int, int) {
+	offsets := make([]int, len(counts))
+	total := 0
+	for i, n := range counts {
+		offsets[i] = total
+		total += n
+	}
+	return offsets, total
+}
+
+// isPow2 reports whether v is a power of two.
+func isPow2(v int) bool { return v > 0 && v&(v-1) == 0 }

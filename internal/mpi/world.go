@@ -1,0 +1,193 @@
+// Package mpi is an in-process message-passing runtime that stands in
+// for MPI in this reproduction (Go has no MPI ecosystem). Each rank is
+// a goroutine; ranks exchange typed messages over per-pair channels;
+// the collectives — broadcast, reduce, all-gather(v), reduce-scatter(v),
+// all-reduce, gather(v), scatter(v), barrier — are implemented with the
+// same distributed algorithms an MPI library uses (binomial trees,
+// recursive doubling/halving, Bruck, pairwise exchange), so the number
+// of messages and words each rank sends is exactly what an MPI rank
+// would send. Per-rank traffic counters, broken down by collective
+// type, feed the α-β-γ cost model that reproduces the paper's
+// communication analysis (§2.2–2.3).
+//
+// Usage:
+//
+//	world := mpi.NewWorld(16)
+//	world.Run(func(c *mpi.Comm) {
+//	    sum := c.AllReduce([]float64{float64(c.Rank())})
+//	    ...
+//	})
+//	traffic := world.Traffic() // per-rank counters, by category
+package mpi
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// message is the unit of point-to-point communication. Payloads are
+// copied on send, so the receiver owns the returned slice.
+type message struct {
+	tag  int
+	data []float64
+}
+
+// World is a set of p ranks with a fully connected network, matching
+// the communication model of the paper (§2.2).
+type World struct {
+	p     int
+	links []chan message // links[src*p+dst]
+	// pending stashes messages that arrived ahead of the receive that
+	// matches their tag (MPI-style tag matching). Indexed like links;
+	// each queue is touched only by the destination rank's goroutine,
+	// so no locking is needed.
+	pending [][]message
+	abort   chan struct{} // closed when any rank panics
+	once    sync.Once
+	err     error
+	// recvTimeout bounds how long a receive may block before the
+	// runtime declares a deadlock (a mismatched collective schedule,
+	// the failure mode MPI surfaces as a hang). Zero disables.
+	recvTimeout time.Duration
+
+	counters []*Counters // per world rank
+}
+
+// NewWorld creates a world with p ranks. The per-pair channel buffer
+// is sized so that every collective algorithm in this package can
+// complete its send phase without blocking on a matching receive.
+func NewWorld(p int) *World {
+	if p <= 0 {
+		panic(fmt.Sprintf("mpi: world size %d", p))
+	}
+	w := &World{
+		p:        p,
+		links:    make([]chan message, p*p),
+		pending:  make([][]message, p*p),
+		abort:    make(chan struct{}),
+		counters: make([]*Counters, p),
+	}
+	for i := range w.links {
+		w.links[i] = make(chan message, 16)
+	}
+	for i := range w.counters {
+		w.counters[i] = NewCounters()
+	}
+	w.recvTimeout = 2 * time.Minute
+	return w
+}
+
+// SetRecvTimeout adjusts the deadlock detector: a receive blocking
+// longer than d panics with a diagnostic instead of hanging the
+// process (0 disables). The default is generous (2 minutes); tests
+// that provoke deadlocks deliberately set it short.
+func (w *World) SetRecvTimeout(d time.Duration) { w.recvTimeout = d }
+
+// Size returns the number of ranks in the world.
+func (w *World) Size() int { return w.p }
+
+// Traffic returns the per-rank communication counters, indexed by
+// world rank. Valid after Run returns.
+func (w *World) Traffic() []*Counters { return w.counters }
+
+// Run executes body once per rank, concurrently, and waits for all
+// ranks to finish. If any rank panics, the panic is recorded, all
+// pending communication is aborted so sibling ranks unblock, and Run
+// re-panics with the first failure.
+func (w *World) Run(body func(c *Comm)) {
+	var wg sync.WaitGroup
+	wg.Add(w.p)
+	for r := 0; r < w.p; r++ {
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if e := recover(); e != nil {
+					w.once.Do(func() {
+						w.err = fmt.Errorf("mpi: rank %d panicked: %v", rank, e)
+						close(w.abort)
+					})
+				}
+			}()
+			body(w.worldComm(rank))
+		}(r)
+	}
+	wg.Wait()
+	if w.err != nil {
+		panic(w.err)
+	}
+}
+
+// worldComm returns the world communicator for a given rank: all p
+// ranks, identity mapping.
+func (w *World) worldComm(rank int) *Comm {
+	members := make([]int, w.p)
+	for i := range members {
+		members[i] = i
+	}
+	return &Comm{world: w, rank: rank, members: members, id: 0}
+}
+
+// send delivers a message from world rank src to world rank dst,
+// charging msgs/words to src's counters under category cat.
+func (w *World) send(src, dst, tag int, data []float64, cat Category) {
+	// Copy so the sender may immediately reuse its buffer: MPI_Send
+	// semantics without aliasing hazards.
+	payload := make([]float64, len(data))
+	copy(payload, data)
+	w.counters[src].Add(cat, 1, int64(len(data)))
+	select {
+	case w.links[src*w.p+dst] <- message{tag: tag, data: payload}:
+	case <-w.abort:
+		panic("mpi: aborted (sibling rank failed)")
+	}
+}
+
+// recv blocks until a message with the given tag from world rank src
+// to dst is available. Messages with other tags that arrive first are
+// stashed, implementing MPI-style tag matching so point-to-point
+// traffic and collectives can interleave on the same rank pair.
+func (w *World) recv(src, dst, tag int) []float64 {
+	link := src*w.p + dst
+	for i, m := range w.pending[link] {
+		if m.tag == tag {
+			w.pending[link] = append(w.pending[link][:i], w.pending[link][i+1:]...)
+			return m.data
+		}
+	}
+	// Fast path: a matching message is already queued.
+	for {
+		select {
+		case m := <-w.links[link]:
+			if m.tag == tag {
+				return m.data
+			}
+			w.pending[link] = append(w.pending[link], m)
+			continue
+		case <-w.abort:
+			panic("mpi: aborted (sibling rank failed)")
+		default:
+		}
+		break
+	}
+	// Slow path: block, with the deadlock detector armed.
+	var timeout <-chan time.Time
+	if w.recvTimeout > 0 {
+		timer := time.NewTimer(w.recvTimeout)
+		defer timer.Stop()
+		timeout = timer.C
+	}
+	for {
+		select {
+		case m := <-w.links[link]:
+			if m.tag == tag {
+				return m.data
+			}
+			w.pending[link] = append(w.pending[link], m)
+		case <-w.abort:
+			panic("mpi: aborted (sibling rank failed)")
+		case <-timeout:
+			panic(fmt.Sprintf("mpi: rank %d blocked %v waiting for tag %d from rank %d — likely a mismatched collective schedule (deadlock)", dst, w.recvTimeout, tag, src))
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package ncp
+
+import (
+	"fmt"
+	"math"
+
+	"hpcnmf/internal/mat"
+	"hpcnmf/internal/nnls"
+)
+
+// Options configures a non-negative CP decomposition.
+type Options struct {
+	// Rank is the CP rank (required, ≥ 1).
+	Rank int
+	// MaxIter bounds outer ANLS sweeps (default 50).
+	MaxIter int
+	// Tol stops when the relative error decreases by less than Tol
+	// between sweeps (default 1e-6; ≤ 0 disables).
+	Tol float64
+	// Seed drives factor initialization.
+	Seed uint64
+	// Solver solves each mode's NNLS problem; nil means BPP.
+	Solver nnls.Solver
+}
+
+// Result reports a finished decomposition.
+type Result struct {
+	// A, B, C are the non-negative factor matrices (I×r, J×r, K×r).
+	A, B, C *mat.Dense
+	// RelErr is ‖T − [[A,B,C]]‖ / ‖T‖ after each sweep.
+	RelErr []float64
+	// Iterations is the number of ANLS sweeps performed.
+	Iterations int
+}
+
+// Run decomposes T ≈ [[A, B, C]] with non-negative factors via ANLS:
+// each sweep solves, for every mode in turn,
+//
+//	min_{X≥0} ‖X·(G₁ ∘ G₂) − MTTKRP‖
+//
+// where G₁, G₂ are the Gram matrices of the other two factors and ∘
+// is the Hadamard product — the exact tensor analogue of the matrix
+// updates in Algorithm 1, solved with the same BPP machinery.
+func Run(t *Tensor3, opts Options) (*Result, error) {
+	if opts.Rank < 1 {
+		return nil, fmt.Errorf("ncp: rank %d, want ≥ 1", opts.Rank)
+	}
+	if opts.MaxIter <= 0 {
+		opts.MaxIter = 50
+	}
+	if opts.Solver == nil {
+		opts.Solver = nnls.NewBPP()
+	}
+	if opts.Tol == 0 {
+		opts.Tol = 1e-6
+	}
+	r := opts.Rank
+
+	// Deterministic strictly-positive initialization, shared with
+	// RunParallel so both compute the same iterates.
+	a := initAddressed(t.I, r, 0, opts.Seed, 0x1111)
+	b := initAddressed(t.J, r, 0, opts.Seed, 0x2222)
+	c := initAddressed(t.K, r, 0, opts.Seed, 0x3333)
+
+	normT2 := t.SquaredNorm()
+	normT := math.Sqrt(normT2)
+	var relErr []float64
+	iters := 0
+	for sweep := 0; sweep < opts.MaxIter; sweep++ {
+		iters++
+		// Mode 0: A given (B, C).
+		g := Hadamard(mat.Gram(b), mat.Gram(c))
+		m0 := MTTKRP(t, 0, b, c)
+		x, _, err := opts.Solver.Solve(g, m0.T(), a.T())
+		if err != nil {
+			return nil, fmt.Errorf("ncp: mode-0 solve failed at sweep %d: %w", sweep, err)
+		}
+		a = x.T()
+
+		// Mode 1: B given (A, C).
+		g = Hadamard(mat.Gram(a), mat.Gram(c))
+		m1 := MTTKRP(t, 1, a, c)
+		if x, _, err = opts.Solver.Solve(g, m1.T(), b.T()); err != nil {
+			return nil, fmt.Errorf("ncp: mode-1 solve failed at sweep %d: %w", sweep, err)
+		}
+		b = x.T()
+
+		// Mode 2: C given (A, B).
+		g = Hadamard(mat.Gram(a), mat.Gram(b))
+		m2 := MTTKRP(t, 2, a, b)
+		if x, _, err = opts.Solver.Solve(g, m2.T(), c.T()); err != nil {
+			return nil, fmt.Errorf("ncp: mode-2 solve failed at sweep %d: %w", sweep, err)
+		}
+		c = x.T()
+
+		// Error via byproducts, as in the matrix case:
+		// ‖T−[[A,B,C]]‖² = ‖T‖² − 2·⟨MTTKRP₂, C⟩ + ⟨G_A∘G_B, CᵀC⟩.
+		gAll := Hadamard(Hadamard(mat.Gram(a), mat.Gram(b)), mat.Gram(c))
+		cross := mat.Dot(m2, c)
+		fit := normT2 - 2*cross + traceSum(gAll)
+		if fit < 0 {
+			fit = 0
+		}
+		e := math.Sqrt(fit) / normT
+		relErr = append(relErr, e)
+		if opts.Tol > 0 && len(relErr) >= 2 &&
+			relErr[len(relErr)-2]-relErr[len(relErr)-1] < opts.Tol {
+			break
+		}
+	}
+	return &Result{A: a, B: b, C: c, RelErr: relErr, Iterations: iters}, nil
+}
+
+// traceSum returns Σᵢⱼ Gᵢⱼ — ⟨1, G⟩, which for G = G_A∘G_B∘G_C equals
+// ‖[[A,B,C]]‖².
+func traceSum(g *mat.Dense) float64 {
+	s := 0.0
+	for _, v := range g.Data {
+		s += v
+	}
+	return s
+}

@@ -1,0 +1,259 @@
+package nnls
+
+import (
+	"errors"
+	"math"
+
+	"hpcnmf/internal/mat"
+)
+
+// ErrNotConverged is returned when an exact solver exhausts its
+// pivoting budget. The returned X is the best (clamped) iterate.
+var ErrNotConverged = errors.New("nnls: solver did not converge within the iteration budget")
+
+// BPP is the block principal pivoting method of Kim & Park (SISC
+// 2011), the solver the paper builds on (§4.2). Starting from a
+// partition of the variables into a passive set P (free) and an
+// active set A (pinned at zero), it solves the unconstrained system
+// on P, computes the dual y on A, and greedily swaps every infeasible
+// variable between the sets at once ("full exchange"), falling back
+// to single-variable exchanges when cycling is detected — the
+// safeguard that makes the method finite.
+//
+// Columns sharing a passive set are solved together off one Cholesky
+// factorization (the Grouping flag), the optimization that makes BPP
+// competitive for the many-right-hand-side problems NMF generates.
+type BPP struct {
+	// MaxIter bounds pivoting rounds; 0 means a generous default.
+	MaxIter int
+	// Grouping enables solving same-passive-set columns together.
+	// On by default via NewBPP; exposed for the ablation benchmark.
+	Grouping bool
+}
+
+// NewBPP returns a BPP solver with column grouping enabled.
+func NewBPP() *BPP { return &BPP{MaxIter: 0, Grouping: true} }
+
+// Name implements Solver.
+func (s *BPP) Name() string { return "BPP" }
+
+// Solve implements Solver.
+func (s *BPP) Solve(g, f, xInit *mat.Dense) (*mat.Dense, Stats, error) {
+	if err := checkDims(g, f, xInit); err != nil {
+		return nil, Stats{}, err
+	}
+	k, r := f.Rows, f.Cols
+	maxIter := s.MaxIter
+	if maxIter == 0 {
+		maxIter = 50 + 10*k
+	}
+	var st Stats
+
+	x := mat.NewDense(k, r)
+	y := mat.NewDense(k, r)
+	// passive[c*k+i] reports whether variable i of column c is free.
+	passive := make([]bool, k*r)
+	if xInit != nil {
+		for c := 0; c < r; c++ {
+			for i := 0; i < k; i++ {
+				passive[c*k+i] = xInit.At(i, c) > 0
+			}
+		}
+	}
+	// Kim–Park anti-cycling state per column: alpha full exchanges
+	// remain before falling back; beta is the best (smallest)
+	// infeasibility count seen.
+	alpha := make([]int, r)
+	beta := make([]int, r)
+	for c := 0; c < r; c++ {
+		alpha[c] = 3
+		beta[c] = k + 1
+	}
+	tol := bppTolerance(g, f)
+
+	unconverged := make([]int, r)
+	for c := range unconverged {
+		unconverged[c] = c
+	}
+	for round := 0; round < maxIter && len(unconverged) > 0; round++ {
+		st.Iterations++
+		// Solve the passive systems, grouped by passive-set pattern.
+		if s.Grouping {
+			groups := map[string][]int{}
+			keys := []string{} // preserve first-seen order for determinism
+			for _, c := range unconverged {
+				key := passiveKey(passive[c*k : (c+1)*k])
+				if _, ok := groups[key]; !ok {
+					keys = append(keys, key)
+				}
+				groups[key] = append(groups[key], c)
+			}
+			for _, key := range keys {
+				if err := s.solveGroup(g, f, x, passive, groups[key], &st); err != nil {
+					return nil, st, err
+				}
+			}
+		} else {
+			for _, c := range unconverged {
+				if err := s.solveGroup(g, f, x, passive, []int{c}, &st); err != nil {
+					return nil, st, err
+				}
+			}
+		}
+		// Dual variables on the active sets: y_A = G_{A,P}·x_P − f_A.
+		for _, c := range unconverged {
+			computeDual(g, f, x, y, passive, c, &st)
+		}
+		// Infeasibility check and exchange.
+		next := unconverged[:0]
+		for _, c := range unconverged {
+			p := passive[c*k : (c+1)*k]
+			var infeasible []int
+			for i := 0; i < k; i++ {
+				if p[i] {
+					if x.At(i, c) < -tol {
+						infeasible = append(infeasible, i)
+					}
+				} else if y.At(i, c) < -tol {
+					infeasible = append(infeasible, i)
+				}
+			}
+			if len(infeasible) == 0 {
+				// Optimal; snap tiny negatives from roundoff.
+				for i := 0; i < k; i++ {
+					if x.At(i, c) < 0 {
+						x.Set(i, c, 0)
+					}
+				}
+				continue
+			}
+			next = append(next, c)
+			switch {
+			case len(infeasible) < beta[c]:
+				beta[c] = len(infeasible)
+				alpha[c] = 3
+				for _, i := range infeasible {
+					p[i] = !p[i]
+				}
+			case alpha[c] > 0:
+				alpha[c]--
+				for _, i := range infeasible {
+					p[i] = !p[i]
+				}
+			default:
+				// Backup rule: flip only the infeasible variable with
+				// the largest index — guarantees finite termination.
+				i := infeasible[len(infeasible)-1]
+				p[i] = !p[i]
+			}
+		}
+		unconverged = next
+	}
+	if len(unconverged) > 0 {
+		x.ClampNonneg()
+		return x, st, ErrNotConverged
+	}
+	return x, st, nil
+}
+
+// solveGroup solves the unconstrained system restricted to the shared
+// passive set of the given columns, writing x (zeros on the active
+// set). All columns must share one passive pattern.
+func (s *BPP) solveGroup(g, f, x *mat.Dense, passive []bool, cols []int, st *Stats) error {
+	k := f.Rows
+	pattern := passive[cols[0]*k : (cols[0]+1)*k]
+	var pidx []int
+	for i := 0; i < k; i++ {
+		if pattern[i] {
+			pidx = append(pidx, i)
+		}
+	}
+	if len(pidx) == 0 {
+		for _, c := range cols {
+			for i := 0; i < k; i++ {
+				x.Set(i, c, 0)
+			}
+		}
+		return nil
+	}
+	pp := len(pidx)
+	gpp := mat.NewDense(pp, pp)
+	for a, ia := range pidx {
+		for b, ib := range pidx {
+			gpp.Set(a, b, g.At(ia, ib))
+		}
+	}
+	rhs := mat.NewDense(pp, len(cols))
+	for a, ia := range pidx {
+		for b, c := range cols {
+			rhs.Set(a, b, f.At(ia, c))
+		}
+	}
+	xp, err := mat.SolveSPD(gpp, rhs)
+	if err != nil {
+		return err
+	}
+	st.Flops += int64(pp*pp*pp)/3 + int64(2*pp*pp*len(cols))
+	for _, c := range cols {
+		for i := 0; i < k; i++ {
+			x.Set(i, c, 0)
+		}
+	}
+	for a, ia := range pidx {
+		for b, c := range cols {
+			x.Set(ia, c, xp.At(a, b))
+		}
+	}
+	return nil
+}
+
+// computeDual fills y for column c: zero on the passive set,
+// G_{A,P}·x_P − f_A on the active set.
+func computeDual(g, f, x, y *mat.Dense, passive []bool, c int, st *Stats) {
+	k := f.Rows
+	p := passive[c*k : (c+1)*k]
+	var flops int64
+	for i := 0; i < k; i++ {
+		if p[i] {
+			y.Set(i, c, 0)
+			continue
+		}
+		sum := -f.At(i, c)
+		grow := g.Row(i)
+		for l := 0; l < k; l++ {
+			if p[l] {
+				sum += grow[l] * x.At(l, c)
+				flops += 2
+			}
+		}
+		y.Set(i, c, sum)
+	}
+	st.Flops += flops
+}
+
+// passiveKey encodes a passive-set pattern as a compact string key.
+func passiveKey(p []bool) string {
+	b := make([]byte, (len(p)+7)/8)
+	for i, v := range p {
+		if v {
+			b[i/8] |= 1 << (i % 8)
+		}
+	}
+	return string(b)
+}
+
+// bppTolerance scales the zero test to the problem's magnitude.
+func bppTolerance(g, f *mat.Dense) float64 {
+	m := 0.0
+	for _, v := range g.Data {
+		if a := math.Abs(v); a > m {
+			m = a
+		}
+	}
+	for _, v := range f.Data {
+		if a := math.Abs(v); a > m {
+			m = a
+		}
+	}
+	return 1e-12 * (1 + m)
+}

@@ -1,0 +1,304 @@
+// Package perf instruments the NMF algorithms with the task breakdown
+// the paper reports (§6.3): per-rank wall time and flop counts for the
+// local computation tasks (MM, NLS, Gram) and, combined with the
+// traffic counters from the mpi package, α-β-γ modeled times for the
+// communication tasks (All-Gather, Reduce-Scatter, All-Reduce).
+//
+// Two views of the same run are produced:
+//
+//   - Measured: wall-clock time per task on real goroutines. On a
+//     shared-memory machine the communication tasks are nearly free,
+//     so this view shows the computation profile.
+//   - Modeled: γ·flops + α·messages + β·words per rank, maxed over
+//     ranks — the paper's own cost model (§2.2) applied to exact
+//     per-rank counts, with Edison-like machine constants. This view
+//     restores the cluster cost ratios and is the one the figure
+//     reproductions report.
+package perf
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"hpcnmf/internal/mpi"
+)
+
+// Task identifies one component of the per-iteration time breakdown,
+// matching Figure 3's legend.
+type Task int
+
+const (
+	TaskMM Task = iota // local matrix multiply with the data matrix
+	TaskNLS
+	TaskGram
+	TaskAllGather
+	TaskReduceScatter
+	TaskAllReduce
+	TaskOther
+	numTasks
+)
+
+// String returns the legend label used in the paper's figures.
+func (t Task) String() string {
+	switch t {
+	case TaskMM:
+		return "MM"
+	case TaskNLS:
+		return "NLS"
+	case TaskGram:
+		return "Gram"
+	case TaskAllGather:
+		return "AllG"
+	case TaskReduceScatter:
+		return "RedSc"
+	case TaskAllReduce:
+		return "AllR"
+	case TaskOther:
+		return "Other"
+	default:
+		return fmt.Sprintf("Task(%d)", int(t))
+	}
+}
+
+// Tasks lists all tasks in the display order of the paper's legend.
+func Tasks() []Task {
+	return []Task{TaskNLS, TaskMM, TaskGram, TaskAllGather, TaskReduceScatter, TaskAllReduce, TaskOther}
+}
+
+// commTask maps an mpi traffic category onto a breakdown task.
+func commTask(cat mpi.Category) Task {
+	switch cat {
+	case mpi.CatAllGather:
+		return TaskAllGather
+	case mpi.CatReduceScatter:
+		return TaskReduceScatter
+	case mpi.CatAllReduce:
+		return TaskAllReduce
+	case mpi.CatSetup:
+		return -1 // excluded
+	default:
+		return TaskOther
+	}
+}
+
+// Tracker accumulates one rank's wall time and flops per task. It is
+// owned by a single rank goroutine and needs no locking.
+type Tracker struct {
+	wall  [numTasks]time.Duration
+	flops [numTasks]int64
+}
+
+// NewTracker returns a zeroed tracker.
+func NewTracker() *Tracker { return &Tracker{} }
+
+// Go starts timing a task and returns the function that stops it:
+//
+//	stop := tr.Go(perf.TaskMM)
+//	... work ...
+//	stop()
+func (t *Tracker) Go(task Task) func() {
+	start := time.Now()
+	return func() { t.wall[task] += time.Since(start) }
+}
+
+// AddFlops charges n floating point operations to a task.
+func (t *Tracker) AddFlops(task Task, n int64) { t.flops[task] += n }
+
+// Wall returns the accumulated wall time for a task.
+func (t *Tracker) Wall(task Task) time.Duration { return t.wall[task] }
+
+// Flops returns the accumulated flops for a task.
+func (t *Tracker) Flops(task Task) int64 { return t.flops[task] }
+
+// TotalFlops sums flops over all tasks.
+func (t *Tracker) TotalFlops() int64 {
+	var s int64
+	for _, f := range t.flops {
+		s += f
+	}
+	return s
+}
+
+// Snapshot returns a copy of the tracker state.
+func (t *Tracker) Snapshot() *Tracker {
+	cp := *t
+	return &cp
+}
+
+// Diff returns a tracker holding t − earlier.
+func (t *Tracker) Diff(earlier *Tracker) *Tracker {
+	out := NewTracker()
+	for i := range out.wall {
+		out.wall[i] = t.wall[i] - earlier.wall[i]
+		out.flops[i] = t.flops[i] - earlier.flops[i]
+	}
+	return out
+}
+
+// Model holds the α-β-γ machine constants (§2.2): seconds per
+// message, per word (one float64), and per flop.
+type Model struct {
+	Alpha float64 // latency: seconds per message
+	Beta  float64 // inverse bandwidth: seconds per 8-byte word
+	Gamma float64 // seconds per floating point operation
+}
+
+// Edison returns constants approximating a NERSC Edison core (the
+// paper's testbed): 2.4 GHz Ivy Bridge at ~19.2 Gflop/s/core, ~1 µs
+// MPI latency, ~8 GB/s injection bandwidth per node.
+func Edison() Model {
+	return Model{
+		Alpha: 1e-6,
+		Beta:  8.0 / 8e9, // 8 bytes per word / 8 GB/s
+		Gamma: 1.0 / 19.2e9,
+	}
+}
+
+// Breakdown is a per-task cost summary of a (portion of a) run,
+// aggregated over ranks.
+type Breakdown struct {
+	// MeasuredSeconds is the max-over-ranks wall time per task.
+	MeasuredSeconds map[Task]float64
+	// ModeledSeconds is the max-over-ranks α-β-γ time per task.
+	ModeledSeconds map[Task]float64
+	// Flops is the max-over-ranks flop count per task (compute tasks).
+	Flops map[Task]int64
+	// Msgs and Words are the max-over-ranks traffic per task
+	// (communication tasks).
+	Msgs  map[Task]int64
+	Words map[Task]int64
+}
+
+// Aggregate combines per-rank trackers and traffic counters into a
+// Breakdown under the given model. The two slices must be indexed by
+// the same rank order.
+func Aggregate(model Model, trackers []*Tracker, traffic []*mpi.Counters) *Breakdown {
+	b := &Breakdown{
+		MeasuredSeconds: map[Task]float64{},
+		ModeledSeconds:  map[Task]float64{},
+		Flops:           map[Task]int64{},
+		Msgs:            map[Task]int64{},
+		Words:           map[Task]int64{},
+	}
+	for _, tr := range trackers {
+		for task := Task(0); task < numTasks; task++ {
+			if s := tr.wall[task].Seconds(); s > b.MeasuredSeconds[task] {
+				b.MeasuredSeconds[task] = s
+			}
+			if f := tr.flops[task]; f > b.Flops[task] {
+				b.Flops[task] = f
+			}
+			if m := model.Gamma * float64(tr.flops[task]); m > b.ModeledSeconds[task] {
+				b.ModeledSeconds[task] = m
+			}
+		}
+	}
+	// Communication: per-rank modeled time per task, maxed over ranks.
+	for _, ctr := range traffic {
+		perTask := map[Task]mpi.Traffic{}
+		for _, cat := range mpi.Categories() {
+			task := commTask(cat)
+			if task < 0 {
+				continue
+			}
+			tr := ctr.Get(cat)
+			agg := perTask[task]
+			agg.Msgs += tr.Msgs
+			agg.Words += tr.Words
+			perTask[task] = agg
+		}
+		for task, tr := range perTask {
+			if tr.Msgs > b.Msgs[task] {
+				b.Msgs[task] = tr.Msgs
+			}
+			if tr.Words > b.Words[task] {
+				b.Words[task] = tr.Words
+			}
+			m := model.Alpha*float64(tr.Msgs) + model.Beta*float64(tr.Words)
+			if m > b.ModeledSeconds[task] {
+				b.ModeledSeconds[task] = m
+			}
+		}
+	}
+	return b
+}
+
+// MeasuredTotal sums measured seconds across tasks.
+func (b *Breakdown) MeasuredTotal() float64 {
+	s := 0.0
+	for _, v := range b.MeasuredSeconds {
+		s += v
+	}
+	return s
+}
+
+// ModeledTotal sums modeled seconds across tasks.
+func (b *Breakdown) ModeledTotal() float64 {
+	s := 0.0
+	for _, v := range b.ModeledSeconds {
+		s += v
+	}
+	return s
+}
+
+// Scale divides all costs by n (e.g. to convert a multi-iteration
+// measurement into per-iteration numbers).
+func (b *Breakdown) Scale(n int) *Breakdown {
+	if n <= 0 {
+		panic("perf: Scale by non-positive count")
+	}
+	out := &Breakdown{
+		MeasuredSeconds: map[Task]float64{},
+		ModeledSeconds:  map[Task]float64{},
+		Flops:           map[Task]int64{},
+		Msgs:            map[Task]int64{},
+		Words:           map[Task]int64{},
+	}
+	for t, v := range b.MeasuredSeconds {
+		out.MeasuredSeconds[t] = v / float64(n)
+	}
+	for t, v := range b.ModeledSeconds {
+		out.ModeledSeconds[t] = v / float64(n)
+	}
+	for t, v := range b.Flops {
+		out.Flops[t] = v / int64(n)
+	}
+	for t, v := range b.Msgs {
+		out.Msgs[t] = v / int64(n)
+	}
+	for t, v := range b.Words {
+		out.Words[t] = v / int64(n)
+	}
+	return out
+}
+
+// Format renders the breakdown as an aligned table. view selects
+// "measured", "modeled", or "both".
+func (b *Breakdown) Format(view string) string {
+	var sb strings.Builder
+	tasks := Tasks()
+	sort.SliceStable(tasks, func(i, j int) bool { return tasks[i] < tasks[j] })
+	switch view {
+	case "measured":
+		fmt.Fprintf(&sb, "%-8s %12s\n", "task", "measured(s)")
+		for _, t := range tasks {
+			fmt.Fprintf(&sb, "%-8s %12.6f\n", t, b.MeasuredSeconds[t])
+		}
+		fmt.Fprintf(&sb, "%-8s %12.6f\n", "total", b.MeasuredTotal())
+	case "modeled":
+		fmt.Fprintf(&sb, "%-8s %12s %14s %10s %14s\n", "task", "modeled(s)", "flops", "msgs", "words")
+		for _, t := range tasks {
+			fmt.Fprintf(&sb, "%-8s %12.6f %14d %10d %14d\n", t, b.ModeledSeconds[t], b.Flops[t], b.Msgs[t], b.Words[t])
+		}
+		fmt.Fprintf(&sb, "%-8s %12.6f\n", "total", b.ModeledTotal())
+	default:
+		fmt.Fprintf(&sb, "%-8s %12s %12s %14s %10s %14s\n", "task", "measured(s)", "modeled(s)", "flops", "msgs", "words")
+		for _, t := range tasks {
+			fmt.Fprintf(&sb, "%-8s %12.6f %12.6f %14d %10d %14d\n", t, b.MeasuredSeconds[t], b.ModeledSeconds[t], b.Flops[t], b.Msgs[t], b.Words[t])
+		}
+		fmt.Fprintf(&sb, "%-8s %12.6f %12.6f\n", "total", b.MeasuredTotal(), b.ModeledTotal())
+	}
+	return sb.String()
+}

@@ -1,0 +1,133 @@
+package perf
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"hpcnmf/internal/mpi"
+)
+
+func TestTrackerAccumulates(t *testing.T) {
+	tr := NewTracker()
+	stop := tr.Go(TaskMM)
+	time.Sleep(2 * time.Millisecond)
+	stop()
+	if tr.Wall(TaskMM) < time.Millisecond {
+		t.Fatalf("wall time %v too small", tr.Wall(TaskMM))
+	}
+	if tr.Wall(TaskNLS) != 0 {
+		t.Fatal("unrelated task has wall time")
+	}
+	tr.AddFlops(TaskMM, 100)
+	tr.AddFlops(TaskGram, 50)
+	if tr.Flops(TaskMM) != 100 || tr.TotalFlops() != 150 {
+		t.Fatal("flop accounting wrong")
+	}
+}
+
+func TestTrackerSnapshotDiff(t *testing.T) {
+	tr := NewTracker()
+	tr.AddFlops(TaskMM, 10)
+	snap := tr.Snapshot()
+	tr.AddFlops(TaskMM, 7)
+	d := tr.Diff(snap)
+	if d.Flops(TaskMM) != 7 {
+		t.Fatalf("Diff flops = %d", d.Flops(TaskMM))
+	}
+}
+
+func TestEdisonConstants(t *testing.T) {
+	m := Edison()
+	if m.Alpha <= 0 || m.Beta <= 0 || m.Gamma <= 0 {
+		t.Fatal("non-positive machine constants")
+	}
+	// α ≫ β ≫ γ must hold for the model to behave like a cluster.
+	if !(m.Alpha > m.Beta && m.Beta > m.Gamma) {
+		t.Fatalf("constants not ordered: α=%g β=%g γ=%g", m.Alpha, m.Beta, m.Gamma)
+	}
+}
+
+func TestAggregateMaxesOverRanks(t *testing.T) {
+	tr0 := NewTracker()
+	tr0.AddFlops(TaskMM, 1000)
+	tr1 := NewTracker()
+	tr1.AddFlops(TaskMM, 3000)
+	c0 := mpi.NewCounters()
+	c0.Add(mpi.CatAllGather, 2, 100)
+	c1 := mpi.NewCounters()
+	c1.Add(mpi.CatAllGather, 5, 40)
+	model := Model{Alpha: 1, Beta: 0.01, Gamma: 0.001}
+	b := Aggregate(model, []*Tracker{tr0, tr1}, []*mpi.Counters{c0, c1})
+	if b.Flops[TaskMM] != 3000 {
+		t.Fatalf("Flops max = %d", b.Flops[TaskMM])
+	}
+	if b.Msgs[TaskAllGather] != 5 || b.Words[TaskAllGather] != 100 {
+		t.Fatalf("traffic max = %d msgs %d words", b.Msgs[TaskAllGather], b.Words[TaskAllGather])
+	}
+	// Modeled AllGather: max(1·2+0.01·100, 1·5+0.01·40) = max(3, 5.4).
+	if got := b.ModeledSeconds[TaskAllGather]; got != 5.4 {
+		t.Fatalf("modeled AllGather = %v, want 5.4", got)
+	}
+	if got := b.ModeledSeconds[TaskMM]; got != 3.0 {
+		t.Fatalf("modeled MM = %v, want 3.0", got)
+	}
+}
+
+func TestAggregateExcludesSetup(t *testing.T) {
+	c := mpi.NewCounters()
+	c.Add(mpi.CatSetup, 100, 10000)
+	b := Aggregate(Edison(), nil, []*mpi.Counters{c})
+	for task, v := range b.Msgs {
+		if v != 0 {
+			t.Fatalf("setup traffic leaked into %s", task)
+		}
+	}
+}
+
+func TestScale(t *testing.T) {
+	tr := NewTracker()
+	tr.AddFlops(TaskMM, 100)
+	b := Aggregate(Edison(), []*Tracker{tr}, nil).Scale(4)
+	if b.Flops[TaskMM] != 25 {
+		t.Fatalf("scaled flops = %d", b.Flops[TaskMM])
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Scale(0) did not panic")
+		}
+	}()
+	b.Scale(0)
+}
+
+func TestFormatViews(t *testing.T) {
+	tr := NewTracker()
+	tr.AddFlops(TaskMM, 12345)
+	c := mpi.NewCounters()
+	c.Add(mpi.CatAllReduce, 3, 99)
+	b := Aggregate(Edison(), []*Tracker{tr}, []*mpi.Counters{c})
+	for _, view := range []string{"measured", "modeled", "both"} {
+		out := b.Format(view)
+		if !strings.Contains(out, "total") {
+			t.Fatalf("view %q missing total:\n%s", view, out)
+		}
+	}
+	if !strings.Contains(b.Format("modeled"), "12345") {
+		t.Fatal("modeled view missing flops column")
+	}
+}
+
+func TestTaskStrings(t *testing.T) {
+	want := map[Task]string{
+		TaskMM: "MM", TaskNLS: "NLS", TaskGram: "Gram",
+		TaskAllGather: "AllG", TaskReduceScatter: "RedSc", TaskAllReduce: "AllR",
+	}
+	for task, label := range want {
+		if task.String() != label {
+			t.Errorf("%d.String() = %q, want %q", task, task.String(), label)
+		}
+	}
+	if len(Tasks()) != 7 {
+		t.Fatalf("Tasks() returned %d entries", len(Tasks()))
+	}
+}

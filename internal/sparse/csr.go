@@ -1,0 +1,266 @@
+// Package sparse implements compressed sparse row (CSR) matrices and
+// the sparse-times-dense kernels the NMF algorithms need. A sparse
+// data matrix A participates in exactly two products per alternating
+// iteration — A·Hᵀ (tall output) and Wᵀ·A (wide output) — so those two
+// kernels, plus construction, transposition, slicing and generation,
+// are the whole surface.
+package sparse
+
+import (
+	"fmt"
+	"sort"
+
+	"hpcnmf/internal/mat"
+)
+
+// CSR is a sparse matrix in compressed sparse row format.
+type CSR struct {
+	Rows, Cols int
+	// RowPtr has length Rows+1; row i's entries live at indices
+	// [RowPtr[i], RowPtr[i+1]) of ColIdx and Val.
+	RowPtr []int
+	// ColIdx holds the column of each stored entry, sorted within a row.
+	ColIdx []int
+	// Val holds the value of each stored entry.
+	Val []float64
+}
+
+// NNZ returns the number of stored entries.
+func (a *CSR) NNZ() int { return len(a.Val) }
+
+// Coord is a coordinate-format entry used to build CSR matrices.
+type Coord struct {
+	Row, Col int
+	Val      float64
+}
+
+// FromCoords builds a CSR matrix from coordinate entries. Duplicate
+// coordinates are summed. Entries are sorted; zero values are kept
+// (callers may want explicit zeros), but duplicates collapsing to zero
+// remain stored.
+func FromCoords(rows, cols int, entries []Coord) *CSR {
+	for _, e := range entries {
+		if e.Row < 0 || e.Row >= rows || e.Col < 0 || e.Col >= cols {
+			panic(fmt.Sprintf("sparse: coordinate (%d,%d) outside %dx%d", e.Row, e.Col, rows, cols))
+		}
+	}
+	sorted := make([]Coord, len(entries))
+	copy(sorted, entries)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Row != sorted[j].Row {
+			return sorted[i].Row < sorted[j].Row
+		}
+		return sorted[i].Col < sorted[j].Col
+	})
+	a := &CSR{Rows: rows, Cols: cols, RowPtr: make([]int, rows+1)}
+	for i := 0; i < len(sorted); {
+		j := i + 1
+		v := sorted[i].Val
+		for j < len(sorted) && sorted[j].Row == sorted[i].Row && sorted[j].Col == sorted[i].Col {
+			v += sorted[j].Val
+			j = j + 1
+		}
+		a.ColIdx = append(a.ColIdx, sorted[i].Col)
+		a.Val = append(a.Val, v)
+		a.RowPtr[sorted[i].Row+1]++
+		i = j
+	}
+	for i := 0; i < rows; i++ {
+		a.RowPtr[i+1] += a.RowPtr[i]
+	}
+	return a
+}
+
+// FromDense converts a dense matrix to CSR, dropping exact zeros.
+func FromDense(d *mat.Dense) *CSR {
+	a := &CSR{Rows: d.Rows, Cols: d.Cols, RowPtr: make([]int, d.Rows+1)}
+	for i := 0; i < d.Rows; i++ {
+		row := d.Row(i)
+		for j, v := range row {
+			if v != 0 {
+				a.ColIdx = append(a.ColIdx, j)
+				a.Val = append(a.Val, v)
+			}
+		}
+		a.RowPtr[i+1] = len(a.Val)
+	}
+	return a
+}
+
+// ToDense expands the matrix to dense form.
+func (a *CSR) ToDense() *mat.Dense {
+	d := mat.NewDense(a.Rows, a.Cols)
+	for i := 0; i < a.Rows; i++ {
+		row := d.Row(i)
+		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+			row[a.ColIdx[p]] = a.Val[p]
+		}
+	}
+	return d
+}
+
+// At returns entry (i, j), zero if not stored. O(log nnz(row i)).
+func (a *CSR) At(i, j int) float64 {
+	lo, hi := a.RowPtr[i], a.RowPtr[i+1]
+	p := lo + sort.SearchInts(a.ColIdx[lo:hi], j)
+	if p < hi && a.ColIdx[p] == j {
+		return a.Val[p]
+	}
+	return 0
+}
+
+// T returns the transpose as a new CSR matrix (a counting sort over
+// columns; O(nnz + rows + cols)).
+func (a *CSR) T() *CSR {
+	t := &CSR{Rows: a.Cols, Cols: a.Rows, RowPtr: make([]int, a.Cols+1)}
+	t.ColIdx = make([]int, a.NNZ())
+	t.Val = make([]float64, a.NNZ())
+	for _, c := range a.ColIdx {
+		t.RowPtr[c+1]++
+	}
+	for i := 0; i < t.Rows; i++ {
+		t.RowPtr[i+1] += t.RowPtr[i]
+	}
+	next := make([]int, t.Rows)
+	copy(next, t.RowPtr[:t.Rows])
+	for i := 0; i < a.Rows; i++ {
+		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+			c := a.ColIdx[p]
+			q := next[c]
+			t.ColIdx[q] = i
+			t.Val[q] = a.Val[p]
+			next[c]++
+		}
+	}
+	return t
+}
+
+// SubmatrixRows returns rows [r0, r1) as a new CSR matrix.
+func (a *CSR) SubmatrixRows(r0, r1 int) *CSR {
+	if r0 < 0 || r1 < r0 || r1 > a.Rows {
+		panic(fmt.Sprintf("sparse: SubmatrixRows [%d,%d) of %d rows", r0, r1, a.Rows))
+	}
+	lo, hi := a.RowPtr[r0], a.RowPtr[r1]
+	b := &CSR{
+		Rows:   r1 - r0,
+		Cols:   a.Cols,
+		RowPtr: make([]int, r1-r0+1),
+		ColIdx: append([]int(nil), a.ColIdx[lo:hi]...),
+		Val:    append([]float64(nil), a.Val[lo:hi]...),
+	}
+	for i := r0; i <= r1; i++ {
+		b.RowPtr[i-r0] = a.RowPtr[i] - lo
+	}
+	return b
+}
+
+// Submatrix returns the block rows [r0,r1) × cols [c0,c1), with
+// column indices shifted to the block's local frame.
+func (a *CSR) Submatrix(r0, r1, c0, c1 int) *CSR {
+	if r0 < 0 || r1 < r0 || r1 > a.Rows || c0 < 0 || c1 < c0 || c1 > a.Cols {
+		panic("sparse: Submatrix out of range")
+	}
+	b := &CSR{Rows: r1 - r0, Cols: c1 - c0, RowPtr: make([]int, r1-r0+1)}
+	for i := r0; i < r1; i++ {
+		lo, hi := a.RowPtr[i], a.RowPtr[i+1]
+		// Binary search the column window within the sorted row.
+		s := lo + sort.SearchInts(a.ColIdx[lo:hi], c0)
+		e := lo + sort.SearchInts(a.ColIdx[lo:hi], c1)
+		for p := s; p < e; p++ {
+			b.ColIdx = append(b.ColIdx, a.ColIdx[p]-c0)
+			b.Val = append(b.Val, a.Val[p])
+		}
+		b.RowPtr[i-r0+1] = len(b.Val)
+	}
+	return b
+}
+
+// MulBt returns C = A·Bᵀ where B is dense n2×k and A is sparse m×n2;
+// the result is dense m×k. This is the A·Hᵀ product of the ANLS
+// iteration. Cost: 2·nnz(A)·k flops.
+func (a *CSR) MulBt(b *mat.Dense) *mat.Dense {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("sparse: MulBt dimension mismatch %dx%d · (%dx%d)ᵀ... B must be Cols×k", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	k := b.Cols
+	c := mat.NewDense(a.Rows, k)
+	for i := 0; i < a.Rows; i++ {
+		crow := c.Row(i)
+		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+			v := a.Val[p]
+			brow := b.Row(a.ColIdx[p])
+			for t, bv := range brow {
+				crow[t] += v * bv
+			}
+		}
+	}
+	return c
+}
+
+// MulHt returns C = A·Hᵀ where H is dense k×n (row-major, so column j
+// of H is strided). To keep the inner loop contiguous this transposes
+// H once (k·n copies) and calls MulBt. Cost: 2·nnz(A)·k flops.
+func (a *CSR) MulHt(h *mat.Dense) *mat.Dense {
+	if a.Cols != h.Cols {
+		panic(fmt.Sprintf("sparse: MulHt dimension mismatch A %dx%d, H %dx%d", a.Rows, a.Cols, h.Rows, h.Cols))
+	}
+	return a.MulBt(h.T())
+}
+
+// MulWtA returns C = Wᵀ·A where W is dense m×k and A is sparse m×n;
+// the result is dense k×n. This is the Wᵀ·A product of the ANLS
+// iteration. Cost: 2·nnz(A)·k flops.
+func (a *CSR) MulWtA(w *mat.Dense) *mat.Dense {
+	if a.Rows != w.Rows {
+		panic(fmt.Sprintf("sparse: MulWtA dimension mismatch W %dx%d, A %dx%d", w.Rows, w.Cols, a.Rows, a.Cols))
+	}
+	k := w.Cols
+	c := mat.NewDense(k, a.Cols)
+	for i := 0; i < a.Rows; i++ {
+		wrow := w.Row(i)
+		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+			j := a.ColIdx[p]
+			v := a.Val[p]
+			for t, wv := range wrow {
+				c.Data[t*a.Cols+j] += v * wv
+			}
+		}
+	}
+	return c
+}
+
+// SquaredFrobeniusNorm returns ‖A‖_F².
+func (a *CSR) SquaredFrobeniusNorm() float64 {
+	s := 0.0
+	for _, v := range a.Val {
+		s += v * v
+	}
+	return s
+}
+
+// RowNNZ returns the number of stored entries in row i.
+func (a *CSR) RowNNZ(i int) int { return a.RowPtr[i+1] - a.RowPtr[i] }
+
+// Equal reports whether a and b represent the same matrix (same shape
+// and identical stored patterns/values within tol). Patterns must
+// match exactly; this is intended for tests.
+func (a *CSR) Equal(b *CSR, tol float64) bool {
+	if a.Rows != b.Rows || a.Cols != b.Cols || a.NNZ() != b.NNZ() {
+		return false
+	}
+	for i := range a.RowPtr {
+		if a.RowPtr[i] != b.RowPtr[i] {
+			return false
+		}
+	}
+	for p := range a.Val {
+		if a.ColIdx[p] != b.ColIdx[p] {
+			return false
+		}
+		d := a.Val[p] - b.Val[p]
+		if d < -tol || d > tol {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,245 @@
+// Package hpcnmf is a Go reproduction of "A High-Performance Parallel
+// Algorithm for Nonnegative Matrix Factorization" (Kannan, Ballard,
+// Park — PPoPP 2016). It factorizes a non-negative matrix A (m×n)
+// into non-negative low-rank factors W (m×k) and H (k×n) minimizing
+// ‖A − WH‖_F, using the alternating non-negative least squares (ANLS)
+// framework with a choice of local solvers (BPP, active-set, MU,
+// HALS), sequentially or in parallel.
+//
+// The parallel algorithms run on an in-process message-passing
+// runtime that mirrors MPI (each rank is a goroutine; collectives use
+// the real distributed algorithms), so the communication structure —
+// message and word counts per rank — is exactly that of the paper's
+// MPI implementation. Results carry a per-iteration task breakdown in
+// both measured wall time and α-β-γ modeled time.
+//
+// Quick start:
+//
+//	a := hpcnmf.GenerateDataset("dsyn", 0.1, 42)
+//	res, err := hpcnmf.RunParallel(a.Matrix, 16, hpcnmf.Options{K: 10, MaxIter: 20, ComputeError: true})
+//	// res.W, res.H, res.RelErr, res.Breakdown
+package hpcnmf
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"hpcnmf/internal/core"
+	"hpcnmf/internal/costmodel"
+	"hpcnmf/internal/datasets"
+	"hpcnmf/internal/grid"
+	"hpcnmf/internal/mat"
+	"hpcnmf/internal/perf"
+	"hpcnmf/internal/sparse"
+)
+
+// Dense is a row-major dense matrix (see the methods on mat.Dense).
+type Dense = mat.Dense
+
+// CSR is a compressed-sparse-row matrix.
+type CSR = sparse.CSR
+
+// Matrix abstracts the data matrix over dense and sparse storage.
+type Matrix = core.Matrix
+
+// Options configures a factorization run.
+type Options = core.Options
+
+// Result reports a finished factorization: factors, error history,
+// and the per-iteration task breakdown.
+type Result = core.Result
+
+// Grid is a pr×pc processor grid for RunOnGrid.
+type Grid = grid.Grid
+
+// SolverKind selects the local non-negative least squares method.
+type SolverKind = core.SolverKind
+
+// Local NLS solvers (paper §4): BPP is the default and the paper's
+// choice; ActiveSet is the classical exact method; MU and HALS are
+// the inexact update rules.
+const (
+	SolverBPP       = core.SolverBPP
+	SolverActiveSet = core.SolverActiveSet
+	SolverMU        = core.SolverMU
+	SolverHALS      = core.SolverHALS
+	SolverPGD       = core.SolverPGD
+)
+
+// NewDense returns a zero dense matrix with the given shape.
+func NewDense(rows, cols int) *Dense { return mat.NewDense(rows, cols) }
+
+// DenseFromRows builds a dense matrix from row slices.
+func DenseFromRows(rows [][]float64) *Dense { return mat.FromRows(rows) }
+
+// WrapDense adapts a dense matrix as the data-matrix input.
+func WrapDense(d *Dense) Matrix { return core.WrapDense(d) }
+
+// WrapSparse adapts a CSR matrix as the data-matrix input.
+func WrapSparse(s *CSR) Matrix { return core.WrapSparse(s) }
+
+// SparseFromCoords builds a CSR matrix from coordinate entries.
+func SparseFromCoords(rows, cols int, entries []sparse.Coord) *CSR {
+	return sparse.FromCoords(rows, cols, entries)
+}
+
+// Coord is a coordinate-format sparse entry.
+type Coord = sparse.Coord
+
+// ReadMatrixMarket parses a MatrixMarket coordinate-format matrix.
+func ReadMatrixMarket(r io.Reader) (*CSR, error) { return sparse.ReadMatrixMarket(r) }
+
+// ReadDenseMatrixMarket parses a MatrixMarket array-format dense
+// matrix.
+func ReadDenseMatrixMarket(r io.Reader) (*Dense, error) { return mat.ReadMatrixMarketArray(r) }
+
+// SaveFactor writes a factor matrix to path in the library's compact
+// binary format (checkpointing).
+func SaveFactor(path string, f *Dense) error {
+	out, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := f.WriteBinary(out); err != nil {
+		out.Close()
+		return err
+	}
+	return out.Close()
+}
+
+// LoadFactor reads a factor matrix written by SaveFactor.
+func LoadFactor(path string) (*Dense, error) {
+	in, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer in.Close()
+	return mat.ReadBinary(in)
+}
+
+// Run factorizes A ≈ W·H sequentially (ANLS, Algorithm 1).
+func Run(a Matrix, opts Options) (*Result, error) { return core.RunSequential(a, opts) }
+
+// RunNaive factorizes in parallel with the naive double-partitioned
+// algorithm (Algorithm 2) on p simulated ranks — the baseline whose
+// communication volume HPC-NMF improves on.
+func RunNaive(a Matrix, p int, opts Options) (*Result, error) { return core.RunNaive(a, p, opts) }
+
+// RunParallel factorizes with HPC-NMF (Algorithm 3) on p simulated
+// ranks, choosing the communication-minimizing processor grid
+// automatically (m/pr ≈ n/pc ≈ √(mn/p), degenerating to 1D for
+// tall-skinny matrices).
+func RunParallel(a Matrix, p int, opts Options) (*Result, error) {
+	m, n := a.Dims()
+	return core.RunHPC(a, grid.Choose(m, n, p), opts)
+}
+
+// RunOnGrid factorizes with HPC-NMF on an explicit pr×pc grid.
+// Use pr=p, pc=1 for the paper's HPC-NMF-1D variant.
+func RunOnGrid(a Matrix, pr, pc int, opts Options) (*Result, error) {
+	return core.RunHPC(a, grid.New(pr, pc), opts)
+}
+
+// ChooseGrid returns the communication-minimizing grid for an m×n
+// matrix on p processors.
+func ChooseGrid(m, n, p int) Grid { return grid.Choose(m, n, p) }
+
+// Advice is a per-algorithm cost forecast from the α-β-γ model.
+type Advice = costmodel.Advice
+
+// Advise predicts the per-iteration cost of Naive, HPC-NMF-1D and
+// HPC-NMF-2D for the given problem under Edison-like machine
+// constants, ranked fastest first — the quantitative form of the
+// paper's algorithm-selection guidance.
+func Advise(a Matrix, k, p int) []Advice {
+	m, n := a.Dims()
+	e := perf.Edison()
+	return costmodel.Advise(m, n, k, p, int64(a.NNZ()), e.Alpha, e.Beta, e.Gamma)
+}
+
+// NNDSVD computes the non-negative double SVD initialization of
+// Boutsidis & Gallopoulos. Pass the returned factors via
+// Options.InitW/InitH; fillMean replaces zeros with the matrix mean /
+// k ("NNDSVDa"), required for solvers that cannot reactivate zeros
+// (MU).
+func NNDSVD(a Matrix, k int, fillMean bool, seed uint64) (w, h *Dense, err error) {
+	return core.NNDSVD(a, k, fillMean, seed)
+}
+
+// TruncatedSVD returns the top-k singular triplets of A
+// (A ≈ U·diag(sigma)·Vᵀ) via subspace iteration; sparse inputs stay
+// sparse.
+func TruncatedSVD(a Matrix, k, iters int, seed uint64) (u *Dense, sigma []float64, v *Dense, err error) {
+	return core.TruncatedSVD(a, k, iters, seed)
+}
+
+// RankPoint is one entry of a rank sweep (RankSweep).
+type RankPoint = core.RankPoint
+
+// RankSweep factorizes A at each candidate rank and returns the final
+// relative error per rank, the curve used to choose k by its elbow.
+func RankSweep(a Matrix, ks []int, opts Options) ([]RankPoint, error) {
+	return core.RankSweep(a, ks, opts)
+}
+
+// Elbow picks the rank after which additional components stop paying
+// (see core.Elbow for the rule); frac ≤ 0 selects the default 0.1.
+func Elbow(points []RankPoint, frac float64) RankPoint { return core.Elbow(points, frac) }
+
+// Streaming maintains an NMF of a sliding window of data columns —
+// the incremental video scenario of §6.1.1. Push new columns as they
+// arrive; read Factors, RelErr, and per-column Residual /
+// ForegroundEnergy.
+type Streaming = core.Streaming
+
+// StreamingOptions configures a Streaming factorizer.
+type StreamingOptions = core.StreamingOptions
+
+// NewStreaming creates a sliding-window factorizer for m-row columns.
+func NewStreaming(m int, opts StreamingOptions) (*Streaming, error) {
+	return core.NewStreaming(m, opts)
+}
+
+// SymOptions configures symmetric NMF (A ≈ H·Hᵀ).
+type SymOptions = core.SymOptions
+
+// SymResult reports a symmetric factorization.
+type SymResult = core.SymResult
+
+// RunSymNMF computes symmetric NMF A ≈ H·Hᵀ for a symmetric
+// non-negative matrix (graph clustering; Kuang, Ding & Park, cited by
+// the paper as an NMF application).
+func RunSymNMF(a Matrix, opts SymOptions) (*SymResult, error) { return core.RunSymNMF(a, opts) }
+
+// RunSymNMFParallel runs symmetric NMF on p simulated ranks; with a
+// shared seed it computes the same iterates as RunSymNMF.
+func RunSymNMFParallel(a Matrix, p int, opts SymOptions) (*SymResult, error) {
+	return core.RunSymNMFParallel(a, p, opts)
+}
+
+// Dataset is a generated evaluation workload.
+type Dataset = datasets.Dataset
+
+// BagOfWordsSpec parameterizes GenerateBagOfWords.
+type BagOfWordsSpec = datasets.BagOfWordsSpec
+
+// GenerateBagOfWords builds a synthetic term-document count matrix
+// with planted topics and Zipf word frequencies — the text-mining
+// workload of the paper's introduction. The planted topic of document
+// j is (j·Topics)/Docs.
+func GenerateBagOfWords(spec BagOfWordsSpec, seed uint64) *CSR {
+	return datasets.BagOfWords(spec, seed)
+}
+
+// GenerateDataset builds one of the paper's four evaluation workloads
+// ("dsyn", "ssyn", "video", "webbase") at the given scale (1.0 =
+// harness defaults; smaller shrinks proportionally). It panics on an
+// unknown name; use datasets.ByName for an error-returning variant.
+func GenerateDataset(name string, scale float64, seed uint64) Dataset {
+	ds, err := datasets.ByName(name, datasets.Scale(scale), seed)
+	if err != nil {
+		panic(fmt.Sprintf("hpcnmf: %v", err))
+	}
+	return ds
+}

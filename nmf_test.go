@@ -1,0 +1,221 @@
+package hpcnmf_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"hpcnmf"
+)
+
+func TestFacadeSequential(t *testing.T) {
+	a := hpcnmf.DenseFromRows([][]float64{
+		{1, 0, 2, 1},
+		{0, 1, 1, 0},
+		{2, 1, 5, 2},
+		{1, 0, 2, 1},
+		{0, 2, 2, 0},
+	})
+	res, err := hpcnmf.Run(hpcnmf.WrapDense(a), hpcnmf.Options{K: 2, MaxIter: 30, ComputeError: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// This matrix is exactly rank 2 with a non-negative factorization,
+	// so NMF should fit it nearly perfectly.
+	if last := res.RelErr[len(res.RelErr)-1]; last > 1e-3 {
+		t.Fatalf("relative error %g on an exactly-NMF-factorable matrix", last)
+	}
+}
+
+func TestFacadeParallelAgreesWithSequential(t *testing.T) {
+	ds := hpcnmf.GenerateDataset("dsyn", 0.03, 3)
+	opts := hpcnmf.Options{K: 4, MaxIter: 4, Seed: 5, ComputeError: true}
+	seq, err := hpcnmf.Run(ds.Matrix, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := hpcnmf.RunParallel(ds.Matrix, 6, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := par.W.MaxDiff(seq.W); d > 1e-6 {
+		t.Fatalf("parallel W differs by %g", d)
+	}
+	naive, err := hpcnmf.RunNaive(ds.Matrix, 6, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := naive.H.MaxDiff(seq.H); d > 1e-6 {
+		t.Fatalf("naive H differs by %g", d)
+	}
+	oneD, err := hpcnmf.RunOnGrid(ds.Matrix, 6, 1, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := oneD.W.MaxDiff(seq.W); d > 1e-6 {
+		t.Fatalf("1D grid W differs by %g", d)
+	}
+}
+
+func TestFacadeSparse(t *testing.T) {
+	ds := hpcnmf.GenerateDataset("ssyn", 0.05, 7)
+	res, err := hpcnmf.RunParallel(ds.Matrix, 4, hpcnmf.Options{K: 3, MaxIter: 3, Seed: 2, ComputeError: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.W.Min() < 0 || res.H.Min() < 0 {
+		t.Fatal("factors not non-negative")
+	}
+	if math.IsNaN(res.RelErr[len(res.RelErr)-1]) {
+		t.Fatal("NaN objective")
+	}
+}
+
+func TestFacadeMatrixMarket(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate real general
+3 3 3
+1 1 1.0
+2 2 2.0
+3 3 3.0
+`
+	a, err := hpcnmf.ReadMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NNZ() != 3 || a.At(2, 2) != 3 {
+		t.Fatal("MatrixMarket parse wrong")
+	}
+}
+
+func TestFacadeSolverSelection(t *testing.T) {
+	ds := hpcnmf.GenerateDataset("dsyn", 0.02, 9)
+	for _, s := range []hpcnmf.SolverKind{hpcnmf.SolverBPP, hpcnmf.SolverHALS, hpcnmf.SolverMU} {
+		res, err := hpcnmf.RunParallel(ds.Matrix, 4, hpcnmf.Options{K: 3, MaxIter: 3, Seed: 2, Solver: s, Sweeps: 2})
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		if !res.W.IsFinite() {
+			t.Fatalf("%v: non-finite factors", s)
+		}
+	}
+}
+
+func TestChooseGrid(t *testing.T) {
+	g := hpcnmf.ChooseGrid(100000, 50, 8)
+	if g.PC != 1 {
+		t.Fatalf("tall-skinny grid %dx%d", g.PR, g.PC)
+	}
+}
+
+func TestGenerateDatasetPanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown dataset did not panic")
+		}
+	}()
+	hpcnmf.GenerateDataset("nope", 1, 0)
+}
+
+func TestFacadeSaveLoadFactor(t *testing.T) {
+	dir := t.TempDir()
+	w := hpcnmf.NewDense(4, 3)
+	w.Set(2, 1, 7.25)
+	path := dir + "/w.bin"
+	if err := hpcnmf.SaveFactor(path, w); err != nil {
+		t.Fatal(err)
+	}
+	got, err := hpcnmf.LoadFactor(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.At(2, 1) != 7.25 || got.Rows != 4 || got.Cols != 3 {
+		t.Fatal("factor round trip failed")
+	}
+	if _, err := hpcnmf.LoadFactor(dir + "/missing.bin"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestFacadeNNDSVDInit(t *testing.T) {
+	ds := hpcnmf.GenerateDataset("dsyn", 0.03, 15)
+	w0, h0, err := hpcnmf.NNDSVD(ds.Matrix, 3, true, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := hpcnmf.RunParallel(ds.Matrix, 4, hpcnmf.Options{
+		K: 3, MaxIter: 3, Seed: 1, InitW: w0, InitH: h0, ComputeError: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.RelErr) == 0 || res.W.Min() < 0 {
+		t.Fatal("NNDSVD-seeded parallel run invalid")
+	}
+}
+
+func TestFacadeTruncatedSVD(t *testing.T) {
+	ds := hpcnmf.GenerateDataset("dsyn", 0.02, 17)
+	u, sigma, v, err := hpcnmf.TruncatedSVD(ds.Matrix, 2, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sigma) != 2 || sigma[0] < sigma[1] || u.Cols != 2 || v.Cols != 2 {
+		t.Fatal("SVD output malformed")
+	}
+}
+
+func TestFacadeSymNMF(t *testing.T) {
+	// Small symmetric similarity matrix.
+	a := hpcnmf.NewDense(6, 6)
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 6; j++ {
+			if i/3 == j/3 {
+				a.Set(i, j, 1)
+			} else {
+				a.Set(i, j, 0.05)
+			}
+		}
+	}
+	res, err := hpcnmf.RunSymNMF(hpcnmf.WrapDense(a), hpcnmf.SymOptions{K: 2, MaxIter: 50, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.H.Rows != 6 || res.H.Cols != 2 || res.H.Min() < 0 {
+		t.Fatal("SymNMF output malformed")
+	}
+}
+
+func TestFacadeBalance(t *testing.T) {
+	// A matrix with a hub column is maximally imbalanced on a 2D grid.
+	rep := hpcnmf.AnalyzeBalance(syntheticGraph(400), 4, 7)
+	if rep.Before <= 1 {
+		t.Fatalf("hub-column graph reported balanced: %+v", rep)
+	}
+	bal, rowMap, colMap := hpcnmf.BalanceSparse(syntheticGraph(200), 11)
+	if bal.NNZ() == 0 || len(rowMap) != 200 || len(colMap) != 200 {
+		t.Fatal("BalanceSparse malformed output")
+	}
+}
+
+// syntheticGraph builds a small skewed sparse matrix through the
+// public API only.
+func syntheticGraph(n int) *hpcnmf.CSR {
+	var coords []hpcnmf.Coord
+	for i := 0; i < n; i++ {
+		coords = append(coords, hpcnmf.Coord{Row: i, Col: 0, Val: 1}) // hub column
+		coords = append(coords, hpcnmf.Coord{Row: i, Col: (i*7 + 3) % n, Val: 1})
+	}
+	return hpcnmf.SparseFromCoords(n, n, coords)
+}
+
+func TestFacadeDenseMatrixMarket(t *testing.T) {
+	in := "%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n4\n"
+	a, err := hpcnmf.ReadDenseMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Column-major: a[0][0]=1 a[1][0]=2 a[0][1]=3 a[1][1]=4.
+	if a.At(1, 0) != 2 || a.At(0, 1) != 3 {
+		t.Fatal("array parse wrong")
+	}
+}
