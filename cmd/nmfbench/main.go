@@ -34,6 +34,7 @@ func main() {
 		k     = flag.Int("k", 50, "rank for scaling experiments")
 		ks    = flag.String("ks", "10,20,30,40,50", "rank sweep for comparison experiments")
 		ps    = flag.String("ps", "4,16,64", "processor sweep for scaling experiments")
+		jsonP = flag.String("json", "", "write a machine-readable BenchReport JSON for the selected figure/table3 experiments (e.g. BENCH_main.json)")
 	)
 	flag.Parse()
 
@@ -57,11 +58,40 @@ func main() {
 	if *exp == "all" {
 		ids = experiments.Names()
 	}
+	for i := range ids {
+		ids[i] = strings.TrimSpace(ids[i])
+	}
+
+	if *jsonP != "" {
+		if *exp == "all" {
+			// Text-only experiments have no tabular form; "all" means
+			// every row-producing one here.
+			ids = experiments.RowProducingNames()
+		}
+		rep, err := experiments.Collect(ids, cfg)
+		if err != nil {
+			fatal("%v", err)
+		}
+		out, err := os.Create(*jsonP)
+		if err != nil {
+			fatal("%v", err)
+		}
+		if err := rep.WriteJSON(out); err != nil {
+			out.Close()
+			fatal("writing %s: %v", *jsonP, err)
+		}
+		if err := out.Close(); err != nil {
+			fatal("writing %s: %v", *jsonP, err)
+		}
+		fmt.Printf("wrote %s (%d rows, schema v%d)\n", *jsonP, len(rep.Rows), rep.Version)
+		return
+	}
+
 	for i, id := range ids {
 		if i > 0 {
 			fmt.Println()
 		}
-		if err := experiments.Run(strings.TrimSpace(id), cfg, os.Stdout); err != nil {
+		if err := experiments.Run(id, cfg, os.Stdout); err != nil {
 			fatal("%s: %v", id, err)
 		}
 	}

@@ -1,11 +1,15 @@
 // Command nmfrun factorizes a dataset with any of the algorithms and
 // prints convergence history and the per-iteration task breakdown.
+// With the observability flags it also emits a Chrome trace_event
+// timeline (-trace, open in Perfetto), a metrics snapshot (-metrics),
+// and a machine-readable run report (-report).
 //
 // Usage:
 //
 //	nmfrun -data ssyn -k 16 -alg hpc2d -p 16 -iters 10
 //	nmfrun -data video -alg hpc1d -p 8
 //	nmfrun -mm matrix.mtx -alg naive -p 4        # MatrixMarket input
+//	nmfrun -data ssyn -alg hpc2d -p 16 -trace t.json -report r.json -metrics
 package main
 
 import (
@@ -18,21 +22,30 @@ import (
 
 func main() {
 	var (
-		data   = flag.String("data", "dsyn", "dataset: dsyn, ssyn, video, webbase, bow (ignored with -mm)")
-		mmPath = flag.String("mm", "", "read a MatrixMarket file instead of generating a dataset")
-		scale  = flag.Float64("scale", 0.25, "dataset scale factor")
-		alg    = flag.String("alg", "hpc2d", "algorithm: seq, naive, hpc1d, hpc2d, auto (cost-model pick)")
-		solver = flag.String("solver", "bpp", "local NLS solver: bpp, activeset, mu, hals, pgd")
-		sweeps = flag.Int("sweeps", 1, "inner sweeps for mu/hals")
-		k      = flag.Int("k", 10, "factorization rank")
-		p      = flag.Int("p", 16, "processor count (parallel algorithms)")
-		iters  = flag.Int("iters", 10, "max alternating iterations")
-		tol    = flag.Float64("tol", 0, "early-stop tolerance on relative-error decrease (0 = off)")
-		seed   = flag.Uint64("seed", 42, "random seed")
-		view   = flag.String("view", "both", "breakdown view: modeled, measured, both")
-		out    = flag.String("out", "", "write factors to <out>.W and <out>.H (binary)")
+		data    = flag.String("data", "dsyn", "dataset: dsyn, ssyn, video, webbase, bow (ignored with -mm)")
+		mmPath  = flag.String("mm", "", "read a MatrixMarket file instead of generating a dataset")
+		scale   = flag.Float64("scale", 0.25, "dataset scale factor")
+		alg     = flag.String("alg", "hpc2d", "algorithm: seq, naive, hpc1d, hpc2d, auto (cost-model pick)")
+		solver  = flag.String("solver", "bpp", "local NLS solver: bpp, activeset, mu, hals, pgd")
+		sweeps  = flag.Int("sweeps", 1, "inner sweeps for mu/hals")
+		k       = flag.Int("k", 10, "factorization rank")
+		p       = flag.Int("p", 16, "processor count (parallel algorithms)")
+		iters   = flag.Int("iters", 10, "max alternating iterations")
+		tol     = flag.Float64("tol", 0, "early-stop tolerance on relative-error decrease (0 = off)")
+		seed    = flag.Uint64("seed", 42, "random seed")
+		view    = flag.String("view", "both", "breakdown view: modeled, measured, both")
+		out     = flag.String("out", "", "write factors to <out>.W and <out>.H (binary)")
+		trace   = flag.String("trace", "", "write a Chrome trace_event JSON timeline (one track per rank)")
+		report  = flag.String("report", "", "write a machine-readable JSON run report")
+		metrics = flag.Bool("metrics", false, "collect and print the metrics registry snapshot")
 	)
 	flag.Parse()
+
+	switch *view {
+	case "modeled", "measured", "both":
+	default:
+		fatal("unknown -view %q (want modeled, measured, or both)", *view)
+	}
 
 	var a hpcnmf.Matrix
 	var name string
@@ -61,6 +74,10 @@ func main() {
 		Sweeps:       *sweeps,
 		Seed:         *seed,
 		ComputeError: true,
+		TraceEvents:  *trace != "",
+	}
+	if *metrics || *report != "" {
+		opts.Metrics = hpcnmf.NewMetricsRegistry()
 	}
 	switch *solver {
 	case "bpp":
@@ -81,6 +98,9 @@ func main() {
 	var err error
 	if *alg == "auto" {
 		adv := hpcnmf.Advise(a, *k, *p)
+		if len(adv) == 0 {
+			fatal("cost model returned no algorithm advice for k=%d p=%d; pick -alg explicitly", *k, *p)
+		}
 		fmt.Println("cost-model forecast (fastest first):")
 		for _, row := range adv {
 			fmt.Printf("  %-14s %.6f s/iter\n", row.Algorithm, row.Seconds)
@@ -94,8 +114,10 @@ func main() {
 		}
 		fmt.Printf("selected: %s\n\n", *alg)
 	}
+	procs := *p
 	switch *alg {
 	case "seq":
+		procs = 1
 		res, err = hpcnmf.Run(a, opts)
 	case "naive":
 		res, err = hpcnmf.RunNaive(a, *p, opts)
@@ -118,7 +140,30 @@ func main() {
 	for i, e := range res.RelErr {
 		fmt.Printf("  iter %3d: %.6f\n", i+1, e)
 	}
-	fmt.Printf("\nper-iteration task breakdown:\n%s", res.Breakdown.Format(*view))
+	table, err := res.Breakdown.Format(*view)
+	if err != nil {
+		fatal("%v", err)
+	}
+	fmt.Printf("\nper-iteration task breakdown:\n%s", table)
+
+	if *trace != "" {
+		if err := res.Trace.WriteChromeFile(*trace); err != nil {
+			fatal("writing trace: %v", err)
+		}
+		fmt.Printf("\nwrote trace %s (%d events, %d rank tracks; open in Perfetto or chrome://tracing)\n",
+			*trace, len(res.Trace.Events), res.Trace.Ranks)
+	}
+	if *metrics {
+		fmt.Printf("\nmetrics:\n")
+		opts.Metrics.Snapshot().WriteText(os.Stdout)
+	}
+	if *report != "" {
+		rep := hpcnmf.NewReport(hpcnmf.DescribeMatrix(name, a), procs, opts, res, *trace)
+		if err := rep.WriteJSONFile(*report); err != nil {
+			fatal("writing report: %v", err)
+		}
+		fmt.Printf("\nwrote report %s (schema v%d)\n", *report, rep.Version)
+	}
 
 	if *out != "" {
 		if err := hpcnmf.SaveFactor(*out+".W", res.W); err != nil {

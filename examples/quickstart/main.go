@@ -65,6 +65,9 @@ func main() {
 		}
 		fmt.Println()
 	}
-	fmt.Printf("\nper-iteration cost breakdown (modeled, Edison-like cluster):\n%s",
-		par.Breakdown.Format("modeled"))
+	table, err := par.Breakdown.Format("modeled")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nper-iteration cost breakdown (modeled, Edison-like cluster):\n%s", table)
 }

@@ -7,6 +7,7 @@ import (
 	"hpcnmf/internal/mat"
 	"hpcnmf/internal/mpi"
 	"hpcnmf/internal/perf"
+	"hpcnmf/internal/trace"
 )
 
 // RunParallelAuto runs HPC-NMF with the communication-minimizing grid
@@ -42,6 +43,10 @@ func RunHPC(a Matrix, g grid.Grid, opts Options) (*Result, error) {
 	normA2 := a.SquaredFrobeniusNorm()
 
 	world := mpi.NewWorld(p)
+	tsess := newTraceSession(opts, p)
+	world.SetTracing(tsess)
+	world.SetMetrics(opts.Metrics)
+	rm := newRunMetrics(opts.Metrics)
 	trackers := make([]*perf.Tracker, p)
 	traffic := make([]*mpi.Counters, p)
 	var res *Result
@@ -50,6 +55,7 @@ func RunHPC(a Matrix, g grid.Grid, opts Options) (*Result, error) {
 		rank := c.Rank()
 		gi, gj := g.Coords(rank)
 		tr := perf.NewTracker()
+		clk := phaseClock{tr: tr, tc: c.Tracer()}
 
 		// Block geometry (Figure 2): rows [r0,r1) × cols [c0,c1) of A;
 		// within them, this rank's W piece covers rows
@@ -86,13 +92,14 @@ func RunHPC(a Matrix, g grid.Grid, opts Options) (*Result, error) {
 		setupTraffic := c.Counters().Snapshot()
 		for it := 0; it < opts.MaxIter; it++ {
 			iters++
+			itSpan := c.Tracer().BeginArg(trace.CatIter, "iteration", "iter", int64(it))
 			// --- Compute W given H (lines 3-8) ---
-			stop := tr.Go(perf.TaskGram)
+			stop := clk.Go(perf.TaskGram)
 			uij := mat.GramT(hij) // line 3: Uij = (Hj)i·(Hj)iᵀ
 			stop()
 			tr.AddFlops(perf.TaskGram, gramFlops(hHi-hLo, k))
 
-			stop = tr.Go(perf.TaskAllReduce)
+			stop = clk.Go(perf.TaskAllReduce)
 			hht := &mat.Dense{Rows: k, Cols: k, Data: c.AllReduce(uij.Data)} // line 4
 			stop()
 
@@ -104,16 +111,16 @@ func RunHPC(a Matrix, g grid.Grid, opts Options) (*Result, error) {
 			for c0 := 0; c0 < k; c0 += chunk {
 				c1 := min(c0+chunk, k)
 				kc := c1 - c0
-				stop = tr.Go(perf.TaskAllGather)
+				stop = clk.Go(perf.TaskAllGather)
 				hjTChunk := &mat.Dense{Rows: nj, Cols: kc, Data: colComm.AllGatherV(
 					hij.Submatrix(c0, c1, 0, hHi-hLo).T().Data,
 					grid.ScaleCounts(hRowCounts, kc))}
 				stop()
-				stop = tr.Go(perf.TaskMM)
+				stop = clk.Go(perf.TaskMM)
 				vijChunk := aij.MulBt(hjTChunk) // Vij columns [c0,c1)
 				stop()
 				tr.AddFlops(perf.TaskMM, 2*int64(aij.NNZ())*int64(kc))
-				stop = tr.Go(perf.TaskReduceScatter)
+				stop = clk.Go(perf.TaskReduceScatter)
 				got := &mat.Dense{Rows: wHi - wLo, Cols: kc, Data: rowComm.ReduceScatter(
 					vijChunk.Data, grid.ScaleCounts(wRowCounts, kc))}
 				stop()
@@ -121,23 +128,24 @@ func RunHPC(a Matrix, g grid.Grid, opts Options) (*Result, error) {
 			}
 
 			gw, fw := applyReg(hht, ahtij.T(), opts.L2W, opts.L1W)
-			stop = tr.Go(perf.TaskNLS)
+			stop = clk.Go(perf.TaskNLS)
 			wt, st, serr := solver.Solve(gw, fw, wij.T()) // line 8
 			stop()
 			if serr != nil {
 				panic(fmt.Sprintf("core: HPC W update failed at iteration %d: %v", it, serr))
 			}
 			tr.AddFlops(perf.TaskNLS, st.Flops)
+			rm.ObserveNLS(st.Iterations)
 			wij = wt.T()
 			checkFactorSanity("W", wij)
 
 			// --- Compute H given W (lines 9-14) ---
-			stop = tr.Go(perf.TaskGram)
+			stop = clk.Go(perf.TaskGram)
 			xij := mat.Gram(wij) // line 9: Xij = (Wi)jᵀ·(Wi)j
 			stop()
 			tr.AddFlops(perf.TaskGram, gramFlops(wHi-wLo, k))
 
-			stop = tr.Go(perf.TaskAllReduce)
+			stop = clk.Go(perf.TaskAllReduce)
 			wtw := &mat.Dense{Rows: k, Cols: k, Data: c.AllReduce(xij.Data)} // line 10
 			stop()
 
@@ -148,16 +156,16 @@ func RunHPC(a Matrix, g grid.Grid, opts Options) (*Result, error) {
 			for c0 := 0; c0 < k; c0 += chunk {
 				c1 := min(c0+chunk, k)
 				kc := c1 - c0
-				stop = tr.Go(perf.TaskAllGather)
+				stop = clk.Go(perf.TaskAllGather)
 				wiChunk := &mat.Dense{Rows: mi, Cols: kc, Data: rowComm.AllGatherV(
 					wij.SubmatrixCols(c0, c1).Data,
 					grid.ScaleCounts(wRowCounts, kc))}
 				stop()
-				stop = tr.Go(perf.TaskMM)
+				stop = clk.Go(perf.TaskMM)
 				yijChunk := aij.MulAtB(wiChunk) // Yij rows [c0,c1), kc×nj
 				stop()
 				tr.AddFlops(perf.TaskMM, 2*int64(aij.NNZ())*int64(kc))
-				stop = tr.Go(perf.TaskReduceScatter)
+				stop = clk.Go(perf.TaskReduceScatter)
 				got := &mat.Dense{Rows: hHi - hLo, Cols: kc, Data: colComm.ReduceScatter(
 					yijChunk.T().Data, grid.ScaleCounts(hRowCounts, kc))}
 				stop()
@@ -173,20 +181,22 @@ func RunHPC(a Matrix, g grid.Grid, opts Options) (*Result, error) {
 			}
 
 			gh, fh := applyReg(wtw, wtaT.T(), opts.L2H, opts.L1H)
-			stop = tr.Go(perf.TaskNLS)
+			stop = clk.Go(perf.TaskNLS)
 			hNew, st2, serr := solver.Solve(gh, fh, hij) // line 14
 			stop()
 			if serr != nil {
 				panic(fmt.Sprintf("core: HPC H update failed at iteration %d: %v", it, serr))
 			}
 			tr.AddFlops(perf.TaskNLS, st2.Flops)
+			rm.ObserveNLS(st2.Iterations)
 			hij = hNew
 			checkFactorSanity("H", hij)
 
 			// --- Objective (optional): the "global aggregation for
 			// residual" of §5, one scalar all-reduce. ---
 			if opts.ComputeError {
-				stop = tr.Go(perf.TaskGram)
+				errSpan := c.Tracer().Begin(trace.CatPhase, "Err")
+				stop = clk.Go(perf.TaskGram)
 				hijGram := mat.GramT(hij)
 				stop()
 				tr.AddFlops(perf.TaskGram, gramFlops(hHi-hLo, k))
@@ -194,18 +204,25 @@ func RunHPC(a Matrix, g grid.Grid, opts Options) (*Result, error) {
 				if opts.TolGrad > 0 {
 					payload = append(payload, pgLocal, pgRefLocal)
 				}
-				stop = tr.Go(perf.TaskAllReduce)
+				stop = clk.Go(perf.TaskAllReduce)
 				parts := c.AllReduce(payload)
 				stop()
-				relErr = append(relErr, relErrFrom(normA2, parts[0], parts[1]))
+				errSpan.End()
+				e := relErrFrom(normA2, parts[0], parts[1])
+				relErr = append(relErr, e)
+				if rank == 0 {
+					rm.ObserveRelErr(e)
+				}
 				pg, pgRef := 0.0, 0.0
 				if opts.TolGrad > 0 {
 					pg, pgRef = parts[2], parts[3]
 				}
 				if shouldStop(relErr, opts.Tol) || gradConverged(opts.TolGrad, pg, pgRef) {
+					itSpan.End()
 					break
 				}
 			}
+			itSpan.End()
 		}
 		trackers[rank] = tr.Diff(setupTr)
 		traffic[rank] = c.Counters().Diff(setupTraffic)
@@ -254,5 +271,10 @@ func RunHPC(a Matrix, g grid.Grid, opts Options) (*Result, error) {
 		return nil, err
 	}
 	res.Breakdown = perf.Aggregate(opts.Model, trackers, traffic).Scale(res.Iterations)
+	res.PerRank = perf.PerRank(opts.Model, trackers, traffic, res.Iterations)
+	rm.ObserveIterations(res.Iterations)
+	if tsess != nil {
+		res.Trace = tsess.Merge()
+	}
 	return res, nil
 }

@@ -7,6 +7,7 @@ import (
 	"hpcnmf/internal/mat"
 	"hpcnmf/internal/mpi"
 	"hpcnmf/internal/perf"
+	"hpcnmf/internal/trace"
 )
 
 // RunNaive executes Naive-Parallel-NMF (Algorithm 2, after Fairbanks
@@ -37,6 +38,10 @@ func RunNaive(a Matrix, p int, opts Options) (*Result, error) {
 	hWordCounts := grid.ScaleCounts(colCounts, k)
 
 	world := mpi.NewWorld(p)
+	tsess := newTraceSession(opts, p)
+	world.SetTracing(tsess)
+	world.SetMetrics(opts.Metrics)
+	rm := newRunMetrics(opts.Metrics)
 	trackers := make([]*perf.Tracker, p)
 	traffic := make([]*mpi.Counters, p)
 	var res *Result
@@ -44,6 +49,7 @@ func RunNaive(a Matrix, p int, opts Options) (*Result, error) {
 	body := func(c *mpi.Comm) {
 		rank := c.Rank()
 		tr := perf.NewTracker()
+		clk := phaseClock{tr: tr, tc: c.Tracer()}
 		trackers[rank] = tr
 
 		r0, r1 := grid.BlockRange(m, p, rank)
@@ -65,43 +71,45 @@ func RunNaive(a Matrix, p int, opts Options) (*Result, error) {
 		setupTraffic := c.Counters().Snapshot()
 		for it := 0; it < opts.MaxIter; it++ {
 			iters++
+			itSpan := c.Tracer().BeginArg(trace.CatIter, "iteration", "iter", int64(it))
 			// --- Compute W given H (lines 3-4) ---
-			stop := tr.Go(perf.TaskAllGather)
+			stop := clk.Go(perf.TaskAllGather)
 			hT := &mat.Dense{Rows: n, Cols: k, Data: c.AllGatherV(hi.T().Data, hWordCounts)}
 			stop()
 
-			stop = tr.Go(perf.TaskGram)
+			stop = clk.Go(perf.TaskGram)
 			hGram := mat.Gram(hT) // (Hᵀ)ᵀHᵀ = HHᵀ, computed redundantly
 			stop()
 			tr.AddFlops(perf.TaskGram, gramFlops(n, k))
 
-			stop = tr.Go(perf.TaskMM)
+			stop = clk.Go(perf.TaskMM)
 			aiht := aRow.MulBt(hT) // Ai·Hᵀ, mi×k
 			stop()
 			tr.AddFlops(perf.TaskMM, 2*int64(aRow.NNZ())*int64(k))
 
 			gw, fw := applyReg(hGram, aiht.T(), opts.L2W, opts.L1W)
-			stop = tr.Go(perf.TaskNLS)
+			stop = clk.Go(perf.TaskNLS)
 			wt, st, serr := solver.Solve(gw, fw, wi.T())
 			stop()
 			if serr != nil {
 				panic(fmt.Sprintf("core: naive W update failed at iteration %d: %v", it, serr))
 			}
 			tr.AddFlops(perf.TaskNLS, st.Flops)
+			rm.ObserveNLS(st.Iterations)
 			wi = wt.T()
 			checkFactorSanity("W", wi)
 
 			// --- Compute H given W (lines 5-6) ---
-			stop = tr.Go(perf.TaskAllGather)
+			stop = clk.Go(perf.TaskAllGather)
 			w := &mat.Dense{Rows: m, Cols: k, Data: c.AllGatherV(wi.Data, wWordCounts)}
 			stop()
 
-			stop = tr.Go(perf.TaskGram)
+			stop = clk.Go(perf.TaskGram)
 			wtw := mat.Gram(w) // redundant on every rank
 			stop()
 			tr.AddFlops(perf.TaskGram, gramFlops(m, k))
 
-			stop = tr.Go(perf.TaskMM)
+			stop = clk.Go(perf.TaskMM)
 			wtai := aCol.MulAtB(w) // Wᵀ·Aⁱ, k×ni
 			stop()
 			tr.AddFlops(perf.TaskMM, 2*int64(aCol.NNZ())*int64(k))
@@ -115,19 +123,21 @@ func RunNaive(a Matrix, p int, opts Options) (*Result, error) {
 			}
 
 			gh, fh := applyReg(wtw, wtai, opts.L2H, opts.L1H)
-			stop = tr.Go(perf.TaskNLS)
+			stop = clk.Go(perf.TaskNLS)
 			hNew, st2, serr := solver.Solve(gh, fh, hi)
 			stop()
 			if serr != nil {
 				panic(fmt.Sprintf("core: naive H update failed at iteration %d: %v", it, serr))
 			}
 			tr.AddFlops(perf.TaskNLS, st2.Flops)
+			rm.ObserveNLS(st2.Iterations)
 			hi = hNew
 			checkFactorSanity("H", hi)
 
 			// --- Objective (optional): local partials + one all-reduce ---
 			if opts.ComputeError {
-				stop = tr.Go(perf.TaskGram)
+				errSpan := c.Tracer().Begin(trace.CatPhase, "Err")
+				stop = clk.Go(perf.TaskGram)
 				hiGram := mat.GramT(hi)
 				stop()
 				tr.AddFlops(perf.TaskGram, gramFlops(ni, k))
@@ -135,18 +145,25 @@ func RunNaive(a Matrix, p int, opts Options) (*Result, error) {
 				if opts.TolGrad > 0 {
 					payload = append(payload, pgLocal, pgRefLocal)
 				}
-				stop = tr.Go(perf.TaskAllReduce)
+				stop = clk.Go(perf.TaskAllReduce)
 				parts := c.AllReduce(payload)
 				stop()
-				relErr = append(relErr, relErrFrom(normA2, parts[0], parts[1]))
+				errSpan.End()
+				e := relErrFrom(normA2, parts[0], parts[1])
+				relErr = append(relErr, e)
+				if rank == 0 {
+					rm.ObserveRelErr(e)
+				}
 				pg, pgRef := 0.0, 0.0
 				if opts.TolGrad > 0 {
 					pg, pgRef = parts[2], parts[3]
 				}
 				if shouldStop(relErr, opts.Tol) || gradConverged(opts.TolGrad, pg, pgRef) {
+					itSpan.End()
 					break
 				}
 			}
+			itSpan.End()
 		}
 		// Freeze the measured iteration window before the final
 		// gather adds unrelated traffic.
@@ -172,5 +189,10 @@ func RunNaive(a Matrix, p int, opts Options) (*Result, error) {
 		return nil, err
 	}
 	res.Breakdown = perf.Aggregate(opts.Model, trackers, traffic).Scale(res.Iterations)
+	res.PerRank = perf.PerRank(opts.Model, trackers, traffic, res.Iterations)
+	rm.ObserveIterations(res.Iterations)
+	if tsess != nil {
+		res.Trace = tsess.Merge()
+	}
 	return res, nil
 }

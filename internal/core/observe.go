@@ -1,0 +1,83 @@
+package core
+
+import (
+	"hpcnmf/internal/metrics"
+	"hpcnmf/internal/perf"
+	"hpcnmf/internal/trace"
+)
+
+// phaseClock couples the perf tracker with the event tracer so one
+// Go() call feeds both the aggregate task breakdown and the per-rank
+// trace. With tracing off it degenerates to exactly the old
+// perf.Tracker path (one closure, no span).
+type phaseClock struct {
+	tr *perf.Tracker
+	tc *trace.Tracer // nil when tracing is off
+}
+
+// Go starts timing a phase on both instruments and returns the stop
+// function.
+func (p phaseClock) Go(task perf.Task) func() {
+	stop := p.tr.Go(task)
+	if p.tc == nil {
+		return stop
+	}
+	sp := p.tc.Begin(trace.CatPhase, task.String())
+	return func() {
+		stop()
+		sp.End()
+	}
+}
+
+// runMetrics caches the registry instruments the iteration loops
+// touch, so the hot path pays one nil check instead of a registry
+// lookup. The zero value (metrics off) makes every method a no-op.
+type runMetrics struct {
+	nlsInner   *metrics.Counter
+	iterations *metrics.Gauge
+	relErr     *metrics.Gauge
+}
+
+// newRunMetrics resolves the iteration-loop instruments; reg may be
+// nil.
+func newRunMetrics(reg *metrics.Registry) runMetrics {
+	if reg == nil {
+		return runMetrics{}
+	}
+	return runMetrics{
+		nlsInner:   reg.Counter("nmf.nls.inner_iterations"),
+		iterations: reg.Gauge("nmf.iterations"),
+		relErr:     reg.Gauge("nmf.rel_err"),
+	}
+}
+
+// ObserveNLS charges one local solve's inner-iteration count.
+func (m runMetrics) ObserveNLS(iters int) {
+	if m.nlsInner != nil {
+		m.nlsInner.Add(int64(iters))
+	}
+}
+
+// ObserveRelErr publishes the freshest relative error (call from one
+// rank only to avoid p identical writes).
+func (m runMetrics) ObserveRelErr(e float64) {
+	if m.relErr != nil {
+		m.relErr.Set(e)
+	}
+}
+
+// ObserveIterations publishes the final iteration count.
+func (m runMetrics) ObserveIterations(iters int) {
+	if m.iterations != nil {
+		m.iterations.Set(float64(iters))
+	}
+}
+
+// newTraceSession creates the run's trace session when enabled, or
+// returns nil.
+func newTraceSession(opts Options, ranks int) *trace.Session {
+	if !opts.TraceEvents {
+		return nil
+	}
+	return trace.NewSession(ranks, opts.TraceCapacity)
+}

@@ -1,0 +1,166 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"hpcnmf/internal/grid"
+	"hpcnmf/internal/metrics"
+	"hpcnmf/internal/trace"
+)
+
+// The acceptance shape for tracing: an HPC run on p ranks yields one
+// track per rank with MPI, phase, and iteration spans, and the MPI
+// spans nest inside the per-rank iteration spans.
+func TestHPCTraceHasAllRankTracks(t *testing.T) {
+	const p = 8
+	a := lowRankDense(64, 48, 4, 0.02, 9)
+	opts := testOpts(4)
+	opts.MaxIter = 3
+	opts.TraceEvents = true
+	res, err := RunHPC(WrapDense(a), grid.Choose(64, 48, p), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := res.Trace
+	if tr == nil {
+		t.Fatal("TraceEvents set but Result.Trace is nil")
+	}
+	if tr.Ranks != p {
+		t.Fatalf("trace has %d rank tracks, want %d", tr.Ranks, p)
+	}
+	if tr.Dropped != 0 {
+		t.Fatalf("default capacity dropped %d events in a tiny run", tr.Dropped)
+	}
+
+	byRankCat := map[int]map[string]int{}
+	iterSpans := map[int][]trace.Event{}
+	for _, e := range tr.Events {
+		if byRankCat[e.Rank] == nil {
+			byRankCat[e.Rank] = map[string]int{}
+		}
+		byRankCat[e.Rank][e.Cat]++
+		if e.Cat == trace.CatIter {
+			iterSpans[e.Rank] = append(iterSpans[e.Rank], e)
+		}
+	}
+	for rank := 0; rank < p; rank++ {
+		cats := byRankCat[rank]
+		for _, cat := range []string{trace.CatMPI, trace.CatPhase, trace.CatIter} {
+			if cats[cat] == 0 {
+				t.Fatalf("rank %d has no %q events (got %v)", rank, cat, cats)
+			}
+		}
+		if got := len(iterSpans[rank]); got != opts.MaxIter {
+			t.Fatalf("rank %d has %d iteration spans, want %d", rank, got, opts.MaxIter)
+		}
+	}
+	// Every MPI span opened during the loop nests inside some
+	// iteration span of its rank; only the final factor gather runs
+	// after the last iteration closes.
+	lastIterEnd := map[int]int64{}
+	for rank, spans := range iterSpans {
+		for _, it := range spans {
+			if end := int64(it.Start + it.Dur); end > lastIterEnd[rank] {
+				lastIterEnd[rank] = end
+			}
+		}
+	}
+	for _, e := range tr.Events {
+		if e.Cat != trace.CatMPI || int64(e.Start) >= lastIterEnd[e.Rank] {
+			continue
+		}
+		nested := false
+		for _, it := range iterSpans[e.Rank] {
+			if e.Start >= it.Start && e.Start+e.Dur <= it.Start+it.Dur {
+				nested = true
+				break
+			}
+		}
+		if !nested {
+			t.Fatalf("rank %d MPI span %q at %v not inside any iteration", e.Rank, e.Name, e.Start)
+		}
+	}
+
+	// The merged trace exports to valid Chrome JSON.
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := trace.ParseChrome(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Ranks != p {
+		t.Fatalf("exported trace has %d tracks, want %d", back.Ranks, p)
+	}
+}
+
+func TestTracingOffLeavesResultBare(t *testing.T) {
+	a := lowRankDense(30, 24, 3, 0.02, 9)
+	res, err := RunNaive(WrapDense(a), 4, testOpts(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace != nil {
+		t.Fatal("trace collected without TraceEvents")
+	}
+}
+
+func TestSequentialTraceAndMetrics(t *testing.T) {
+	a := lowRankDense(30, 24, 3, 0.02, 9)
+	opts := testOpts(3)
+	opts.TraceEvents = true
+	opts.Metrics = metrics.NewRegistry()
+	res, err := RunSequential(WrapDense(a), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace == nil || res.Trace.Ranks != 1 {
+		t.Fatal("sequential trace missing or wrong rank count")
+	}
+	if len(res.PerRank) != 1 {
+		t.Fatalf("%d per-rank entries, want 1", len(res.PerRank))
+	}
+	snap := opts.Metrics.Snapshot()
+	if snap.Counters["nmf.nls.inner_iterations"] == 0 {
+		t.Fatalf("NLS inner-iteration counter missing: %v", snap.Counters)
+	}
+	if got := snap.Gauges["nmf.iterations"]; got != float64(res.Iterations) {
+		t.Fatalf("iterations gauge = %v, want %d", got, res.Iterations)
+	}
+	last := res.RelErr[len(res.RelErr)-1]
+	if got := snap.Gauges["nmf.rel_err"]; got != last {
+		t.Fatalf("relerr gauge = %v, want %v", got, last)
+	}
+}
+
+func TestParallelMetricsIncludeCollectives(t *testing.T) {
+	a := lowRankDense(40, 32, 4, 0.02, 9)
+	opts := testOpts(4)
+	opts.Metrics = metrics.NewRegistry()
+	res, err := RunNaive(WrapDense(a), 4, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := opts.Metrics.Snapshot()
+	var latencies, traffic int
+	for name := range snap.Histograms {
+		if len(name) > len("mpi.collective.seconds.") && name[:len("mpi.collective.seconds.")] == "mpi.collective.seconds." {
+			latencies++
+		}
+	}
+	for name := range snap.Gauges {
+		if len(name) > 4 && name[:4] == "mpi." {
+			traffic++
+		}
+	}
+	if latencies == 0 {
+		t.Fatalf("no collective latency histograms: %v", snap.Histograms)
+	}
+	// msgs + words gauges for each of the 4 ranks.
+	if traffic != 8 {
+		t.Fatalf("%d mpi traffic gauges, want 8: %v", traffic, snap.Gauges)
+	}
+	_ = res
+}

@@ -5,8 +5,10 @@ import (
 	"math"
 
 	"hpcnmf/internal/mat"
+	"hpcnmf/internal/metrics"
 	"hpcnmf/internal/nnls"
 	"hpcnmf/internal/perf"
+	"hpcnmf/internal/trace"
 )
 
 // SolverKind selects the local NLS method (the paper's "flexibility"
@@ -117,6 +119,23 @@ type Options struct {
 	// Model supplies α-β-γ constants for the modeled breakdown;
 	// the zero value means perf.Edison().
 	Model perf.Model
+	// TraceEvents enables the per-rank event tracer: every collective
+	// and iteration phase is recorded as a timed span, and
+	// Result.Trace carries the merged timeline (exportable to Chrome
+	// trace_event JSON via trace.Trace.WriteChrome). Off by default;
+	// when off no ring buffer is even allocated.
+	TraceEvents bool
+	// TraceCapacity bounds the per-rank event ring buffer (oldest
+	// events are overwritten past it); ≤ 0 selects
+	// trace.DefaultCapacity.
+	TraceCapacity int
+	// Metrics, when non-nil, receives run instrumentation: collective
+	// latency histograms and per-rank traffic from the mpi runtime,
+	// NLS inner-iteration counts, and the per-iteration relative
+	// error gauge. The registry is shared across rank goroutines and
+	// is safe for concurrent use; reuse one registry across runs to
+	// accumulate, or snapshot per run.
+	Metrics *metrics.Registry
 }
 
 // withDefaults validates and normalizes the options.
@@ -230,6 +249,13 @@ type Result struct {
 	// Breakdown is the per-iteration task breakdown (averaged over
 	// iterations, max over ranks; excludes setup and final gathering).
 	Breakdown *perf.Breakdown
+	// PerRank is the per-iteration task cost of each rank (same
+	// window as Breakdown, before the max-over-ranks aggregation), so
+	// reports expose rank skew. One entry for sequential runs.
+	PerRank []perf.RankStats
+	// Trace is the merged per-rank event timeline when
+	// Options.TraceEvents was set (nil otherwise).
+	Trace *trace.Trace
 	// Algorithm and Grid describe how the run was executed, for
 	// reports ("Sequential", "Naive p=16", "HPC-NMF 4x4").
 	Algorithm string

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"hpcnmf/internal/metrics"
+	"hpcnmf/internal/perf"
+)
+
+// ReportVersion identifies the run-report JSON schema. Bump on any
+// incompatible change so downstream diff tooling can refuse mixed
+// comparisons.
+const ReportVersion = 1
+
+// DatasetInfo describes the factorized matrix in a run report.
+type DatasetInfo struct {
+	Name string `json:"name"`
+	Rows int    `json:"rows"`
+	Cols int    `json:"cols"`
+	NNZ  int64  `json:"nnz"`
+}
+
+// DescribeMatrix builds the DatasetInfo for a data matrix.
+func DescribeMatrix(name string, a Matrix) DatasetInfo {
+	m, n := a.Dims()
+	return DatasetInfo{Name: name, Rows: m, Cols: n, NNZ: int64(a.NNZ())}
+}
+
+// ReportOptions is the subset of Options recorded in reports (the
+// knobs that determine the run, in JSON-friendly form).
+type ReportOptions struct {
+	K            int     `json:"k"`
+	MaxIter      int     `json:"max_iter"`
+	Tol          float64 `json:"tol,omitempty"`
+	TolGrad      float64 `json:"tol_grad,omitempty"`
+	Solver       string  `json:"solver"`
+	Sweeps       int     `json:"sweeps"`
+	Seed         uint64  `json:"seed"`
+	ComputeError bool    `json:"compute_error"`
+	CommChunk    int     `json:"comm_chunk,omitempty"`
+	L2W          float64 `json:"l2w,omitempty"`
+	L1W          float64 `json:"l1w,omitempty"`
+	L2H          float64 `json:"l2h,omitempty"`
+	L1H          float64 `json:"l1h,omitempty"`
+}
+
+// Report is the versioned machine-readable record of one NMF run:
+// what was factorized, how, how it converged, and where the time
+// went — per task (aggregated like perf.Breakdown) and per rank.
+// Reports replace print-only output so runs can be stored, diffed,
+// and regression-checked mechanically.
+type Report struct {
+	Version    int         `json:"version"`
+	Dataset    DatasetInfo `json:"dataset"`
+	Algorithm  string      `json:"algorithm"`
+	Processors int         `json:"processors"`
+
+	Options    ReportOptions `json:"options"`
+	Iterations int           `json:"iterations"`
+	// RelErr is the per-iteration convergence history (empty unless
+	// the run computed the objective).
+	RelErr []float64 `json:"rel_err,omitempty"`
+
+	// Tasks is the per-iteration aggregate task breakdown, keyed by
+	// the paper-legend task names; the totals restate
+	// perf.Breakdown.{Measured,Modeled}Total.
+	Tasks                map[string]perf.TaskCost `json:"tasks"`
+	ModeledTotalSeconds  float64                  `json:"modeled_total_seconds"`
+	MeasuredTotalSeconds float64                  `json:"measured_total_seconds"`
+
+	// PerRank exposes the rank skew the aggregate view maxes away.
+	PerRank []perf.RankStats `json:"per_rank,omitempty"`
+
+	// Metrics is the registry snapshot when the run had one attached.
+	Metrics *metrics.Snapshot `json:"metrics,omitempty"`
+	// TracePath records where the Chrome trace was written, if
+	// anywhere, so the report links the run to its timeline.
+	TracePath string `json:"trace_path,omitempty"`
+}
+
+// NewReport assembles the report for a finished run. p is the
+// processor count (1 for sequential); tracePath may be empty. When
+// opts.Metrics is set its snapshot is embedded.
+func NewReport(ds DatasetInfo, p int, opts Options, res *Result, tracePath string) *Report {
+	rep := &Report{
+		Version:    ReportVersion,
+		Dataset:    ds,
+		Algorithm:  res.Algorithm,
+		Processors: p,
+		Options: ReportOptions{
+			K:            opts.K,
+			MaxIter:      opts.MaxIter,
+			Tol:          opts.Tol,
+			TolGrad:      opts.TolGrad,
+			Solver:       opts.Solver.String(),
+			Sweeps:       opts.Sweeps,
+			Seed:         opts.Seed,
+			ComputeError: opts.ComputeError,
+			CommChunk:    opts.CommChunk,
+			L2W:          opts.L2W,
+			L1W:          opts.L1W,
+			L2H:          opts.L2H,
+			L1H:          opts.L1H,
+		},
+		Iterations:           res.Iterations,
+		RelErr:               res.RelErr,
+		Tasks:                res.Breakdown.ByTask(),
+		ModeledTotalSeconds:  res.Breakdown.ModeledTotal(),
+		MeasuredTotalSeconds: res.Breakdown.MeasuredTotal(),
+		PerRank:              res.PerRank,
+		TracePath:            tracePath,
+	}
+	if opts.Metrics != nil {
+		rep.Metrics = opts.Metrics.Snapshot()
+	}
+	return rep
+}
+
+// WriteJSON writes the report as indented JSON. encoding/json sorts
+// map keys, so output is byte-stable for identical runs.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteJSONFile writes the report to path.
+func (r *Report) WriteJSONFile(path string) error {
+	out, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.WriteJSON(out); err != nil {
+		out.Close()
+		return err
+	}
+	return out.Close()
+}
+
+// ParseReport reads a report written by WriteJSON, rejecting unknown
+// schema versions.
+func ParseReport(rd io.Reader) (*Report, error) {
+	var rep Report
+	if err := json.NewDecoder(rd).Decode(&rep); err != nil {
+		return nil, fmt.Errorf("core: parsing run report: %w", err)
+	}
+	if rep.Version != ReportVersion {
+		return nil, fmt.Errorf("core: run report version %d, this build reads %d", rep.Version, ReportVersion)
+	}
+	return &rep, nil
+}

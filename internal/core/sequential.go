@@ -5,6 +5,7 @@ import (
 
 	"hpcnmf/internal/mat"
 	"hpcnmf/internal/perf"
+	"hpcnmf/internal/trace"
 )
 
 // RunSequential factorizes A ≈ W·H on a single process with the ANLS
@@ -21,6 +22,13 @@ func RunSequential(a Matrix, opts Options) (*Result, error) {
 	k := opts.K
 	solver := opts.Solver.New(opts.Sweeps)
 	tr := perf.NewTracker()
+	tsess := newTraceSession(opts, 1)
+	var tc *trace.Tracer
+	if tsess != nil {
+		tc = tsess.Tracer(0)
+	}
+	clk := phaseClock{tr: tr, tc: tc}
+	rm := newRunMetrics(opts.Metrics)
 
 	h := localInitH(opts, n, 0)
 	w := localInitW(opts, m, 0)
@@ -32,36 +40,38 @@ func RunSequential(a Matrix, opts Options) (*Result, error) {
 	setup := tr.Snapshot()
 	for it := 0; it < opts.MaxIter; it++ {
 		iters++
+		itSpan := tc.BeginArg(trace.CatIter, "iteration", "iter", int64(it))
 		// --- Update W given H (Algorithm 1, line 3) ---
 		if hGram == nil {
-			stop := tr.Go(perf.TaskGram)
+			stop := clk.Go(perf.TaskGram)
 			hGram = mat.GramT(h)
 			stop()
 			tr.AddFlops(perf.TaskGram, gramFlops(n, k))
 		}
-		stop := tr.Go(perf.TaskMM)
+		stop := clk.Go(perf.TaskMM)
 		aht := a.MulHt(h) // m×k
 		stop()
 		tr.AddFlops(perf.TaskMM, 2*int64(a.NNZ())*int64(k))
 
 		gw, fw := applyReg(hGram, aht.T(), opts.L2W, opts.L1W)
-		stop = tr.Go(perf.TaskNLS)
+		stop = clk.Go(perf.TaskNLS)
 		wt, st, err := solver.Solve(gw, fw, w.T())
 		stop()
 		if err != nil {
 			return nil, fmt.Errorf("core: W update failed at iteration %d: %w", it, err)
 		}
 		tr.AddFlops(perf.TaskNLS, st.Flops)
+		rm.ObserveNLS(st.Iterations)
 		w = wt.T()
 		checkFactorSanity("W", w)
 
 		// --- Update H given W (Algorithm 1, line 4) ---
-		stop = tr.Go(perf.TaskGram)
+		stop = clk.Go(perf.TaskGram)
 		wtw := mat.Gram(w)
 		stop()
 		tr.AddFlops(perf.TaskGram, gramFlops(m, k))
 
-		stop = tr.Go(perf.TaskMM)
+		stop = clk.Go(perf.TaskMM)
 		wta := a.MulAtB(w) // k×n
 		stop()
 		tr.AddFlops(perf.TaskMM, 2*int64(a.NNZ())*int64(k))
@@ -78,40 +88,52 @@ func RunSequential(a Matrix, opts Options) (*Result, error) {
 		}
 
 		gh, fh := applyReg(wtw, wta, opts.L2H, opts.L1H)
-		stop = tr.Go(perf.TaskNLS)
+		stop = clk.Go(perf.TaskNLS)
 		hNew, st2, err := solver.Solve(gh, fh, h)
 		stop()
 		if err != nil {
 			return nil, fmt.Errorf("core: H update failed at iteration %d: %w", it, err)
 		}
 		tr.AddFlops(perf.TaskNLS, st2.Flops)
+		rm.ObserveNLS(st2.Iterations)
 		h = hNew
 		checkFactorSanity("H", h)
 
 		// --- Objective via byproducts (DESIGN decision 4) ---
 		hGram = nil
 		if opts.ComputeError {
-			stop = tr.Go(perf.TaskGram)
+			errSpan := tc.Begin(trace.CatPhase, "Err")
+			stop = clk.Go(perf.TaskGram)
 			hGram = mat.GramT(h) // reused as next iteration's HHᵀ
 			stop()
 			tr.AddFlops(perf.TaskGram, gramFlops(n, k))
-			stop = tr.Go(perf.TaskOther)
+			stop = clk.Go(perf.TaskOther)
 			e := relErrFrom(normA2, mat.Dot(wta, h), mat.Dot(wtw, hGram))
 			stop()
+			errSpan.End()
 			relErr = append(relErr, e)
+			rm.ObserveRelErr(e)
 			if shouldStop(relErr, opts.Tol) || gradConverged(opts.TolGrad, pg, pgRef) {
+				itSpan.End()
 				break
 			}
 		}
+		itSpan.End()
 	}
 	iterTracker := tr.Diff(setup)
 	breakdown := perf.Aggregate(opts.Model, []*perf.Tracker{iterTracker}, nil).Scale(iters)
-	return &Result{
+	rm.ObserveIterations(iters)
+	res := &Result{
 		W:          w,
 		H:          h,
 		RelErr:     relErr,
 		Iterations: iters,
 		Breakdown:  breakdown,
+		PerRank:    perf.PerRank(opts.Model, []*perf.Tracker{iterTracker}, nil, iters),
 		Algorithm:  "Sequential",
-	}, nil
+	}
+	if tsess != nil {
+		res.Trace = tsess.Merge()
+	}
+	return res, nil
 }

@@ -9,6 +9,7 @@
 package experiments
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"math"
@@ -274,6 +275,97 @@ func Run(id string, cfg Config, w io.Writer) error {
 	default:
 		return fmt.Errorf("experiments: unknown experiment %q (known: %s)", id, strings.Join(Names(), ", "))
 	}
+}
+
+// BenchRow is one measured configuration in machine-readable form:
+// the per-task breakdown of a (dataset, algorithm, k, p) point.
+type BenchRow struct {
+	Experiment           string                   `json:"experiment"`
+	Dataset              string                   `json:"dataset"`
+	Algorithm            string                   `json:"algorithm"`
+	K                    int                      `json:"k"`
+	P                    int                      `json:"p"`
+	Tasks                map[string]perf.TaskCost `json:"tasks"`
+	ModeledTotalSeconds  float64                  `json:"modeled_total_seconds"`
+	MeasuredTotalSeconds float64                  `json:"measured_total_seconds"`
+}
+
+// BenchReport is the versioned machine-readable output of a benchmark
+// run (nmfbench -json), the diffable counterpart of the text tables:
+// store one per commit (BENCH_<rev>.json) and compare modeled totals
+// mechanically.
+type BenchReport struct {
+	Version int        `json:"version"`
+	Scale   float64    `json:"scale"`
+	Seed    uint64     `json:"seed"`
+	Iters   int        `json:"iters"`
+	Rows    []BenchRow `json:"rows"`
+}
+
+// BenchReportVersion identifies the BenchReport schema.
+const BenchReportVersion = 1
+
+// RowProducingNames lists the experiment ids Collect accepts: the
+// figure sweeps plus table3.
+func RowProducingNames() []string {
+	ids := make([]string, 0, len(figures)+1)
+	for id := range figures {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return append(ids, "table3")
+}
+
+// Collect runs the row-producing experiments (the figure sweeps and
+// table3) and returns their points as a BenchReport. Experiments
+// without a tabular form (table2, hadoopqual, partition, solvers, …)
+// are rejected — they remain text-only.
+func Collect(ids []string, cfg Config) (*BenchReport, error) {
+	cfg = cfg.withDefaults()
+	rep := &BenchReport{
+		Version: BenchReportVersion,
+		Scale:   cfg.Scale,
+		Seed:    cfg.Seed,
+		Iters:   cfg.Iters,
+	}
+	for _, id := range ids {
+		var rows []Row
+		var err error
+		if fig, ok := figures[id]; ok {
+			if fig.scaling {
+				rows, err = Scaling(fig.dataset, cfg)
+			} else {
+				rows, err = Comparison(fig.dataset, cfg)
+			}
+		} else if id == "table3" {
+			rows, err = Table3(cfg)
+		} else {
+			return nil, fmt.Errorf("experiments: %q has no machine-readable form (figure ids and table3 only)", id)
+		}
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range rows {
+			rep.Rows = append(rep.Rows, BenchRow{
+				Experiment:           id,
+				Dataset:              r.Dataset,
+				Algorithm:            r.Alg,
+				K:                    r.K,
+				P:                    r.P,
+				Tasks:                r.Breakdown.ByTask(),
+				ModeledTotalSeconds:  r.Breakdown.ModeledTotal(),
+				MeasuredTotalSeconds: r.Breakdown.MeasuredTotal(),
+			})
+		}
+	}
+	return rep, nil
+}
+
+// WriteJSON writes the benchmark report as indented JSON.
+func (b *BenchReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
 }
 
 // WriteCSV emits rows in a plotting-friendly CSV layout: one line per

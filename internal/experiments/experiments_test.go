@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 
@@ -241,6 +242,64 @@ func TestSolversExperiment(t *testing.T) {
 	for _, want := range []string{"BPP", "ActiveSet", "HALS", "MU", "PGD", "time-to-target"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("solvers output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCollectBenchReport(t *testing.T) {
+	rep, err := Collect([]string{"fig3a"}, tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Version != BenchReportVersion {
+		t.Fatalf("version = %d", rep.Version)
+	}
+	if len(rep.Rows) == 0 {
+		t.Fatal("no rows collected")
+	}
+	for _, r := range rep.Rows {
+		if r.Experiment != "fig3a" || r.Algorithm == "" || r.K < 1 || r.P < 1 {
+			t.Fatalf("malformed row %+v", r)
+		}
+		if len(r.Tasks) == 0 || r.ModeledTotalSeconds <= 0 {
+			t.Fatalf("row missing task costs: %+v", r)
+		}
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back BenchReport
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("report JSON does not round-trip: %v", err)
+	}
+	if len(back.Rows) != len(rep.Rows) {
+		t.Fatal("rows lost in round trip")
+	}
+}
+
+func TestCollectRejectsTextOnly(t *testing.T) {
+	if _, err := Collect([]string{"table2"}, tinyConfig()); err == nil {
+		t.Fatal("Collect accepted a text-only experiment")
+	}
+}
+
+func TestRowProducingNamesAreRunnable(t *testing.T) {
+	names := RowProducingNames()
+	if len(names) < 2 {
+		t.Fatalf("suspiciously few row-producing experiments: %v", names)
+	}
+	all := Names()
+	for _, id := range names {
+		found := false
+		for _, n := range all {
+			if n == id {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("%q not in Names()", id)
 		}
 	}
 }

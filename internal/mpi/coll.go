@@ -42,6 +42,8 @@ func (op Op) apply(dst, src []float64) {
 // ⌈log₂ p⌉ messages on the critical path, as assumed in §2.3).
 // Non-root callers may pass nil. Every rank returns the payload.
 func (c *Comm) Bcast(root int, data []float64) []float64 {
+	ev := c.beginColl(CatBcast, len(data))
+	defer ev.end()
 	base := c.opBase()
 	p := c.Size()
 	if root < 0 || root >= p {
@@ -75,6 +77,8 @@ func (c *Comm) Bcast(root int, data []float64) []float64 {
 // root (binomial tree, ⌈log₂ p⌉ rounds). Root returns the reduced
 // vector; other ranks return nil.
 func (c *Comm) Reduce(root int, data []float64, op Op) []float64 {
+	ev := c.beginColl(CatReduce, len(data))
+	defer ev.end()
 	return c.reduce(root, data, op, CatReduce)
 }
 
@@ -116,6 +120,8 @@ func (c *Comm) AllReduce(data []float64) []float64 {
 
 // AllReduceOp is AllReduce with an explicit reduction operator.
 func (c *Comm) AllReduceOp(data []float64, op Op) []float64 {
+	ev := c.beginColl(CatAllReduce, len(data))
+	defer ev.end()
 	p := c.Size()
 	if p == 1 {
 		out := make([]float64, len(data))
@@ -159,6 +165,8 @@ func (c *Comm) AllGather(data []float64) []float64 {
 // contributes counts[i] words (len(data) must equal counts[rank]).
 // Every rank returns the full concatenation in rank order.
 func (c *Comm) AllGatherV(data []float64, counts []int) []float64 {
+	ev := c.beginColl(CatAllGather, len(data))
+	defer ev.end()
 	return c.allGatherV(data, counts, CatAllGather)
 }
 
@@ -187,6 +195,8 @@ func (c *Comm) allGatherV(data []float64, counts []int, cat Category) []float64 
 // as the ablation baseline quantifying what the collective algorithms
 // buy (DESIGN.md decision 1); the NMF algorithms never use it.
 func (c *Comm) AllGatherLinear(data []float64, counts []int) []float64 {
+	ev := c.beginColl(CatAllGather, len(data))
+	defer ev.end()
 	base := c.opBase()
 	p := c.Size()
 	offsets, total := offsetsOf(counts)
@@ -263,6 +273,8 @@ func (c *Comm) allGatherBruck(data []float64, counts []int, cat Category) []floa
 // (recursive halving); α·(p−1) + β·(p−1)/p·n otherwise (pairwise
 // exchange — bandwidth-optimal, latency-suboptimal).
 func (c *Comm) ReduceScatter(data []float64, counts []int) []float64 {
+	ev := c.beginColl(CatReduceScatter, len(data))
+	defer ev.end()
 	p := c.Size()
 	if len(counts) != p {
 		panic(fmt.Sprintf("mpi: ReduceScatter counts length %d != size %d", len(counts), p))
@@ -342,6 +354,8 @@ func (c *Comm) Gather(root int, data []float64) []float64 {
 // algorithm; used only for one-time result collection, not in the
 // iteration loop).
 func (c *Comm) GatherV(root int, data []float64, counts []int) []float64 {
+	ev := c.beginColl(CatGather, len(data))
+	defer ev.end()
 	base := c.opBase()
 	p := c.Size()
 	if c.rank != root {
@@ -367,6 +381,8 @@ func (c *Comm) GatherV(root int, data []float64, counts []int) []float64 {
 // ScatterV distributes segments of root's data: rank i receives
 // counts[i] words. Non-roots pass nil data.
 func (c *Comm) ScatterV(root int, data []float64, counts []int) []float64 {
+	ev := c.beginColl(CatScatter, len(data))
+	defer ev.end()
 	base := c.opBase()
 	p := c.Size()
 	offsets, total := offsetsOf(counts)

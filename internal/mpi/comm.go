@@ -4,6 +4,10 @@ import (
 	"fmt"
 	"hash/fnv"
 	"sort"
+	"time"
+
+	"hpcnmf/internal/metrics"
+	"hpcnmf/internal/trace"
 )
 
 // Comm is a communicator: an ordered group of ranks that take part in
@@ -15,7 +19,15 @@ type Comm struct {
 	members []int // communicator rank -> world rank
 	id      uint32
 	seq     int // per-rank collective sequence number, advances in lockstep
+	// tracer is this rank's event tracer when the world has tracing
+	// attached (nil otherwise); sub-communicators inherit it.
+	tracer *trace.Tracer
 }
+
+// Tracer returns this rank's event tracer, or nil when tracing is
+// off. Safe to pass to trace.Tracer methods either way (they are
+// nil-receiver safe).
+func (c *Comm) Tracer() *trace.Tracer { return c.tracer }
 
 // Rank returns this process's rank within the communicator.
 func (c *Comm) Rank() int { return c.rank }
@@ -64,6 +76,38 @@ func (c *Comm) recv(src, tag int) []float64 {
 	return c.world.recv(c.members[src], c.WorldRank(), tag)
 }
 
+// collEvent times one collective call for the tracer and the latency
+// histogram. With observability off it is the zero value and both
+// begin and end reduce to a couple of nil checks — no clock read, no
+// allocation, no ring-buffer touch.
+type collEvent struct {
+	sp    trace.Span
+	hist  *metrics.Histogram
+	start time.Time
+}
+
+// beginColl opens the span/latency sample for a collective; words is
+// this rank's contribution size, recorded as the span payload.
+func (c *Comm) beginColl(cat Category, words int) collEvent {
+	var ev collEvent
+	if c.tracer != nil {
+		ev.sp = c.tracer.BeginArg(trace.CatMPI, cat.String(), "words", int64(words))
+	}
+	if h := c.world.collLatency[cat]; h != nil {
+		ev.hist = h
+		ev.start = time.Now()
+	}
+	return ev
+}
+
+// end closes the span and observes the latency sample.
+func (ev collEvent) end() {
+	ev.sp.End()
+	if ev.hist != nil {
+		ev.hist.Observe(time.Since(ev.start).Seconds())
+	}
+}
+
 // Sub creates a sub-communicator from the parent. members lists the
 // parent-communicator ranks belonging to the new group, in the order
 // that defines their new ranks. Every listed rank must call Sub with
@@ -95,7 +139,7 @@ func (c *Comm) Sub(members []int) *Comm {
 	for _, wr := range world {
 		put(uint32(wr))
 	}
-	return &Comm{world: c.world, rank: myNew, members: world, id: h.Sum32()}
+	return &Comm{world: c.world, rank: myNew, members: world, id: h.Sum32(), tracer: c.tracer}
 }
 
 // Split partitions the communicator by color, like MPI_Comm_split:
@@ -128,6 +172,8 @@ func (c *Comm) Split(color, key int) *Comm {
 // Barrier blocks until every rank in the communicator has entered it
 // (dissemination algorithm, ⌈log₂ p⌉ rounds).
 func (c *Comm) Barrier() {
+	ev := c.beginColl(CatBarrier, 0)
+	defer ev.end()
 	base := c.opBase()
 	p := c.Size()
 	step := 0

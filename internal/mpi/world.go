@@ -24,6 +24,9 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"hpcnmf/internal/metrics"
+	"hpcnmf/internal/trace"
 )
 
 // message is the unit of point-to-point communication. Payloads are
@@ -52,6 +55,16 @@ type World struct {
 	recvTimeout time.Duration
 
 	counters []*Counters // per world rank
+
+	// tracers holds one event tracer per rank when tracing is on
+	// (SetTracing); nil otherwise. Each tracer is only touched by its
+	// rank's goroutine, preserving the no-lock hot path.
+	tracers []*trace.Tracer
+	// metrics is the shared instrument registry when attached
+	// (SetMetrics); nil otherwise. collLatency caches the per-category
+	// latency histograms so the collectives skip the name lookup.
+	metrics     *metrics.Registry
+	collLatency [numCategories]*metrics.Histogram
 }
 
 // NewWorld creates a world with p ranks. The per-pair channel buffer
@@ -83,6 +96,50 @@ func NewWorld(p int) *World {
 // process (0 disables). The default is generous (2 minutes); tests
 // that provoke deadlocks deliberately set it short.
 func (w *World) SetRecvTimeout(d time.Duration) { w.recvTimeout = d }
+
+// SetTracing attaches one event tracer per rank from a trace session
+// created for this world's size. Every collective records a span on
+// its rank's track; nil detaches. Must be called before Run.
+func (w *World) SetTracing(s *trace.Session) {
+	if s == nil {
+		w.tracers = nil
+		return
+	}
+	if s.Ranks() != w.p {
+		panic(fmt.Sprintf("mpi: trace session has %d ranks, world has %d", s.Ranks(), w.p))
+	}
+	w.tracers = make([]*trace.Tracer, w.p)
+	for r := range w.tracers {
+		w.tracers[r] = s.Tracer(r)
+	}
+}
+
+// SetMetrics attaches a shared metrics registry: each collective call
+// observes its wall-clock latency into a per-category histogram
+// (mpi.collective.seconds.<Category>), and Run publishes per-rank
+// message/word totals as gauges when it finishes. nil detaches. Must
+// be called before Run.
+func (w *World) SetMetrics(reg *metrics.Registry) {
+	w.metrics = reg
+	if reg == nil {
+		w.collLatency = [numCategories]*metrics.Histogram{}
+		return
+	}
+	for _, cat := range Categories() {
+		w.collLatency[cat] = reg.Histogram("mpi.collective.seconds." + cat.String())
+	}
+}
+
+// publishMetrics exports the per-rank traffic totals into the
+// attached registry (gauges, so repeated Runs overwrite rather than
+// double-count).
+func (w *World) publishMetrics() {
+	for r, ctr := range w.counters {
+		t := ctr.Total()
+		w.metrics.Gauge(fmt.Sprintf("mpi.rank.%d.msgs", r)).Set(float64(t.Msgs))
+		w.metrics.Gauge(fmt.Sprintf("mpi.rank.%d.words", r)).Set(float64(t.Words))
+	}
+}
 
 // Size returns the number of ranks in the world.
 func (w *World) Size() int { return w.p }
@@ -116,6 +173,9 @@ func (w *World) Run(body func(c *Comm)) {
 	if w.err != nil {
 		panic(w.err)
 	}
+	if w.metrics != nil {
+		w.publishMetrics()
+	}
 }
 
 // worldComm returns the world communicator for a given rank: all p
@@ -125,7 +185,11 @@ func (w *World) worldComm(rank int) *Comm {
 	for i := range members {
 		members[i] = i
 	}
-	return &Comm{world: w, rank: rank, members: members, id: 0}
+	cm := &Comm{world: w, rank: rank, members: members, id: 0}
+	if w.tracers != nil {
+		cm.tracer = w.tracers[rank]
+	}
+	return cm
 }
 
 // send delivers a message from world rank src to world rank dst,

@@ -18,7 +18,6 @@ package perf
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 	"time"
 
@@ -227,9 +226,11 @@ func Aggregate(model Model, trackers []*Tracker, traffic []*mpi.Counters) *Break
 
 // MeasuredTotal sums measured seconds across tasks.
 func (b *Breakdown) MeasuredTotal() float64 {
+	// Sum in Tasks() order, not map order: float addition is not
+	// associative, and reports diff totals byte-for-byte.
 	s := 0.0
-	for _, v := range b.MeasuredSeconds {
-		s += v
+	for _, task := range Tasks() {
+		s += b.MeasuredSeconds[task]
 	}
 	return s
 }
@@ -237,8 +238,8 @@ func (b *Breakdown) MeasuredTotal() float64 {
 // ModeledTotal sums modeled seconds across tasks.
 func (b *Breakdown) ModeledTotal() float64 {
 	s := 0.0
-	for _, v := range b.ModeledSeconds {
-		s += v
+	for _, task := range Tasks() {
+		s += b.ModeledSeconds[task]
 	}
 	return s
 }
@@ -274,12 +275,15 @@ func (b *Breakdown) Scale(n int) *Breakdown {
 	return out
 }
 
-// Format renders the breakdown as an aligned table. view selects
-// "measured", "modeled", or "both".
-func (b *Breakdown) Format(view string) string {
+// Views lists the valid Breakdown.Format views.
+func Views() []string { return []string{"measured", "modeled", "both"} }
+
+// Format renders the breakdown as an aligned table in the paper-
+// legend order of Tasks(). view selects "measured", "modeled", or
+// "both"; any other value is an error.
+func (b *Breakdown) Format(view string) (string, error) {
 	var sb strings.Builder
 	tasks := Tasks()
-	sort.SliceStable(tasks, func(i, j int) bool { return tasks[i] < tasks[j] })
 	switch view {
 	case "measured":
 		fmt.Fprintf(&sb, "%-8s %12s\n", "task", "measured(s)")
@@ -293,12 +297,70 @@ func (b *Breakdown) Format(view string) string {
 			fmt.Fprintf(&sb, "%-8s %12.6f %14d %10d %14d\n", t, b.ModeledSeconds[t], b.Flops[t], b.Msgs[t], b.Words[t])
 		}
 		fmt.Fprintf(&sb, "%-8s %12.6f\n", "total", b.ModeledTotal())
-	default:
+	case "both":
 		fmt.Fprintf(&sb, "%-8s %12s %12s %14s %10s %14s\n", "task", "measured(s)", "modeled(s)", "flops", "msgs", "words")
 		for _, t := range tasks {
 			fmt.Fprintf(&sb, "%-8s %12.6f %12.6f %14d %10d %14d\n", t, b.MeasuredSeconds[t], b.ModeledSeconds[t], b.Flops[t], b.Msgs[t], b.Words[t])
 		}
 		fmt.Fprintf(&sb, "%-8s %12.6f %12.6f\n", "total", b.MeasuredTotal(), b.ModeledTotal())
+	default:
+		return "", fmt.Errorf("perf: unknown view %q (want %s)", view, strings.Join(Views(), ", "))
 	}
-	return sb.String()
+	return sb.String(), nil
+}
+
+// TaskCost is the JSON-friendly per-task view of a breakdown, keyed
+// by task name in run reports.
+type TaskCost struct {
+	MeasuredSeconds float64 `json:"measured_seconds"`
+	ModeledSeconds  float64 `json:"modeled_seconds"`
+	Flops           int64   `json:"flops,omitempty"`
+	Msgs            int64   `json:"msgs,omitempty"`
+	Words           int64   `json:"words,omitempty"`
+}
+
+// ByTask exports the breakdown as a name-keyed map for machine-
+// readable reports. Tasks with no recorded cost are omitted.
+func (b *Breakdown) ByTask() map[string]TaskCost {
+	out := map[string]TaskCost{}
+	for _, t := range Tasks() {
+		c := TaskCost{
+			MeasuredSeconds: b.MeasuredSeconds[t],
+			ModeledSeconds:  b.ModeledSeconds[t],
+			Flops:           b.Flops[t],
+			Msgs:            b.Msgs[t],
+			Words:           b.Words[t],
+		}
+		if c == (TaskCost{}) {
+			continue
+		}
+		out[t.String()] = c
+	}
+	return out
+}
+
+// RankStats is one rank's per-iteration task costs, for the per-rank
+// section of run reports (the skew view Figure 3 aggregates away).
+type RankStats struct {
+	Rank  int                 `json:"rank"`
+	Tasks map[string]TaskCost `json:"tasks"`
+}
+
+// PerRank builds per-rank task costs from the same inputs as
+// Aggregate, divided by iters to yield per-iteration values. traffic
+// may be nil (sequential runs) or must parallel trackers.
+func PerRank(model Model, trackers []*Tracker, traffic []*mpi.Counters, iters int) []RankStats {
+	if iters <= 0 {
+		iters = 1
+	}
+	out := make([]RankStats, len(trackers))
+	for r, tr := range trackers {
+		var ctrs []*mpi.Counters
+		if traffic != nil {
+			ctrs = []*mpi.Counters{traffic[r]}
+		}
+		b := Aggregate(model, []*Tracker{tr}, ctrs).Scale(iters)
+		out[r] = RankStats{Rank: r, Tasks: b.ByTask()}
+	}
+	return out
 }

@@ -106,14 +106,96 @@ func TestFormatViews(t *testing.T) {
 	c := mpi.NewCounters()
 	c.Add(mpi.CatAllReduce, 3, 99)
 	b := Aggregate(Edison(), []*Tracker{tr}, []*mpi.Counters{c})
-	for _, view := range []string{"measured", "modeled", "both"} {
-		out := b.Format(view)
+	for _, view := range Views() {
+		out, err := b.Format(view)
+		if err != nil {
+			t.Fatalf("view %q: %v", view, err)
+		}
 		if !strings.Contains(out, "total") {
 			t.Fatalf("view %q missing total:\n%s", view, out)
 		}
 	}
-	if !strings.Contains(b.Format("modeled"), "12345") {
+	modeled, err := b.Format("modeled")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(modeled, "12345") {
 		t.Fatal("modeled view missing flops column")
+	}
+}
+
+func TestFormatRejectsUnknownView(t *testing.T) {
+	b := Aggregate(Edison(), []*Tracker{NewTracker()}, nil)
+	if _, err := b.Format("bogus"); err == nil {
+		t.Fatal("Format(\"bogus\") did not error")
+	}
+	if _, err := b.Format(""); err == nil {
+		t.Fatal("Format(\"\") did not error")
+	}
+}
+
+// Format must render tasks in the paper-legend order of Tasks(), not
+// enum order: NLS before MM, MM before Gram.
+func TestFormatUsesLegendOrder(t *testing.T) {
+	b := Aggregate(Edison(), []*Tracker{NewTracker()}, nil)
+	out, err := b.Format("measured")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lastIdx int
+	for i, task := range Tasks() {
+		idx := strings.Index(out, task.String()+" ")
+		if idx < 0 {
+			idx = strings.Index(out, task.String())
+		}
+		if idx < 0 {
+			t.Fatalf("task %s missing from output:\n%s", task, out)
+		}
+		if i > 0 && idx < lastIdx {
+			t.Fatalf("task %s rendered before its legend predecessor:\n%s", task, out)
+		}
+		lastIdx = idx
+	}
+}
+
+func TestByTaskOmitsEmptyAndKeepsCosts(t *testing.T) {
+	tr := NewTracker()
+	tr.AddFlops(TaskMM, 1000)
+	c := mpi.NewCounters()
+	c.Add(mpi.CatAllGather, 2, 64)
+	b := Aggregate(Edison(), []*Tracker{tr}, []*mpi.Counters{c})
+	byTask := b.ByTask()
+	if _, ok := byTask["NLS"]; ok {
+		t.Fatal("ByTask kept a task with no recorded cost")
+	}
+	if byTask["MM"].Flops != 1000 {
+		t.Fatalf("MM flops = %d, want 1000", byTask["MM"].Flops)
+	}
+	if byTask["AllG"].Words != 64 || byTask["AllG"].Msgs != 2 {
+		t.Fatalf("AllG traffic = %+v, want 2 msgs / 64 words", byTask["AllG"])
+	}
+}
+
+func TestPerRankScalesAndAttributes(t *testing.T) {
+	tr0, tr1 := NewTracker(), NewTracker()
+	tr1.AddFlops(TaskMM, 4000)
+	c0, c1 := mpi.NewCounters(), mpi.NewCounters()
+	c1.Add(mpi.CatAllReduce, 8, 160)
+	ranks := PerRank(Edison(), []*Tracker{tr0, tr1}, []*mpi.Counters{c0, c1}, 2)
+	if len(ranks) != 2 {
+		t.Fatalf("PerRank returned %d entries, want 2", len(ranks))
+	}
+	if ranks[0].Rank != 0 || ranks[1].Rank != 1 {
+		t.Fatal("PerRank rank attribution wrong")
+	}
+	if got := ranks[1].Tasks["MM"].Flops; got != 2000 {
+		t.Fatalf("rank 1 MM flops/iter = %d, want 2000 (4000 over 2 iters)", got)
+	}
+	if got := ranks[1].Tasks["AllR"].Msgs; got != 4 {
+		t.Fatalf("rank 1 AllR msgs/iter = %d, want 4", got)
+	}
+	if len(ranks[0].Tasks) != 0 {
+		t.Fatalf("idle rank has tasks: %+v", ranks[0].Tasks)
 	}
 }
 

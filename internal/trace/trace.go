@@ -1,0 +1,190 @@
+// Package trace is a low-overhead per-rank event tracer for the
+// simulated MPI runtime and the NMF iteration loop. Each rank owns one
+// Tracer (the same single-owner discipline as perf.Tracker), so the
+// hot path takes no locks: recording an event is two clock reads and a
+// ring-buffer store on a structure only that rank's goroutine touches.
+// After a run, Session.Merge collects every rank's events into one
+// Trace, which exports to Chrome trace_event JSON (chrome.go) so runs
+// open directly in Perfetto or chrome://tracing with one track per
+// rank — collective skew and barrier waits become visible as staggered
+// span starts across tracks.
+//
+// All Tracer methods are nil-receiver safe: a nil *Tracer records
+// nothing, and a zero Span's End is a no-op, so call sites need no
+// enabled-checks and a disabled run never touches a ring buffer.
+package trace
+
+import (
+	"sort"
+	"time"
+)
+
+// Standard event categories used across the repo. Categories group
+// spans for filtering in trace viewers; they carry no semantics here.
+const (
+	// CatMPI marks collective operations recorded by internal/mpi.
+	CatMPI = "mpi"
+	// CatPhase marks iteration phases (MM, Gram, NLS, …).
+	CatPhase = "phase"
+	// CatIter marks whole alternating iterations.
+	CatIter = "iter"
+)
+
+// DefaultCapacity is the per-rank ring-buffer size used when a
+// session is created with capacity ≤ 0.
+const DefaultCapacity = 1 << 16
+
+// Event is one completed span on one rank's track. Start is measured
+// from the session epoch so events from different ranks share a
+// timeline.
+type Event struct {
+	Rank    int
+	Cat     string
+	Name    string
+	ArgName string // optional payload label ("words", "iter"); "" if unused
+	Arg     int64
+	Start   time.Duration
+	Dur     time.Duration
+}
+
+// Tracer records events for a single rank. It must only be used from
+// that rank's goroutine.
+type Tracer struct {
+	epoch time.Time
+	rank  int
+	buf   []Event
+	next  int   // next ring slot to overwrite
+	total int64 // events ever recorded (total - min(total, len(buf)) were dropped)
+}
+
+// Span is an in-flight event; call End to record it. The zero Span is
+// valid and End on it is a no-op.
+type Span struct {
+	t       *Tracer
+	cat     string
+	name    string
+	argName string
+	arg     int64
+	start   time.Duration
+}
+
+// Begin opens a span with the given category and name.
+func (t *Tracer) Begin(cat, name string) Span {
+	if t == nil {
+		return Span{}
+	}
+	return Span{t: t, cat: cat, name: name, start: time.Since(t.epoch)}
+}
+
+// BeginArg opens a span carrying one named integer payload, e.g.
+// ("mpi", "AllGather", "words", 4096).
+func (t *Tracer) BeginArg(cat, name, argName string, arg int64) Span {
+	if t == nil {
+		return Span{}
+	}
+	return Span{t: t, cat: cat, name: name, argName: argName, arg: arg, start: time.Since(t.epoch)}
+}
+
+// End records the span into its tracer's ring buffer. Safe on the
+// zero Span (records nothing).
+func (s Span) End() {
+	t := s.t
+	if t == nil {
+		return
+	}
+	t.buf[t.next] = Event{
+		Rank:    t.rank,
+		Cat:     s.cat,
+		Name:    s.name,
+		ArgName: s.argName,
+		Arg:     s.arg,
+		Start:   s.start,
+		Dur:     time.Since(t.epoch) - s.start,
+	}
+	t.next++
+	if t.next == len(t.buf) {
+		t.next = 0
+	}
+	t.total++
+}
+
+// Recorded returns how many events were ever recorded on this tracer
+// (including ones the ring has since overwritten).
+func (t *Tracer) Recorded() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.total
+}
+
+// events returns the retained events in recording order.
+func (t *Tracer) events() []Event {
+	kept := t.total
+	if kept > int64(len(t.buf)) {
+		kept = int64(len(t.buf))
+	}
+	out := make([]Event, 0, kept)
+	// Oldest retained event sits at next when the ring has wrapped.
+	if t.total > int64(len(t.buf)) {
+		out = append(out, t.buf[t.next:]...)
+		out = append(out, t.buf[:t.next]...)
+		return out
+	}
+	return append(out, t.buf[:t.next]...)
+}
+
+// Session owns one tracer per rank, all sharing an epoch so their
+// events merge onto a common timeline.
+type Session struct {
+	epoch   time.Time
+	tracers []*Tracer
+}
+
+// NewSession creates a session for the given number of ranks with the
+// given per-rank ring capacity (≤ 0 selects DefaultCapacity).
+func NewSession(ranks, capacity int) *Session {
+	if ranks < 1 {
+		panic("trace: session needs at least one rank")
+	}
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	s := &Session{epoch: time.Now(), tracers: make([]*Tracer, ranks)}
+	for r := range s.tracers {
+		s.tracers[r] = &Tracer{epoch: s.epoch, rank: r, buf: make([]Event, capacity)}
+	}
+	return s
+}
+
+// Ranks returns the number of rank tracks in the session.
+func (s *Session) Ranks() int { return len(s.tracers) }
+
+// Tracer returns the tracer owned by the given rank.
+func (s *Session) Tracer(rank int) *Tracer { return s.tracers[rank] }
+
+// Trace is the merged, export-ready view of a session: every rank's
+// retained events on a shared timeline, sorted by start time.
+type Trace struct {
+	Ranks   int
+	Dropped int64 // events lost to ring overwrites, summed over ranks
+	Events  []Event
+}
+
+// Merge collects all ranks' events into a Trace. Call only after the
+// traced run has finished (rank goroutines must have stopped).
+func (s *Session) Merge() *Trace {
+	tr := &Trace{Ranks: len(s.tracers)}
+	for _, t := range s.tracers {
+		evs := t.events()
+		tr.Dropped += t.total - int64(len(evs))
+		tr.Events = append(tr.Events, evs...)
+	}
+	sort.SliceStable(tr.Events, func(i, j int) bool {
+		a, b := tr.Events[i], tr.Events[j]
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		return a.Rank < b.Rank
+	})
+	return tr
+}

@@ -30,8 +30,10 @@ import (
 	"hpcnmf/internal/datasets"
 	"hpcnmf/internal/grid"
 	"hpcnmf/internal/mat"
+	"hpcnmf/internal/metrics"
 	"hpcnmf/internal/perf"
 	"hpcnmf/internal/sparse"
+	"hpcnmf/internal/trace"
 )
 
 // Dense is a row-major dense matrix (see the methods on mat.Dense).
@@ -66,6 +68,41 @@ const (
 	SolverHALS      = core.SolverHALS
 	SolverPGD       = core.SolverPGD
 )
+
+// Observability: traces, metrics, and run reports (see README
+// "Observability"). Enable tracing with Options.TraceEvents and read
+// Result.Trace; attach a MetricsRegistry via Options.Metrics; build a
+// Report from any finished Result with NewReport.
+
+// Trace is a merged per-rank event timeline (Options.TraceEvents);
+// write it with WriteChrome/WriteChromeFile and open in Perfetto.
+type Trace = trace.Trace
+
+// MetricsRegistry collects counters, gauges, and latency histograms
+// from a run; it is safe for concurrent use across rank goroutines.
+type MetricsRegistry = metrics.Registry
+
+// NewMetricsRegistry returns an empty metrics registry for
+// Options.Metrics.
+func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }
+
+// Report is the versioned machine-readable record of one run.
+type Report = core.Report
+
+// DatasetInfo describes the factorized matrix inside a Report.
+type DatasetInfo = core.DatasetInfo
+
+// DescribeMatrix builds the DatasetInfo for a data matrix.
+func DescribeMatrix(name string, a Matrix) DatasetInfo { return core.DescribeMatrix(name, a) }
+
+// NewReport assembles the run report for a finished Result. p is the
+// processor count (1 for sequential); tracePath may be empty.
+func NewReport(ds DatasetInfo, p int, opts Options, res *Result, tracePath string) *Report {
+	return core.NewReport(ds, p, opts, res, tracePath)
+}
+
+// ParseReport reads a report written by Report.WriteJSON.
+func ParseReport(r io.Reader) (*Report, error) { return core.ParseReport(r) }
 
 // NewDense returns a zero dense matrix with the given shape.
 func NewDense(rows, cols int) *Dense { return mat.NewDense(rows, cols) }
