@@ -22,6 +22,7 @@ import (
 	"hpcnmf/internal/mat"
 	"hpcnmf/internal/mpi"
 	"hpcnmf/internal/nnls"
+	"hpcnmf/internal/par"
 	"hpcnmf/internal/perf"
 	"hpcnmf/internal/rng"
 	"hpcnmf/internal/sparse"
@@ -290,6 +291,77 @@ func BenchmarkKernelCholesky(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// benchKernelImpls runs one kernel under the three implementations the
+// drivers can pick from: the retained naive reference loops, the
+// blocked/register-tiled kernels inline, and the same kernels on a
+// 4-worker pool. `go test -bench=Kernel -benchtime=1x` is the CI smoke
+// pass over all of them.
+func benchKernelImpls(b *testing.B, naive func(), blocked func(p *par.Pool)) {
+	b.Helper()
+	b.Run("naive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			naive()
+		}
+	})
+	b.Run("blocked", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			blocked(nil)
+		}
+	})
+	b.Run("pooled4", func(b *testing.B) {
+		pool := par.NewPool(4)
+		defer pool.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			blocked(pool)
+		}
+	})
+}
+
+func BenchmarkKernelMulAtB(b *testing.B) {
+	s := rng.New(7)
+	w := mat.NewDense(2048, 50)
+	w.RandomUniform(s)
+	a := mat.NewDense(2048, 256)
+	a.RandomUniform(s)
+	c := mat.NewDense(50, 256)
+	benchKernelImpls(b,
+		func() { c.Zero(); mat.RefMulAtBAddTo(c, w, a) },
+		func(p *par.Pool) { mat.ParMulAtBTo(c, w, a, p) })
+}
+
+func BenchmarkKernelGramImpls(b *testing.B) {
+	s := rng.New(8)
+	a := mat.NewDense(4096, 50)
+	a.RandomUniform(s)
+	g := mat.NewDense(50, 50)
+	benchKernelImpls(b,
+		func() { g.Zero(); mat.RefGramAddTo(g, a) },
+		func(p *par.Pool) { mat.ParGramTo(g, a, p) })
+}
+
+func BenchmarkKernelMulABtImpls(b *testing.B) {
+	s := rng.New(9)
+	a := mat.NewDense(2048, 256)
+	a.RandomUniform(s)
+	h := mat.NewDense(50, 256)
+	h.RandomUniform(s)
+	c := mat.NewDense(2048, 50)
+	benchKernelImpls(b,
+		func() { mat.RefMulABtTo(c, a, h) },
+		func(p *par.Pool) { mat.ParMulABtTo(c, a, h, p) })
+}
+
+func BenchmarkKernelSpMMImpls(b *testing.B) {
+	a := sparse.RandomER(4096, 2048, 0.005, rng.New(10))
+	ht := mat.NewDense(2048, 50)
+	ht.RandomUniform(rng.New(11))
+	c := mat.NewDense(4096, 50)
+	benchKernelImpls(b,
+		func() { a.MulBtTo(c, ht, nil) },
+		func(p *par.Pool) { a.MulBtTo(c, ht, p) })
 }
 
 func BenchmarkKernelBPP(b *testing.B) {

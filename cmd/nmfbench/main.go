@@ -25,18 +25,51 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment id(s), comma-separated, or 'all': "+strings.Join(experiments.Names(), ", "))
-		scale = flag.Float64("scale", 1.0, "dataset scale factor (1.0 = paper-shaped defaults)")
-		iters = flag.Int("iters", 3, "alternating iterations to measure")
-		seed  = flag.Uint64("seed", 42, "random seed")
-		view  = flag.String("view", "modeled", "time view: modeled, measured, both, or csv (figure experiments)")
-		p     = flag.Int("p", 16, "processor count for comparison experiments")
-		k     = flag.Int("k", 50, "rank for scaling experiments")
-		ks    = flag.String("ks", "10,20,30,40,50", "rank sweep for comparison experiments")
-		ps    = flag.String("ps", "4,16,64", "processor sweep for scaling experiments")
-		jsonP = flag.String("json", "", "write a machine-readable BenchReport JSON for the selected figure/table3 experiments (e.g. BENCH_main.json)")
+		exp     = flag.String("exp", "all", "experiment id(s), comma-separated, or 'all': "+strings.Join(experiments.Names(), ", "))
+		scale   = flag.Float64("scale", 1.0, "dataset scale factor (1.0 = paper-shaped defaults)")
+		iters   = flag.Int("iters", 3, "alternating iterations to measure")
+		seed    = flag.Uint64("seed", 42, "random seed")
+		view    = flag.String("view", "modeled", "time view: modeled, measured, both, or csv (figure experiments)")
+		p       = flag.Int("p", 16, "processor count for comparison experiments")
+		k       = flag.Int("k", 50, "rank for scaling experiments")
+		ks      = flag.String("ks", "10,20,30,40,50", "rank sweep for comparison experiments")
+		ps      = flag.String("ps", "4,16,64", "processor sweep for scaling experiments")
+		jsonP   = flag.String("json", "", "write a machine-readable BenchReport JSON for the selected figure/table3 experiments (e.g. BENCH_main.json)")
+		kernels = flag.Bool("kernels", false, "run the compute-kernel micro-benchmarks (blocked vs. naive) instead of the figure experiments; with -json, write a KernelReport (e.g. BENCH_kernels.json)")
+		reps    = flag.Int("reps", 3, "repetitions per kernel timing (-kernels); each row reports the best")
+		threads = flag.String("threads", "1,4", "kernel pool widths to time (-kernels)")
 	)
 	flag.Parse()
+
+	if *kernels {
+		tlist, err := parseInts(*threads)
+		if err != nil {
+			fatal("bad -threads: %v", err)
+		}
+		kcfg := experiments.KernelConfig{K: *k, Threads: tlist, Reps: *reps, Seed: *seed}
+		if *scale != 1.0 {
+			kcfg.M = int(10000 * *scale)
+			kcfg.N = int(400 * *scale)
+		}
+		rep := experiments.CollectKernels(kcfg)
+		if *jsonP != "" {
+			out, err := os.Create(*jsonP)
+			if err != nil {
+				fatal("%v", err)
+			}
+			if err := rep.WriteJSON(out); err != nil {
+				out.Close()
+				fatal("writing %s: %v", *jsonP, err)
+			}
+			if err := out.Close(); err != nil {
+				fatal("writing %s: %v", *jsonP, err)
+			}
+			fmt.Printf("wrote %s (%d rows, schema v%d)\n", *jsonP, len(rep.Rows), rep.Version)
+			return
+		}
+		experiments.WriteKernelTable(rep, os.Stdout)
+		return
+	}
 
 	cfg := experiments.Config{
 		Scale:  *scale,

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"testing"
+
+	"hpcnmf/internal/mat"
+	"hpcnmf/internal/rng"
+	"hpcnmf/internal/sparse"
+)
+
+// TestSequentialStepZeroAllocs is the PR's headline acceptance
+// criterion: after warm-up, a steady-state iteration of the sequential
+// driver performs zero heap allocations at the default KernelThreads=1
+// with an inexact (workspace-aware) solver — for dense and sparse A,
+// with and without the objective computation, and with regularization
+// (whose Gram/RHS copies come from the arena too).
+func TestSequentialStepZeroAllocs(t *testing.T) {
+	dense := WrapDense(lowRankDense(60, 45, 5, 0.01, 11))
+	sp := WrapSparse(sparse.RandomER(60, 45, 0.2, rng.New(12)))
+	cases := []struct {
+		name string
+		a    Matrix
+		opts Options
+	}{
+		{"dense/MU", dense, Options{K: 5, MaxIter: 200, Solver: SolverMU, Sweeps: 2, ComputeError: true}},
+		{"dense/HALS/noErr", dense, Options{K: 5, MaxIter: 200, Solver: SolverHALS}},
+		{"dense/PGD/reg", dense, Options{K: 5, MaxIter: 200, Solver: SolverPGD, L2W: 0.1, L1H: 0.05}},
+		{"sparse/MU", sp, Options{K: 5, MaxIter: 200, Solver: SolverMU, ComputeError: true}},
+		{"sparse/HALS", sp, Options{K: 5, MaxIter: 200, Solver: SolverHALS, ComputeError: true}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s, err := newSeqState(tc.a, tc.opts, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s.close()
+			it := 0
+			round := func() {
+				if err := s.step(it); err != nil {
+					t.Fatal(err)
+				}
+				it++
+			}
+			round() // warm up the workspace arena
+			round()
+			if allocs := testing.AllocsPerRun(10, round); allocs != 0 {
+				t.Errorf("steady-state step allocates %v times per iteration", allocs)
+			}
+		})
+	}
+}
+
+// TestComputePathZeroAllocs covers the kernel helpers every driver's
+// iteration is built from (the naive and HPC drivers necessarily
+// allocate in their simulated collectives, so their compute path is
+// pinned here instead): the data-matrix products, the projected
+// gradient, and the regularized-subproblem assembly all run
+// allocation-free against a warmed workspace.
+func TestComputePathZeroAllocs(t *testing.T) {
+	const m, n, k = 50, 35, 4
+	dense := WrapDense(lowRankDense(m, n, k, 0.01, 21))
+	sp := WrapSparse(sparse.RandomER(m, n, 0.2, rng.New(22)))
+	w := mat.NewDense(m, k)
+	w.RandomUniform(rng.New(23))
+	h := mat.NewDense(k, n)
+	h.RandomUniform(rng.New(24))
+	aht := mat.NewDense(m, k)
+	wta := mat.NewDense(k, n)
+	wtw := mat.Gram(w)
+	ws := mat.NewWorkspace()
+
+	for _, tc := range []struct {
+		name string
+		a    Matrix
+	}{{"dense", dense}, {"sparse", sp}} {
+		t.Run(tc.name, func(t *testing.T) {
+			bt := mat.NewDense(n, k)
+			h.TTo(bt)
+			steady := func() {
+				mulHtInto(aht, tc.a, h, ws, nil)
+				mulBtInto(aht, tc.a, bt, nil)
+				mulAtBInto(wta, tc.a, w, nil)
+				_ = projGradSq(wtw, wta, h, ws, nil)
+				g, f, gTmp, fTmp := applyRegInto(ws, wtw, wta, 0.1, 0.05)
+				_, _ = g, f
+				ws.Put(gTmp)
+				ws.Put(fTmp)
+			}
+			steady() // warm up the arena
+			if allocs := testing.AllocsPerRun(10, steady); allocs != 0 {
+				t.Errorf("compute path allocates %v times per pass", allocs)
+			}
+		})
+	}
+}
+
+// TestKernelThreadsBitwiseEquivalent checks the contract the kernel
+// layer promises the drivers: every algorithm computes bitwise
+// identical factors and error histories regardless of KernelThreads.
+func TestKernelThreadsBitwiseEquivalent(t *testing.T) {
+	dense := WrapDense(lowRankDense(37, 29, 4, 0.02, 31))
+	sp := WrapSparse(sparse.RandomER(37, 29, 0.25, rng.New(32)))
+	base := Options{K: 4, MaxIter: 6, Seed: 9, ComputeError: true, Solver: SolverHALS, Sweeps: 2}
+	run := func(a Matrix, threads int) [3]*Result {
+		opts := base
+		opts.KernelThreads = threads
+		seq, err := RunSequential(a, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nv, err := RunNaive(a, 3, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hp, err := RunParallelAuto(a, 4, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return [3]*Result{seq, nv, hp}
+	}
+	for _, a := range []Matrix{dense, sp} {
+		serial := run(a, 1)
+		pooled := run(a, 4)
+		for i, name := range []string{"sequential", "naive", "hpc"} {
+			if d := serial[i].W.MaxDiff(pooled[i].W); d != 0 {
+				t.Errorf("%s: W differs by %g between KernelThreads=1 and 4", name, d)
+			}
+			if d := serial[i].H.MaxDiff(pooled[i].H); d != 0 {
+				t.Errorf("%s: H differs by %g between KernelThreads=1 and 4", name, d)
+			}
+			for j := range serial[i].RelErr {
+				if serial[i].RelErr[j] != pooled[i].RelErr[j] {
+					t.Errorf("%s: RelErr[%d] differs", name, j)
+				}
+			}
+		}
+	}
+}

@@ -476,7 +476,7 @@ func TestProjGradSqAtOptimum(t *testing.T) {
 	}
 	wtw := mat.Gram(c)
 	wta := mat.Mul(wtw, hstar) // so ∇ = 0 at H*
-	if pg := projGradSq(wtw, wta, hstar); pg > 1e-18 {
+	if pg := projGradSq(wtw, wta, hstar, nil, nil); pg > 1e-18 {
 		t.Fatalf("projected gradient %g at interior optimum", pg)
 	}
 	// A zero entry with positive gradient contributes nothing (it may
@@ -484,7 +484,7 @@ func TestProjGradSqAtOptimum(t *testing.T) {
 	h0 := hstar.Clone()
 	h0.Set(0, 0, 0)
 	wta2 := mat.Mul(wtw, hstar)
-	pg := projGradSq(wtw, wta2, h0)
+	pg := projGradSq(wtw, wta2, h0, nil, nil)
 	grad00 := 2 * (mat.Mul(wtw, h0).At(0, 0) - wta2.At(0, 0))
 	if grad00 >= 0 {
 		// The (0,0) gradient is inward-pointing-infeasible; it must be

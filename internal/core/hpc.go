@@ -6,6 +6,8 @@ import (
 	"hpcnmf/internal/grid"
 	"hpcnmf/internal/mat"
 	"hpcnmf/internal/mpi"
+	"hpcnmf/internal/nnls"
+	"hpcnmf/internal/par"
 	"hpcnmf/internal/perf"
 	"hpcnmf/internal/trace"
 )
@@ -29,6 +31,10 @@ func RunParallelAuto(a Matrix, p int, opts Options) (*Result, error) {
 //
 // Passing a 1D grid (pr = p, pc = 1) yields the paper's HPC-NMF-1D
 // variant used for tall-skinny matrices.
+//
+// As in RunNaive, one kernel pool of Options.KernelThreads workers is
+// shared by every rank goroutine and each rank owns a workspace arena
+// for its iteration temporaries.
 func RunHPC(a Matrix, g grid.Grid, opts Options) (*Result, error) {
 	m, n := a.Dims()
 	opts, err := opts.withDefaults(m, n)
@@ -49,6 +55,8 @@ func RunHPC(a Matrix, g grid.Grid, opts Options) (*Result, error) {
 	rm := newRunMetrics(opts.Metrics)
 	trackers := make([]*perf.Tracker, p)
 	traffic := make([]*mpi.Counters, p)
+	pool := par.NewPool(opts.KernelThreads)
+	defer pool.Close()
 	var res *Result
 
 	body := func(c *mpi.Comm) {
@@ -71,6 +79,8 @@ func RunHPC(a Matrix, g grid.Grid, opts Options) (*Result, error) {
 		wij := localInitW(opts, wHi-wLo, r0+wLo) // (Wi)j: m/p × k
 		hij := localInitH(opts, hHi-hLo, c0+hLo) // (Hj)i: k × n/p
 		solver := opts.Solver.New(opts.Sweeps)
+		ws := mat.NewWorkspace()
+		ctx := &nnls.Context{WS: ws, Pool: pool}
 
 		// Row and column communicators (the "proc row"/"proc column"
 		// collectives of lines 5, 7, 11, 13).
@@ -86,7 +96,17 @@ func RunHPC(a Matrix, g grid.Grid, opts Options) (*Result, error) {
 			chunk = k
 		}
 
-		var relErr []float64
+		// Per-rank iteration buffers, reused across iterations.
+		uij := mat.NewDense(k, k)         // (Hj)i·(Hj)iᵀ
+		xij := mat.NewDense(k, k)         // (Wi)jᵀ·(Wi)j
+		ahtij := mat.NewDense(wHi-wLo, k) // this rank's rows of A·Hᵀ
+		fw := mat.NewDense(k, wHi-wLo)    // (A·Hᵀ)ᵀ rows, W-solve RHS
+		wijt := mat.NewDense(k, wHi-wLo)  // (Wi)jᵀ: warm start and W-solve dst
+		wtaT := mat.NewDense(hHi-hLo, k)  // this rank's columns of Wᵀ·A, transposed
+		wta := mat.NewDense(k, hHi-hLo)   // Wᵀ·A columns, H-solve RHS
+		wij.TTo(wijt)
+
+		var relErr = make([]float64, 0, opts.MaxIter)
 		iters := 0
 		setupTr := tr.Snapshot()
 		setupTraffic := c.Counters().Snapshot()
@@ -94,119 +114,131 @@ func RunHPC(a Matrix, g grid.Grid, opts Options) (*Result, error) {
 			iters++
 			itSpan := c.Tracer().BeginArg(trace.CatIter, "iteration", "iter", int64(it))
 			// --- Compute W given H (lines 3-8) ---
-			stop := clk.Go(perf.TaskGram)
-			uij := mat.GramT(hij) // line 3: Uij = (Hj)i·(Hj)iᵀ
-			stop()
+			ps := clk.Start(perf.TaskGram)
+			mat.ParGramTTo(uij, hij, pool) // line 3: Uij = (Hj)i·(Hj)iᵀ
+			clk.Stop(ps)
 			tr.AddFlops(perf.TaskGram, gramFlops(hHi-hLo, k))
 
-			stop = clk.Go(perf.TaskAllReduce)
+			ps = clk.Start(perf.TaskAllReduce)
 			hht := &mat.Dense{Rows: k, Cols: k, Data: c.AllReduce(uij.Data)} // line 4
-			stop()
+			clk.Stop(ps)
 
 			// Lines 5-7: assemble Hj (as Hjᵀ) across the processor
 			// column, multiply locally, reduce-scatter the result by
 			// row blocks of Wi — optionally blocked into column
 			// chunks (§5 memory/latency trade; opts.CommChunk).
-			ahtij := mat.NewDense(wHi-wLo, k)
 			for c0 := 0; c0 < k; c0 += chunk {
 				c1 := min(c0+chunk, k)
 				kc := c1 - c0
-				stop = clk.Go(perf.TaskAllGather)
+				ps = clk.Start(perf.TaskAllGather)
 				hjTChunk := &mat.Dense{Rows: nj, Cols: kc, Data: colComm.AllGatherV(
 					hij.Submatrix(c0, c1, 0, hHi-hLo).T().Data,
 					grid.ScaleCounts(hRowCounts, kc))}
-				stop()
-				stop = clk.Go(perf.TaskMM)
-				vijChunk := aij.MulBt(hjTChunk) // Vij columns [c0,c1)
-				stop()
+				clk.Stop(ps)
+				ps = clk.Start(perf.TaskMM)
+				vijChunk := ws.Get(mi, kc)
+				mulBtInto(vijChunk, aij, hjTChunk, pool) // Vij columns [c0,c1)
+				clk.Stop(ps)
 				tr.AddFlops(perf.TaskMM, 2*int64(aij.NNZ())*int64(kc))
-				stop = clk.Go(perf.TaskReduceScatter)
+				ps = clk.Start(perf.TaskReduceScatter)
 				got := &mat.Dense{Rows: wHi - wLo, Cols: kc, Data: rowComm.ReduceScatter(
 					vijChunk.Data, grid.ScaleCounts(wRowCounts, kc))}
-				stop()
+				clk.Stop(ps)
+				ws.Put(vijChunk)
 				ahtij.SetSubmatrix(0, c0, got)
 			}
 
-			gw, fw := applyReg(hht, ahtij.T(), opts.L2W, opts.L1W)
-			stop = clk.Go(perf.TaskNLS)
-			wt, st, serr := solver.Solve(gw, fw, wij.T()) // line 8
-			stop()
+			ahtij.TTo(fw)
+			gw, fwReg, gTmp, fTmp := applyRegInto(ws, hht, fw, opts.L2W, opts.L1W)
+			ps = clk.Start(perf.TaskNLS)
+			st, serr := nnls.SolveWith(solver, ctx, gw, fwReg, wijt, wijt) // line 8
+			clk.Stop(ps)
+			ws.Put(gTmp)
+			ws.Put(fTmp)
 			if serr != nil {
 				panic(fmt.Sprintf("core: HPC W update failed at iteration %d: %v", it, serr))
 			}
 			tr.AddFlops(perf.TaskNLS, st.Flops)
 			rm.ObserveNLS(st.Iterations)
-			wij = wt.T()
+			wijt.TTo(wij)
 			checkFactorSanity("W", wij)
 
 			// --- Compute H given W (lines 9-14) ---
-			stop = clk.Go(perf.TaskGram)
-			xij := mat.Gram(wij) // line 9: Xij = (Wi)jᵀ·(Wi)j
-			stop()
+			ps = clk.Start(perf.TaskGram)
+			mat.ParGramTo(xij, wij, pool) // line 9: Xij = (Wi)jᵀ·(Wi)j
+			clk.Stop(ps)
 			tr.AddFlops(perf.TaskGram, gramFlops(wHi-wLo, k))
 
-			stop = clk.Go(perf.TaskAllReduce)
+			ps = clk.Start(perf.TaskAllReduce)
 			wtw := &mat.Dense{Rows: k, Cols: k, Data: c.AllReduce(xij.Data)} // line 10
-			stop()
+			clk.Stop(ps)
 
 			// Lines 11-13: assemble Wi across the processor row,
 			// multiply, reduce-scatter by column blocks of Hj —
 			// the same optionally-blocked pipeline.
-			wtaT := mat.NewDense(hHi-hLo, k)
 			for c0 := 0; c0 < k; c0 += chunk {
 				c1 := min(c0+chunk, k)
 				kc := c1 - c0
-				stop = clk.Go(perf.TaskAllGather)
+				ps = clk.Start(perf.TaskAllGather)
 				wiChunk := &mat.Dense{Rows: mi, Cols: kc, Data: rowComm.AllGatherV(
 					wij.SubmatrixCols(c0, c1).Data,
 					grid.ScaleCounts(wRowCounts, kc))}
-				stop()
-				stop = clk.Go(perf.TaskMM)
-				yijChunk := aij.MulAtB(wiChunk) // Yij rows [c0,c1), kc×nj
-				stop()
+				clk.Stop(ps)
+				ps = clk.Start(perf.TaskMM)
+				yijChunk := ws.Get(kc, nj)
+				mulAtBInto(yijChunk, aij, wiChunk, pool) // Yij rows [c0,c1), kc×nj
+				clk.Stop(ps)
 				tr.AddFlops(perf.TaskMM, 2*int64(aij.NNZ())*int64(kc))
-				stop = clk.Go(perf.TaskReduceScatter)
+				yijT := ws.Get(nj, kc)
+				yijChunk.TTo(yijT)
+				ws.Put(yijChunk)
+				ps = clk.Start(perf.TaskReduceScatter)
 				got := &mat.Dense{Rows: hHi - hLo, Cols: kc, Data: colComm.ReduceScatter(
-					yijChunk.T().Data, grid.ScaleCounts(hRowCounts, kc))}
-				stop()
+					yijT.Data, grid.ScaleCounts(hRowCounts, kc))}
+				clk.Stop(ps)
+				ws.Put(yijT)
 				wtaT.SetSubmatrix(0, c0, got)
 			}
+			wtaT.TTo(wta)
 
 			// Stationarity measure for TolGrad: gradient at the old
 			// Hij under the refreshed W (see RunSequential).
 			pgLocal, pgRefLocal := 0.0, 0.0
 			if opts.TolGrad > 0 {
-				pgLocal = projGradSq(wtw, wtaT.T(), hij)
-				pgRefLocal = wtaT.SquaredFrobeniusNorm()
+				pgLocal = projGradSq(wtw, wta, hij, ws, pool)
+				pgRefLocal = wta.SquaredFrobeniusNorm()
 			}
 
-			gh, fh := applyReg(wtw, wtaT.T(), opts.L2H, opts.L1H)
-			stop = clk.Go(perf.TaskNLS)
-			hNew, st2, serr := solver.Solve(gh, fh, hij) // line 14
-			stop()
+			gh, fh, gTmp, fTmp := applyRegInto(ws, wtw, wta, opts.L2H, opts.L1H)
+			ps = clk.Start(perf.TaskNLS)
+			st2, serr := nnls.SolveWith(solver, ctx, gh, fh, hij, hij) // line 14
+			clk.Stop(ps)
+			ws.Put(gTmp)
+			ws.Put(fTmp)
 			if serr != nil {
 				panic(fmt.Sprintf("core: HPC H update failed at iteration %d: %v", it, serr))
 			}
 			tr.AddFlops(perf.TaskNLS, st2.Flops)
 			rm.ObserveNLS(st2.Iterations)
-			hij = hNew
 			checkFactorSanity("H", hij)
 
 			// --- Objective (optional): the "global aggregation for
 			// residual" of §5, one scalar all-reduce. ---
 			if opts.ComputeError {
 				errSpan := c.Tracer().Begin(trace.CatPhase, "Err")
-				stop = clk.Go(perf.TaskGram)
-				hijGram := mat.GramT(hij)
-				stop()
+				hijGram := ws.Get(k, k)
+				ps = clk.Start(perf.TaskGram)
+				mat.ParGramTTo(hijGram, hij, pool)
+				clk.Stop(ps)
 				tr.AddFlops(perf.TaskGram, gramFlops(hHi-hLo, k))
-				payload := []float64{mat.Dot(wtaT.T(), hij), mat.Dot(wtw, hijGram)}
+				payload := []float64{mat.Dot(wta, hij), mat.Dot(wtw, hijGram)}
+				ws.Put(hijGram)
 				if opts.TolGrad > 0 {
 					payload = append(payload, pgLocal, pgRefLocal)
 				}
-				stop = clk.Go(perf.TaskAllReduce)
+				ps = clk.Start(perf.TaskAllReduce)
 				parts := c.AllReduce(payload)
-				stop()
+				clk.Stop(ps)
 				errSpan.End()
 				e := relErrFrom(normA2, parts[0], parts[1])
 				relErr = append(relErr, e)

@@ -6,6 +6,8 @@ import (
 	"hpcnmf/internal/grid"
 	"hpcnmf/internal/mat"
 	"hpcnmf/internal/mpi"
+	"hpcnmf/internal/nnls"
+	"hpcnmf/internal/par"
 	"hpcnmf/internal/perf"
 	"hpcnmf/internal/trace"
 )
@@ -17,6 +19,11 @@ import (
 // its independent NLS block. The Gram matrices are computed
 // redundantly on every rank. This is the communication-heavy baseline
 // the paper improves upon.
+//
+// One kernel pool of Options.KernelThreads workers is shared by all p
+// rank goroutines (a threaded BLAS under each MPI rank); each rank
+// owns a private workspace arena, so the compute path of an iteration
+// reuses its buffers instead of reallocating them.
 func RunNaive(a Matrix, p int, opts Options) (*Result, error) {
 	m, n := a.Dims()
 	opts, err := opts.withDefaults(m, n)
@@ -44,6 +51,8 @@ func RunNaive(a Matrix, p int, opts Options) (*Result, error) {
 	rm := newRunMetrics(opts.Metrics)
 	trackers := make([]*perf.Tracker, p)
 	traffic := make([]*mpi.Counters, p)
+	pool := par.NewPool(opts.KernelThreads)
+	defer pool.Close()
 	var res *Result
 
 	body := func(c *mpi.Comm) {
@@ -64,8 +73,20 @@ func RunNaive(a Matrix, p int, opts Options) (*Result, error) {
 		hi := localInitH(opts, ni, c0)
 		wi := localInitW(opts, mi, r0)
 		solver := opts.Solver.New(opts.Sweeps)
+		ws := mat.NewWorkspace()
+		ctx := &nnls.Context{WS: ws, Pool: pool}
 
-		var relErr []float64
+		// Per-rank iteration buffers, reused across iterations.
+		hiT := mat.NewDense(ni, k)  // (Hi)ᵀ, the all-gather send layout
+		wit := mat.NewDense(k, mi)  // Wiᵀ: warm start and W-solve destination
+		hGram := mat.NewDense(k, k) // HHᵀ (redundant on every rank)
+		wtw := mat.NewDense(k, k)   // WᵀW (redundant on every rank)
+		aiht := mat.NewDense(mi, k) // Ai·Hᵀ
+		fw := mat.NewDense(k, mi)   // (Ai·Hᵀ)ᵀ
+		wtai := mat.NewDense(k, ni) // Wᵀ·Aⁱ
+		wi.TTo(wit)
+
+		relErr := make([]float64, 0, opts.MaxIter)
 		iters := 0
 		setupTr := tr.Snapshot()
 		setupTraffic := c.Counters().Snapshot()
@@ -73,81 +94,88 @@ func RunNaive(a Matrix, p int, opts Options) (*Result, error) {
 			iters++
 			itSpan := c.Tracer().BeginArg(trace.CatIter, "iteration", "iter", int64(it))
 			// --- Compute W given H (lines 3-4) ---
-			stop := clk.Go(perf.TaskAllGather)
-			hT := &mat.Dense{Rows: n, Cols: k, Data: c.AllGatherV(hi.T().Data, hWordCounts)}
-			stop()
+			hi.TTo(hiT)
+			ps := clk.Start(perf.TaskAllGather)
+			hT := &mat.Dense{Rows: n, Cols: k, Data: c.AllGatherV(hiT.Data, hWordCounts)}
+			clk.Stop(ps)
 
-			stop = clk.Go(perf.TaskGram)
-			hGram := mat.Gram(hT) // (Hᵀ)ᵀHᵀ = HHᵀ, computed redundantly
-			stop()
+			ps = clk.Start(perf.TaskGram)
+			mat.ParGramTo(hGram, hT, pool) // (Hᵀ)ᵀHᵀ = HHᵀ, computed redundantly
+			clk.Stop(ps)
 			tr.AddFlops(perf.TaskGram, gramFlops(n, k))
 
-			stop = clk.Go(perf.TaskMM)
-			aiht := aRow.MulBt(hT) // Ai·Hᵀ, mi×k
-			stop()
+			ps = clk.Start(perf.TaskMM)
+			mulBtInto(aiht, aRow, hT, pool) // Ai·Hᵀ, mi×k
+			clk.Stop(ps)
 			tr.AddFlops(perf.TaskMM, 2*int64(aRow.NNZ())*int64(k))
 
-			gw, fw := applyReg(hGram, aiht.T(), opts.L2W, opts.L1W)
-			stop = clk.Go(perf.TaskNLS)
-			wt, st, serr := solver.Solve(gw, fw, wi.T())
-			stop()
+			aiht.TTo(fw)
+			gw, fwReg, gTmp, fTmp := applyRegInto(ws, hGram, fw, opts.L2W, opts.L1W)
+			ps = clk.Start(perf.TaskNLS)
+			st, serr := nnls.SolveWith(solver, ctx, gw, fwReg, wit, wit)
+			clk.Stop(ps)
+			ws.Put(gTmp)
+			ws.Put(fTmp)
 			if serr != nil {
 				panic(fmt.Sprintf("core: naive W update failed at iteration %d: %v", it, serr))
 			}
 			tr.AddFlops(perf.TaskNLS, st.Flops)
 			rm.ObserveNLS(st.Iterations)
-			wi = wt.T()
+			wit.TTo(wi)
 			checkFactorSanity("W", wi)
 
 			// --- Compute H given W (lines 5-6) ---
-			stop = clk.Go(perf.TaskAllGather)
+			ps = clk.Start(perf.TaskAllGather)
 			w := &mat.Dense{Rows: m, Cols: k, Data: c.AllGatherV(wi.Data, wWordCounts)}
-			stop()
+			clk.Stop(ps)
 
-			stop = clk.Go(perf.TaskGram)
-			wtw := mat.Gram(w) // redundant on every rank
-			stop()
+			ps = clk.Start(perf.TaskGram)
+			mat.ParGramTo(wtw, w, pool) // redundant on every rank
+			clk.Stop(ps)
 			tr.AddFlops(perf.TaskGram, gramFlops(m, k))
 
-			stop = clk.Go(perf.TaskMM)
-			wtai := aCol.MulAtB(w) // Wᵀ·Aⁱ, k×ni
-			stop()
+			ps = clk.Start(perf.TaskMM)
+			mulAtBInto(wtai, aCol, w, pool) // Wᵀ·Aⁱ, k×ni
+			clk.Stop(ps)
 			tr.AddFlops(perf.TaskMM, 2*int64(aCol.NNZ())*int64(k))
 
 			// Stationarity measure for TolGrad: gradient at the old
 			// Hi under the refreshed W (see RunSequential).
 			pgLocal, pgRefLocal := 0.0, 0.0
 			if opts.TolGrad > 0 {
-				pgLocal = projGradSq(wtw, wtai, hi)
+				pgLocal = projGradSq(wtw, wtai, hi, ws, pool)
 				pgRefLocal = wtai.SquaredFrobeniusNorm()
 			}
 
-			gh, fh := applyReg(wtw, wtai, opts.L2H, opts.L1H)
-			stop = clk.Go(perf.TaskNLS)
-			hNew, st2, serr := solver.Solve(gh, fh, hi)
-			stop()
+			gh, fh, gTmp, fTmp := applyRegInto(ws, wtw, wtai, opts.L2H, opts.L1H)
+			ps = clk.Start(perf.TaskNLS)
+			st2, serr := nnls.SolveWith(solver, ctx, gh, fh, hi, hi)
+			clk.Stop(ps)
+			ws.Put(gTmp)
+			ws.Put(fTmp)
 			if serr != nil {
 				panic(fmt.Sprintf("core: naive H update failed at iteration %d: %v", it, serr))
 			}
 			tr.AddFlops(perf.TaskNLS, st2.Flops)
 			rm.ObserveNLS(st2.Iterations)
-			hi = hNew
 			checkFactorSanity("H", hi)
 
 			// --- Objective (optional): local partials + one all-reduce ---
 			if opts.ComputeError {
 				errSpan := c.Tracer().Begin(trace.CatPhase, "Err")
-				stop = clk.Go(perf.TaskGram)
-				hiGram := mat.GramT(hi)
-				stop()
+				hiGram := ws.Get(k, k)
+				ps = clk.Start(perf.TaskGram)
+				mat.ParGramTTo(hiGram, hi, pool)
+				clk.Stop(ps)
 				tr.AddFlops(perf.TaskGram, gramFlops(ni, k))
 				payload := []float64{mat.Dot(wtai, hi), mat.Dot(wtw, hiGram)}
+				ws.Put(hiGram)
 				if opts.TolGrad > 0 {
 					payload = append(payload, pgLocal, pgRefLocal)
 				}
-				stop = clk.Go(perf.TaskAllReduce)
+				ps = clk.Start(perf.TaskAllReduce)
 				parts := c.AllReduce(payload)
-				stop()
+				clk.Stop(ps)
 				errSpan.End()
 				e := relErrFrom(normA2, parts[0], parts[1])
 				relErr = append(relErr, e)
@@ -171,8 +199,9 @@ func RunNaive(a Matrix, p int, opts Options) (*Result, error) {
 		traffic[rank] = c.Counters().Diff(setupTraffic)
 
 		// --- Gather factors on rank 0 (outside the measured loop) ---
+		hi.TTo(hiT)
 		wAll := c.GatherV(0, wi.Data, wWordCounts)
-		hTAll := c.GatherV(0, hi.T().Data, hWordCounts)
+		hTAll := c.GatherV(0, hiT.Data, hWordCounts)
 		if rank == 0 {
 			w := &mat.Dense{Rows: m, Cols: k, Data: wAll}
 			hT := &mat.Dense{Rows: n, Cols: k, Data: hTAll}

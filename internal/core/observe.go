@@ -1,32 +1,44 @@
 package core
 
 import (
+	"time"
+
 	"hpcnmf/internal/metrics"
 	"hpcnmf/internal/perf"
 	"hpcnmf/internal/trace"
 )
 
 // phaseClock couples the perf tracker with the event tracer so one
-// Go() call feeds both the aggregate task breakdown and the per-rank
-// trace. With tracing off it degenerates to exactly the old
-// perf.Tracker path (one closure, no span).
+// Start/Stop pair feeds both the aggregate task breakdown and the
+// per-rank trace. Both phaseClock and phaseSpan are plain values:
+// unlike the closure-returning perf.Tracker.Go, timing a phase
+// performs no heap allocation, which the steady-state iteration loops
+// rely on.
 type phaseClock struct {
 	tr *perf.Tracker
 	tc *trace.Tracer // nil when tracing is off
 }
 
-// Go starts timing a phase on both instruments and returns the stop
-// function.
-func (p phaseClock) Go(task perf.Task) func() {
-	stop := p.tr.Go(task)
-	if p.tc == nil {
-		return stop
+// phaseSpan is one in-flight phase measurement; pass it back to Stop.
+type phaseSpan struct {
+	task  perf.Task
+	start time.Time
+	sp    trace.Span // zero (no-op) when tracing is off
+}
+
+// Start begins timing a phase on both instruments.
+func (p phaseClock) Start(task perf.Task) phaseSpan {
+	var sp trace.Span
+	if p.tc != nil {
+		sp = p.tc.Begin(trace.CatPhase, task.String())
 	}
-	sp := p.tc.Begin(trace.CatPhase, task.String())
-	return func() {
-		stop()
-		sp.End()
-	}
+	return phaseSpan{task: task, start: time.Now(), sp: sp}
+}
+
+// Stop records the elapsed phase time.
+func (p phaseClock) Stop(ps phaseSpan) {
+	p.tr.Add(ps.task, time.Since(ps.start))
+	ps.sp.End()
 }
 
 // runMetrics caches the registry instruments the iteration loops

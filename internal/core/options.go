@@ -7,6 +7,7 @@ import (
 	"hpcnmf/internal/mat"
 	"hpcnmf/internal/metrics"
 	"hpcnmf/internal/nnls"
+	"hpcnmf/internal/par"
 	"hpcnmf/internal/perf"
 	"hpcnmf/internal/trace"
 )
@@ -88,6 +89,15 @@ type Options struct {
 	// Seed drives the deterministic, layout-independent factor
 	// initialization (§6.1.3).
 	Seed uint64
+	// KernelThreads sizes the shared worker pool under the dense and
+	// sparse compute kernels (see internal/par): each kernel call
+	// splits its output rows across up to KernelThreads OS threads.
+	// The pool is shared by all rank goroutines of a run, mirroring a
+	// threaded BLAS under each MPI rank. ≤ 1 (the default) runs every
+	// kernel inline on its rank goroutine, which is also the
+	// configuration whose steady-state iterations allocate nothing.
+	// Results are bitwise identical for every value.
+	KernelThreads int
 	// ComputeError computes the relative objective each iteration.
 	// It adds a small all-reduce per iteration (the "global
 	// aggregation for residual" of §5) plus one local Gram product.
@@ -152,6 +162,9 @@ func (o Options) withDefaults(m, n int) (Options, error) {
 	if o.Sweeps <= 0 {
 		o.Sweeps = 1
 	}
+	if o.KernelThreads <= 0 {
+		o.KernelThreads = 1
+	}
 	if o.Model == (perf.Model{}) {
 		o.Model = perf.Edison()
 	}
@@ -214,6 +227,34 @@ func applyReg(g, f *mat.Dense, l2, l1 float64) (*mat.Dense, *mat.Dense) {
 		}
 	}
 	return g, f
+}
+
+// applyRegInto is applyReg for the workspace-threaded iteration loops:
+// the modified copies are drawn from ws instead of freshly allocated.
+// gTmp/fTmp are the workspace buffers to Put back after the solve (nil
+// when the corresponding weight is zero and the input passed through,
+// which Put accepts). With both weights zero — the common case — no
+// buffer is drawn at all, keeping the steady state allocation-free.
+func applyRegInto(ws *mat.Workspace, g, f *mat.Dense, l2, l1 float64) (gOut, fOut, gTmp, fTmp *mat.Dense) {
+	gOut, fOut = g, f
+	if l2 != 0 {
+		gTmp = ws.Get(g.Rows, g.Cols)
+		gTmp.CopyFrom(g)
+		for i := 0; i < gTmp.Rows; i++ {
+			gTmp.Set(i, i, gTmp.At(i, i)+l2)
+		}
+		gOut = gTmp
+	}
+	if l1 != 0 {
+		fTmp = ws.Get(f.Rows, f.Cols)
+		fTmp.CopyFrom(f)
+		half := l1 / 2
+		for i := range fTmp.Data {
+			fTmp.Data[i] -= half
+		}
+		fOut = fTmp
+	}
+	return gOut, fOut, gTmp, fTmp
 }
 
 // wSeedSalt decorrelates the W initialization stream from H's.
@@ -286,17 +327,19 @@ func shouldStop(relErr []float64, tol float64) bool {
 // projGradSq returns ‖P[∇_H f]‖²_F for the H-subproblem from the
 // iteration byproducts: ∇ = 2(WᵀW·H − WᵀA); the projection keeps the
 // full gradient on positive entries and only its negative part on
-// zero entries (those may only move inward).
-func projGradSq(wtw, wta, h *mat.Dense) float64 {
-	grad := mat.Mul(wtw, h)
-	grad.Sub(wta)
+// zero entries (those may only move inward). The gradient buffer comes
+// from ws and the multiply runs on pool (both may be nil).
+func projGradSq(wtw, wta, h *mat.Dense, ws *mat.Workspace, pool *par.Pool) float64 {
+	grad := ws.Get(h.Rows, h.Cols)
+	mat.ParMulTo(grad, wtw, h, pool)
 	s := 0.0
 	for i, hv := range h.Data {
-		g := 2 * grad.Data[i]
+		g := 2 * (grad.Data[i] - wta.Data[i])
 		if hv > 0 || g < 0 {
 			s += g * g
 		}
 	}
+	ws.Put(grad)
 	return s
 }
 

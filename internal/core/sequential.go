@@ -4,9 +4,185 @@ import (
 	"fmt"
 
 	"hpcnmf/internal/mat"
+	"hpcnmf/internal/nnls"
+	"hpcnmf/internal/par"
 	"hpcnmf/internal/perf"
 	"hpcnmf/internal/trace"
 )
+
+// seqState holds the sequential driver's iteration buffers. Every
+// matrix the loop touches is allocated once here (or drawn from the
+// workspace arena), so a steady-state step performs no heap
+// allocation at KernelThreads=1 with an inexact solver — the property
+// TestSequentialStepZeroAllocs pins. The NLS iterate for the W step is
+// kept transposed (wt, k×m) across iterations: it is both the warm
+// start and the in-place destination of the solve, and one TTo
+// refreshes w from it.
+type seqState struct {
+	a      Matrix
+	opts   Options
+	solver nnls.Solver
+	ctx    *nnls.Context
+	ws     *mat.Workspace
+	pool   *par.Pool
+	tr     *perf.Tracker
+	clk    phaseClock
+	tc     *trace.Tracer
+	rm     runMetrics
+
+	m, n, k int
+	normA2  float64
+
+	w  *mat.Dense // m×k
+	wt *mat.Dense // k×m: Wᵀ, warm start and destination of the W solve
+	h  *mat.Dense // k×n
+
+	hGram     *mat.Dense // k×k = H·Hᵀ
+	haveHGram bool       // hGram is current for h
+	wtw       *mat.Dense // k×k = WᵀW
+	aht       *mat.Dense // m×k = A·Hᵀ
+	fw        *mat.Dense // k×m = (A·Hᵀ)ᵀ, the W-step right-hand side
+	wta       *mat.Dense // k×n = Wᵀ·A
+
+	relErr []float64
+	iters  int
+	done   bool
+}
+
+// newSeqState validates the options and allocates the run's buffers.
+// The caller must close() the state to release the kernel pool.
+func newSeqState(a Matrix, opts Options, tc *trace.Tracer) (*seqState, error) {
+	m, n := a.Dims()
+	opts, err := opts.withDefaults(m, n)
+	if err != nil {
+		return nil, err
+	}
+	k := opts.K
+	ws := mat.NewWorkspace()
+	pool := par.NewPool(opts.KernelThreads)
+	tr := perf.NewTracker()
+	s := &seqState{
+		a:      a,
+		opts:   opts,
+		solver: opts.Solver.New(opts.Sweeps),
+		ctx:    &nnls.Context{WS: ws, Pool: pool},
+		ws:     ws,
+		pool:   pool,
+		tr:     tr,
+		clk:    phaseClock{tr: tr, tc: tc},
+		tc:     tc,
+		rm:     newRunMetrics(opts.Metrics),
+		m:      m,
+		n:      n,
+		k:      k,
+		normA2: a.SquaredFrobeniusNorm(),
+		w:      localInitW(opts, m, 0),
+		wt:     mat.NewDense(k, m),
+		h:      localInitH(opts, n, 0),
+		hGram:  mat.NewDense(k, k),
+		wtw:    mat.NewDense(k, k),
+		aht:    mat.NewDense(m, k),
+		fw:     mat.NewDense(k, m),
+		wta:    mat.NewDense(k, n),
+		relErr: make([]float64, 0, opts.MaxIter),
+	}
+	s.w.TTo(s.wt)
+	return s, nil
+}
+
+// close releases the kernel pool (a no-op at KernelThreads=1).
+func (s *seqState) close() { s.pool.Close() }
+
+// step runs one alternating iteration (Algorithm 1, lines 3-4) and
+// records whether a convergence test fired in s.done.
+func (s *seqState) step(it int) error {
+	s.iters++
+	itSpan := s.tc.BeginArg(trace.CatIter, "iteration", "iter", int64(it))
+	// --- Update W given H (Algorithm 1, line 3) ---
+	if !s.haveHGram {
+		ps := s.clk.Start(perf.TaskGram)
+		mat.ParGramTTo(s.hGram, s.h, s.pool)
+		s.clk.Stop(ps)
+		s.tr.AddFlops(perf.TaskGram, gramFlops(s.n, s.k))
+		s.haveHGram = true
+	}
+	ps := s.clk.Start(perf.TaskMM)
+	mulHtInto(s.aht, s.a, s.h, s.ws, s.pool) // m×k
+	s.clk.Stop(ps)
+	s.tr.AddFlops(perf.TaskMM, 2*int64(s.a.NNZ())*int64(s.k))
+
+	s.aht.TTo(s.fw)
+	gw, fw, gTmp, fTmp := applyRegInto(s.ws, s.hGram, s.fw, s.opts.L2W, s.opts.L1W)
+	ps = s.clk.Start(perf.TaskNLS)
+	st, err := nnls.SolveWith(s.solver, s.ctx, gw, fw, s.wt, s.wt)
+	s.clk.Stop(ps)
+	s.ws.Put(gTmp)
+	s.ws.Put(fTmp)
+	if err != nil {
+		return fmt.Errorf("core: W update failed at iteration %d: %w", it, err)
+	}
+	s.tr.AddFlops(perf.TaskNLS, st.Flops)
+	s.rm.ObserveNLS(st.Iterations)
+	s.wt.TTo(s.w)
+	checkFactorSanity("W", s.w)
+
+	// --- Update H given W (Algorithm 1, line 4) ---
+	ps = s.clk.Start(perf.TaskGram)
+	mat.ParGramTo(s.wtw, s.w, s.pool)
+	s.clk.Stop(ps)
+	s.tr.AddFlops(perf.TaskGram, gramFlops(s.m, s.k))
+
+	ps = s.clk.Start(perf.TaskMM)
+	mulAtBInto(s.wta, s.a, s.w, s.pool) // k×n
+	s.clk.Stop(ps)
+	s.tr.AddFlops(perf.TaskMM, 2*int64(s.a.NNZ())*int64(s.k))
+
+	// TolGrad measures stationarity of the alternating map: the
+	// projected gradient of the H-subproblem at the PREVIOUS H
+	// under the refreshed W (zero exactly when the alternation
+	// has stopped moving; the post-solve gradient would be ~0
+	// every iteration for exact solvers and measure nothing).
+	pg, pgRef := 0.0, 0.0
+	if s.opts.TolGrad > 0 {
+		pg = projGradSq(s.wtw, s.wta, s.h, s.ws, s.pool)
+		pgRef = s.wta.SquaredFrobeniusNorm()
+	}
+
+	gh, fh, gTmp, fTmp := applyRegInto(s.ws, s.wtw, s.wta, s.opts.L2H, s.opts.L1H)
+	ps = s.clk.Start(perf.TaskNLS)
+	st2, err := nnls.SolveWith(s.solver, s.ctx, gh, fh, s.h, s.h)
+	s.clk.Stop(ps)
+	s.ws.Put(gTmp)
+	s.ws.Put(fTmp)
+	if err != nil {
+		return fmt.Errorf("core: H update failed at iteration %d: %w", it, err)
+	}
+	s.tr.AddFlops(perf.TaskNLS, st2.Flops)
+	s.rm.ObserveNLS(st2.Iterations)
+	checkFactorSanity("H", s.h)
+
+	// --- Objective via byproducts (DESIGN decision 4) ---
+	s.haveHGram = false
+	if s.opts.ComputeError {
+		errSpan := s.tc.Begin(trace.CatPhase, "Err")
+		ps = s.clk.Start(perf.TaskGram)
+		mat.ParGramTTo(s.hGram, s.h, s.pool) // reused as next iteration's HHᵀ
+		s.clk.Stop(ps)
+		s.haveHGram = true
+		s.tr.AddFlops(perf.TaskGram, gramFlops(s.n, s.k))
+		ps = s.clk.Start(perf.TaskOther)
+		e := relErrFrom(s.normA2, mat.Dot(s.wta, s.h), mat.Dot(s.wtw, s.hGram))
+		s.clk.Stop(ps)
+		errSpan.End()
+		s.relErr = append(s.relErr, e)
+		s.rm.ObserveRelErr(e)
+		if shouldStop(s.relErr, s.opts.Tol) || gradConverged(s.opts.TolGrad, pg, pgRef) {
+			s.done = true
+		}
+	}
+	itSpan.End()
+	return nil
+}
 
 // RunSequential factorizes A ≈ W·H on a single process with the ANLS
 // framework (Algorithm 1): alternately solve the NLS subproblems for
@@ -14,122 +190,33 @@ import (
 // baseline the parallel algorithms are validated against: with the
 // same seed they perform the same computation up to reduction order.
 func RunSequential(a Matrix, opts Options) (*Result, error) {
-	m, n := a.Dims()
-	opts, err := opts.withDefaults(m, n)
-	if err != nil {
-		return nil, err
-	}
-	k := opts.K
-	solver := opts.Solver.New(opts.Sweeps)
-	tr := perf.NewTracker()
 	tsess := newTraceSession(opts, 1)
 	var tc *trace.Tracer
 	if tsess != nil {
 		tc = tsess.Tracer(0)
 	}
-	clk := phaseClock{tr: tr, tc: tc}
-	rm := newRunMetrics(opts.Metrics)
-
-	h := localInitH(opts, n, 0)
-	w := localInitW(opts, m, 0)
-	normA2 := a.SquaredFrobeniusNorm()
-
-	var relErr []float64
-	var hGram *mat.Dense
-	iters := 0
-	setup := tr.Snapshot()
-	for it := 0; it < opts.MaxIter; it++ {
-		iters++
-		itSpan := tc.BeginArg(trace.CatIter, "iteration", "iter", int64(it))
-		// --- Update W given H (Algorithm 1, line 3) ---
-		if hGram == nil {
-			stop := clk.Go(perf.TaskGram)
-			hGram = mat.GramT(h)
-			stop()
-			tr.AddFlops(perf.TaskGram, gramFlops(n, k))
-		}
-		stop := clk.Go(perf.TaskMM)
-		aht := a.MulHt(h) // m×k
-		stop()
-		tr.AddFlops(perf.TaskMM, 2*int64(a.NNZ())*int64(k))
-
-		gw, fw := applyReg(hGram, aht.T(), opts.L2W, opts.L1W)
-		stop = clk.Go(perf.TaskNLS)
-		wt, st, err := solver.Solve(gw, fw, w.T())
-		stop()
-		if err != nil {
-			return nil, fmt.Errorf("core: W update failed at iteration %d: %w", it, err)
-		}
-		tr.AddFlops(perf.TaskNLS, st.Flops)
-		rm.ObserveNLS(st.Iterations)
-		w = wt.T()
-		checkFactorSanity("W", w)
-
-		// --- Update H given W (Algorithm 1, line 4) ---
-		stop = clk.Go(perf.TaskGram)
-		wtw := mat.Gram(w)
-		stop()
-		tr.AddFlops(perf.TaskGram, gramFlops(m, k))
-
-		stop = clk.Go(perf.TaskMM)
-		wta := a.MulAtB(w) // k×n
-		stop()
-		tr.AddFlops(perf.TaskMM, 2*int64(a.NNZ())*int64(k))
-
-		// TolGrad measures stationarity of the alternating map: the
-		// projected gradient of the H-subproblem at the PREVIOUS H
-		// under the refreshed W (zero exactly when the alternation
-		// has stopped moving; the post-solve gradient would be ~0
-		// every iteration for exact solvers and measure nothing).
-		pg, pgRef := 0.0, 0.0
-		if opts.TolGrad > 0 {
-			pg = projGradSq(wtw, wta, h)
-			pgRef = wta.SquaredFrobeniusNorm()
-		}
-
-		gh, fh := applyReg(wtw, wta, opts.L2H, opts.L1H)
-		stop = clk.Go(perf.TaskNLS)
-		hNew, st2, err := solver.Solve(gh, fh, h)
-		stop()
-		if err != nil {
-			return nil, fmt.Errorf("core: H update failed at iteration %d: %w", it, err)
-		}
-		tr.AddFlops(perf.TaskNLS, st2.Flops)
-		rm.ObserveNLS(st2.Iterations)
-		h = hNew
-		checkFactorSanity("H", h)
-
-		// --- Objective via byproducts (DESIGN decision 4) ---
-		hGram = nil
-		if opts.ComputeError {
-			errSpan := tc.Begin(trace.CatPhase, "Err")
-			stop = clk.Go(perf.TaskGram)
-			hGram = mat.GramT(h) // reused as next iteration's HHᵀ
-			stop()
-			tr.AddFlops(perf.TaskGram, gramFlops(n, k))
-			stop = clk.Go(perf.TaskOther)
-			e := relErrFrom(normA2, mat.Dot(wta, h), mat.Dot(wtw, hGram))
-			stop()
-			errSpan.End()
-			relErr = append(relErr, e)
-			rm.ObserveRelErr(e)
-			if shouldStop(relErr, opts.Tol) || gradConverged(opts.TolGrad, pg, pgRef) {
-				itSpan.End()
-				break
-			}
-		}
-		itSpan.End()
+	s, err := newSeqState(a, opts, tc)
+	if err != nil {
+		return nil, err
 	}
-	iterTracker := tr.Diff(setup)
-	breakdown := perf.Aggregate(opts.Model, []*perf.Tracker{iterTracker}, nil).Scale(iters)
-	rm.ObserveIterations(iters)
+	defer s.close()
+
+	setup := s.tr.Snapshot()
+	for it := 0; it < s.opts.MaxIter && !s.done; it++ {
+		if err := s.step(it); err != nil {
+			return nil, err
+		}
+	}
+	iterTracker := s.tr.Diff(setup)
+	breakdown := perf.Aggregate(s.opts.Model, []*perf.Tracker{iterTracker}, nil).Scale(s.iters)
+	s.rm.ObserveIterations(s.iters)
 	res := &Result{
-		W:          w,
-		H:          h,
-		RelErr:     relErr,
-		Iterations: iters,
+		W:          s.w,
+		H:          s.h,
+		RelErr:     s.relErr,
+		Iterations: s.iters,
 		Breakdown:  breakdown,
-		PerRank:    perf.PerRank(opts.Model, []*perf.Tracker{iterTracker}, nil, iters),
+		PerRank:    perf.PerRank(s.opts.Model, []*perf.Tracker{iterTracker}, nil, s.iters),
 		Algorithm:  "Sequential",
 	}
 	if tsess != nil {

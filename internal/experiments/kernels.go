@@ -1,0 +1,236 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"hpcnmf/internal/mat"
+	"hpcnmf/internal/par"
+	"hpcnmf/internal/rng"
+	"hpcnmf/internal/sparse"
+)
+
+// This file is the kernel-layer counterpart of the figure harness: it
+// times the blocked/threaded compute kernels of internal/mat and
+// internal/sparse against the retained naive reference loops on the
+// paper's local problem shapes (m≈10k rows per rank, k=50), and emits
+// the versioned KernelReport consumed by `nmfbench -kernels -json`
+// (the BENCH_kernels.json artifact tracked from this PR on).
+
+// KernelRow is one timed (kernel, implementation, threads) point.
+type KernelRow struct {
+	// Kernel names the operation (MulAtB, Gram, MulABt, MulAdd, GramT,
+	// SpMulBt, SpMulWtA).
+	Kernel string `json:"kernel"`
+	// M, N, K give the operand shape; the output is k×n (MulAtB), k×k
+	// (Gram/GramT), or m-rowed otherwise.
+	M int `json:"m"`
+	N int `json:"n"`
+	K int `json:"k"`
+	// Impl is "naive" (the seed's reference loops) or "blocked" (the
+	// register-tiled axpy42-based kernels).
+	Impl string `json:"impl"`
+	// Threads is the kernel pool width (1 = inline, no pool).
+	Threads int `json:"threads"`
+	// Seconds is the best-of-reps wall time of one kernel call.
+	Seconds float64 `json:"seconds"`
+	// GFlops is the resulting throughput.
+	GFlops float64 `json:"gflops"`
+	// SpeedupVsNaive is naive-seconds / seconds at the same shape (1.0
+	// for the naive rows themselves).
+	SpeedupVsNaive float64 `json:"speedup_vs_naive"`
+}
+
+// KernelReport is the versioned machine-readable kernel benchmark
+// output, diffable across commits like BenchReport.
+type KernelReport struct {
+	Version int         `json:"version"`
+	Seed    uint64      `json:"seed"`
+	Reps    int         `json:"reps"`
+	Rows    []KernelRow `json:"rows"`
+}
+
+// KernelReportVersion identifies the KernelReport schema.
+const KernelReportVersion = 1
+
+// WriteJSON writes the kernel report as indented JSON.
+func (r *KernelReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// KernelConfig sizes the kernel benchmark.
+type KernelConfig struct {
+	// M is the tall dimension (paper-scale default 10000).
+	M int
+	// N is the wide dimension of the rectangular products (default 400,
+	// sized so a full sweep stays in seconds).
+	N int
+	// K is the rank (paper default 50).
+	K int
+	// Threads lists the pool widths to time (default 1 and 4).
+	Threads []int
+	// Reps is how many calls each timing takes the minimum over
+	// (default 3; minimum-of-reps resists scheduler noise).
+	Reps int
+	// Seed drives operand generation.
+	Seed uint64
+}
+
+func (c KernelConfig) withDefaults() KernelConfig {
+	if c.M <= 0 {
+		c.M = 10000
+	}
+	if c.N <= 0 {
+		c.N = 400
+	}
+	if c.K <= 0 {
+		c.K = 50
+	}
+	if len(c.Threads) == 0 {
+		c.Threads = []int{1, 4}
+	}
+	if c.Reps <= 0 {
+		c.Reps = 3
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	return c
+}
+
+// timeBest returns the minimum wall time of reps calls to fn.
+func timeBest(reps int, fn func()) float64 {
+	best := 0.0
+	for r := 0; r < reps; r++ {
+		start := time.Now()
+		fn()
+		el := time.Since(start).Seconds()
+		if r == 0 || el < best {
+			best = el
+		}
+	}
+	return best
+}
+
+// kernelCase is one kernel: a naive reference call and a blocked call
+// parameterized by pool.
+type kernelCase struct {
+	name    string
+	m, n, k int
+	flops   float64
+	naive   func()
+	blocked func(p *par.Pool)
+}
+
+// CollectKernels times every kernel at the configured shapes and
+// thread counts and returns the report.
+func CollectKernels(cfg KernelConfig) *KernelReport {
+	cfg = cfg.withDefaults()
+	s := rng.New(cfg.Seed)
+	m, n, k := cfg.M, cfg.N, cfg.K
+
+	// Operands, shaped as the drivers use them: A (m×n dense or sparse),
+	// W (m×k), H (k×n, and its transpose for the A·Hᵀ layouts).
+	w := mat.NewDense(m, k)
+	w.RandomUniform(s)
+	h := mat.NewDense(k, n)
+	h.RandomUniform(s)
+	a := mat.NewDense(m, n)
+	a.RandomUniform(s)
+	ht := mat.NewDense(n, k)
+	h.TTo(ht)
+	sp := sparse.RandomER(m, n, 0.01, s)
+
+	cWta := mat.NewDense(k, n)   // Wᵀ·A
+	cGram := mat.NewDense(k, k)  // WᵀW / HHᵀ
+	cAht := mat.NewDense(m, k)   // A·Hᵀ
+	cMul := mat.NewDense(m, n)   // W·H
+	cSpWta := mat.NewDense(k, n) // sparse Wᵀ·A
+
+	cases := []kernelCase{
+		{
+			name: "MulAtB", m: m, n: n, k: k,
+			flops:   2 * float64(m) * float64(k) * float64(n),
+			naive:   func() { cWta.Zero(); mat.RefMulAtBAddTo(cWta, w, a) },
+			blocked: func(p *par.Pool) { mat.ParMulAtBTo(cWta, w, a, p) },
+		},
+		{
+			name: "Gram", m: m, n: 0, k: k,
+			flops:   float64(m) * float64(k) * float64(k+1),
+			naive:   func() { cGram.Zero(); mat.RefGramAddTo(cGram, w) },
+			blocked: func(p *par.Pool) { mat.ParGramTo(cGram, w, p) },
+		},
+		{
+			name: "MulABt", m: m, n: n, k: k,
+			flops:   2 * float64(m) * float64(n) * float64(k),
+			naive:   func() { mat.RefMulABtTo(cAht, a, h) },
+			blocked: func(p *par.Pool) { mat.ParMulABtTo(cAht, a, h, p) },
+		},
+		{
+			name: "MulAdd", m: m, n: n, k: k,
+			flops:   2 * float64(m) * float64(k) * float64(n),
+			naive:   func() { cMul.Zero(); mat.RefMulAddTo(cMul, w, h) },
+			blocked: func(p *par.Pool) { mat.ParMulTo(cMul, w, h, p) },
+		},
+		{
+			name: "GramT", m: 0, n: n, k: k,
+			flops:   float64(n) * float64(k) * float64(k+1),
+			naive:   func() { mat.RefGramT(h) },
+			blocked: func(p *par.Pool) { mat.ParGramTTo(cGram, h, p) },
+		},
+		{
+			// The sparse kernels had no blocked rewrite — the seed loops
+			// are already nnz-bound — so "blocked" here measures the
+			// row/column-partitioned pool path against the serial one.
+			name: "SpMulBt", m: m, n: n, k: k,
+			flops:   2 * float64(sp.NNZ()) * float64(k),
+			naive:   func() { sp.MulBtTo(cAht, ht, nil) },
+			blocked: func(p *par.Pool) { sp.MulBtTo(cAht, ht, p) },
+		},
+		{
+			name: "SpMulWtA", m: m, n: n, k: k,
+			flops:   2 * float64(sp.NNZ()) * float64(k),
+			naive:   func() { sp.MulWtATo(cSpWta, w, nil) },
+			blocked: func(p *par.Pool) { sp.MulWtATo(cSpWta, w, p) },
+		},
+	}
+
+	rep := &KernelReport{Version: KernelReportVersion, Seed: cfg.Seed, Reps: cfg.Reps}
+	for _, kc := range cases {
+		kc.naive() // warm caches and page in operands
+		naiveSec := timeBest(cfg.Reps, kc.naive)
+		rep.Rows = append(rep.Rows, KernelRow{
+			Kernel: kc.name, M: kc.m, N: kc.n, K: kc.k,
+			Impl: "naive", Threads: 1,
+			Seconds: naiveSec, GFlops: kc.flops / naiveSec / 1e9, SpeedupVsNaive: 1,
+		})
+		for _, threads := range cfg.Threads {
+			pool := par.NewPool(threads)
+			run := func() { kc.blocked(pool) }
+			run()
+			sec := timeBest(cfg.Reps, run)
+			pool.Close()
+			rep.Rows = append(rep.Rows, KernelRow{
+				Kernel: kc.name, M: kc.m, N: kc.n, K: kc.k,
+				Impl: "blocked", Threads: threads,
+				Seconds: sec, GFlops: kc.flops / sec / 1e9, SpeedupVsNaive: naiveSec / sec,
+			})
+		}
+	}
+	return rep
+}
+
+// WriteKernelTable renders the report as the text table nmfbench
+// -kernels prints.
+func WriteKernelTable(rep *KernelReport, w io.Writer) {
+	fmt.Fprintf(w, "Kernel micro-benchmarks (best of %d reps)\n", rep.Reps)
+	fmt.Fprintf(w, "%-9s %-8s %8s %12s %10s %10s\n", "kernel", "impl", "threads", "seconds", "GFlop/s", "speedup")
+	for _, r := range rep.Rows {
+		fmt.Fprintf(w, "%-9s %-8s %8d %12.6f %10.2f %9.2fx\n",
+			r.Kernel, r.Impl, r.Threads, r.Seconds, r.GFlops, r.SpeedupVsNaive)
+	}
+}

@@ -1,0 +1,30 @@
+//go:build amd64
+
+package mat
+
+// axpy42Asm is the SSE2 inner kernel in axpy_amd64.s: it updates two
+// output rows from four shared input rows,
+//
+//	c0[j] = c0[j] + vw[0]·b0[j] + vw[1]·b1[j] + vw[2]·b2[j] + vw[3]·b3[j]
+//	c1[j] = c1[j] + vw[4]·b0[j] + vw[5]·b1[j] + vw[6]·b2[j] + vw[7]·b3[j]
+//
+// for j in [0,n), two elements per step with packed MULPD/ADDPD. The
+// packed lanes hold adjacent j, which are distinct output elements, so
+// the per-element accumulation order is exactly the left-associated
+// scalar sum and results stay bitwise identical to the reference
+// kernels. SSE2 is part of the amd64 baseline, so no feature detection
+// is needed.
+//
+//go:noescape
+func axpy42Asm(c0, c1, b0, b1, b2, b3 *float64, vw *[8]float64, n int)
+
+// axpy42 is the blocked kernels' shared inner primitive (see
+// axpy_generic.go for the portable definition). All slices must have
+// length ≥ len(c0).
+func axpy42(c0, c1, b0, b1, b2, b3 []float64, vw *[8]float64) {
+	n := len(c0)
+	if n == 0 {
+		return
+	}
+	axpy42Asm(&c0[0], &c1[0], &b0[0], &b1[0], &b2[0], &b3[0], vw, n)
+}

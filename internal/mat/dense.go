@@ -120,13 +120,22 @@ func (a *Dense) MaxDiff(b *Dense) float64 {
 // T returns the transpose as a new matrix.
 func (a *Dense) T() *Dense {
 	t := NewDense(a.Cols, a.Rows)
+	a.TTo(t)
+	return t
+}
+
+// TTo writes the transpose of a into an existing Cols×Rows matrix, so
+// iteration loops can reuse a workspace buffer instead of allocating.
+func (a *Dense) TTo(t *Dense) {
+	if t.Rows != a.Cols || t.Cols != a.Rows {
+		panic(fmt.Sprintf("mat: TTo shape mismatch %dx%d into %dx%d", a.Rows, a.Cols, t.Rows, t.Cols))
+	}
 	for i := 0; i < a.Rows; i++ {
 		row := a.Row(i)
 		for j, v := range row {
 			t.Data[j*t.Cols+i] = v
 		}
 	}
-	return t
 }
 
 // SubmatrixRows returns a copy of rows [r0, r1).

@@ -1,6 +1,38 @@
 package mat
 
-import "fmt"
+import (
+	"fmt"
+
+	"hpcnmf/internal/par"
+)
+
+// This file holds the production multiply kernels. They are blocked
+// and register-tiled: the reduction dimension is unrolled four ways and
+// output rows are paired, so the accumulating kernels funnel into the
+// shared axpy42 primitive — two output rows updated from four streamed
+// input rows (packed SSE2 on amd64, see axpy_amd64.s) — and dot-product
+// kernels compute four outputs at once off one pass over the shared
+// row. On the tall-skinny shapes the ANLS iteration produces (m×k with
+// k ≤ 100) this is worth 2–4× over the naive triple loops, which are
+// retained in naive.go as the reference implementation for the
+// differential tests.
+//
+// Every kernel preserves the reference accumulation order: each output
+// element receives its contributions in increasing reduction-index
+// order (the four-way unrolled sums associate left to right), so
+// blocked results are bitwise identical to the reference on finite
+// inputs, and a run is reproducible regardless of KernelThreads —
+// worker ranges partition output elements, never the reduction.
+//
+// Each kernel has a Par* variant taking a *par.Pool that splits the
+// output range across workers; the pool may be nil, which runs the
+// serial path inline (see internal/par). The unsuffixed functions keep
+// the seed API and are the nil-pool specializations.
+
+// parGrain is the minimum number of output rows (weighted by cost)
+// worth shipping to a pool worker; below 2·parGrain kernels run
+// inline.
+const parGrain = 8
 
 // Mul returns C = A·B. Dimensions: (m×p)·(p×n) → m×n.
 // Cost: 2·m·p·n flops.
@@ -9,38 +41,97 @@ func Mul(a, b *Dense) *Dense {
 		panic(fmt.Sprintf("mat: Mul dimension mismatch %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
 	c := NewDense(a.Rows, b.Cols)
-	MulTo(c, a, b)
+	MulAddTo(c, a, b)
 	return c
 }
 
 // MulTo computes C = A·B into an existing matrix, overwriting it.
-// The i-l-j loop order streams rows of B and accumulates into rows of
-// C, which keeps all three operands in cache for the tall-skinny
-// shapes NMF produces.
 func MulTo(c, a, b *Dense) {
+	ParMulTo(c, a, b, nil)
+}
+
+// ParMulTo computes C = A·B with kernel rows split across the pool.
+func ParMulTo(c, a, b *Dense, p *par.Pool) {
 	if a.Cols != b.Rows || c.Rows != a.Rows || c.Cols != b.Cols {
 		panic("mat: MulTo dimension mismatch")
 	}
 	c.Zero()
-	MulAddTo(c, a, b)
+	ParMulAddTo(c, a, b, p)
 }
 
 // MulAddTo computes C += A·B.
 func MulAddTo(c, a, b *Dense) {
+	ParMulAddTo(c, a, b, nil)
+}
+
+// ParMulAddTo computes C += A·B, partitioning rows of C across the
+// pool. Workers own disjoint row ranges of C, so the result is
+// identical to the serial kernel.
+func ParMulAddTo(c, a, b *Dense, p *par.Pool) {
 	if a.Cols != b.Rows || c.Rows != a.Rows || c.Cols != b.Cols {
 		panic("mat: MulAddTo dimension mismatch")
 	}
+	if p == nil {
+		// Direct call: no closure is materialized, which keeps the
+		// steady-state iteration loops allocation-free at
+		// KernelThreads=1.
+		mulAddRange(c, a, b, 0, a.Rows)
+		return
+	}
+	p.For(a.Rows, parGrain, func(i0, i1 int) {
+		mulAddRange(c, a, b, i0, i1)
+	})
+}
+
+// mulAddRange computes rows [i0,i1) of C += A·B. Rows of C are paired
+// and the reduction index l is unrolled four ways, so each axpy42 call
+// folds four streamed rows of B into two output rows.
+func mulAddRange(c, a, b *Dense, i0, i1 int) {
 	n := b.Cols
-	for i := 0; i < a.Rows; i++ {
+	kk := a.Cols
+	var vw [8]float64
+	i := i0
+	for ; i+2 <= i1; i += 2 {
+		ar0 := a.Row(i)
+		ar1 := a.Row(i + 1)
+		c0 := c.Row(i)
+		c1 := c.Row(i + 1)
+		l := 0
+		for ; l+4 <= kk; l += 4 {
+			vw[0], vw[1], vw[2], vw[3] = ar0[l], ar0[l+1], ar0[l+2], ar0[l+3]
+			vw[4], vw[5], vw[6], vw[7] = ar1[l], ar1[l+1], ar1[l+2], ar1[l+3]
+			axpy42(c0, c1,
+				b.Data[(l+0)*n:(l+1)*n], b.Data[(l+1)*n:(l+2)*n],
+				b.Data[(l+2)*n:(l+3)*n], b.Data[(l+3)*n:(l+4)*n], &vw)
+		}
+		for ; l < kk; l++ {
+			a0, a1 := ar0[l], ar1[l]
+			b0 := b.Data[l*n : (l+1)*n][:n]
+			for j, bv := range b0 {
+				c0[j] += a0 * bv
+				c1[j] += a1 * bv
+			}
+		}
+	}
+	for ; i < i1; i++ {
 		arow := a.Row(i)
 		crow := c.Row(i)
-		for l, ail := range arow {
-			if ail == 0 {
-				continue
+		l := 0
+		for ; l+4 <= kk; l += 4 {
+			a0, a1, a2, a3 := arow[l], arow[l+1], arow[l+2], arow[l+3]
+			b0 := b.Data[(l+0)*n : (l+1)*n]
+			b1 := b.Data[(l+1)*n : (l+2)*n][:len(b0)]
+			b2 := b.Data[(l+2)*n : (l+3)*n][:len(b0)]
+			b3 := b.Data[(l+3)*n : (l+4)*n][:len(b0)]
+			for j, cv := range crow[:len(b0)] {
+				crow[j] = cv + a0*b0[j] + a1*b1[j] + a2*b2[j] + a3*b3[j]
 			}
-			brow := b.Data[l*n : (l+1)*n]
-			for j, blj := range brow {
-				crow[j] += ail * blj
+		}
+		for ; l < kk; l++ {
+			a0 := arow[l]
+			b0 := b.Data[l*n : (l+1)*n]
+			for j, bv := range b0 {
+				crow[j] += a0 * bv
 			}
 		}
 	}
@@ -59,20 +150,76 @@ func MulAtB(a, b *Dense) *Dense {
 
 // MulAtBAddTo computes C += Aᵀ·B by streaming matched rows of A and B.
 func MulAtBAddTo(c, a, b *Dense) {
+	ParMulAtBAddTo(c, a, b, nil)
+}
+
+// ParMulAtBTo computes C = Aᵀ·B, overwriting c.
+func ParMulAtBTo(c, a, b *Dense, p *par.Pool) {
+	c.Zero()
+	ParMulAtBAddTo(c, a, b, p)
+}
+
+// ParMulAtBAddTo computes C += Aᵀ·B, partitioning rows of C (i.e.
+// columns of A) across the pool. Each worker streams all m matched
+// rows of A and B but updates only its own rows of C, so no reduction
+// buffer is needed and the accumulation order per element matches the
+// serial kernel exactly.
+func ParMulAtBAddTo(c, a, b *Dense, p *par.Pool) {
 	if a.Rows != b.Rows || c.Rows != a.Cols || c.Cols != b.Cols {
 		panic("mat: MulAtBAddTo dimension mismatch")
 	}
+	if p == nil {
+		mulAtBRange(c, a, b, 0, a.Cols)
+		return
+	}
+	p.For(a.Cols, 1, func(l0, l1 int) {
+		mulAtBRange(c, a, b, l0, l1)
+	})
+}
+
+// mulAtBRange computes rows [l0,l1) of C += Aᵀ·B. The sample index i
+// (the reduction) is unrolled four ways and output rows are paired, so
+// each axpy42 call folds four (A,B) row pairs into two rows of C —
+// four streamed loads amortized over sixteen flops.
+func mulAtBRange(c, a, b *Dense, l0, l1 int) {
+	m := a.Rows
 	n := b.Cols
-	for i := 0; i < a.Rows; i++ {
+	if n == 0 {
+		return
+	}
+	var vw [8]float64
+	i := 0
+	for ; i+4 <= m; i += 4 {
+		a0 := a.Row(i)
+		a1 := a.Row(i + 1)
+		a2 := a.Row(i + 2)
+		a3 := a.Row(i + 3)
+		b0 := b.Row(i)
+		b1 := b.Row(i + 1)[:len(b0)]
+		b2 := b.Row(i + 2)[:len(b0)]
+		b3 := b.Row(i + 3)[:len(b0)]
+		l := l0
+		for ; l+2 <= l1; l += 2 {
+			vw[0], vw[1], vw[2], vw[3] = a0[l], a1[l], a2[l], a3[l]
+			vw[4], vw[5], vw[6], vw[7] = a0[l+1], a1[l+1], a2[l+1], a3[l+1]
+			axpy42(c.Data[l*n:(l+1)*n], c.Data[(l+1)*n:(l+2)*n], b0, b1, b2, b3, &vw)
+		}
+		for ; l < l1; l++ {
+			v0, v1, v2, v3 := a0[l], a1[l], a2[l], a3[l]
+			crow := c.Data[l*n : (l+1)*n][:len(b0)]
+			for j, p0 := range b0 {
+				crow[j] = crow[j] + v0*p0 + v1*b1[j] + v2*b2[j] + v3*b3[j]
+			}
+		}
+	}
+	for ; i < m; i++ {
 		arow := a.Row(i)
 		brow := b.Row(i)
-		for l, ail := range arow {
-			if ail == 0 {
-				continue
-			}
-			crow := c.Data[l*n : (l+1)*n]
-			for j, bij := range brow {
-				crow[j] += ail * bij
+		for l := l0; l < l1; l++ {
+			v := arow[l]
+			crow := c.Data[l*n : (l+1)*n][:len(brow)]
+			for j, bv := range brow {
+				crow[j] += v * bv
 			}
 		}
 	}
@@ -92,17 +239,56 @@ func MulABt(a, b *Dense) *Dense {
 // MulABtTo computes C = A·Bᵀ into c: each output entry is a dot
 // product of one row of A with one row of B.
 func MulABtTo(c, a, b *Dense) {
+	ParMulABtTo(c, a, b, nil)
+}
+
+// ParMulABtTo computes C = A·Bᵀ, partitioning rows of C across the
+// pool.
+func ParMulABtTo(c, a, b *Dense, p *par.Pool) {
 	if a.Cols != b.Cols || c.Rows != a.Rows || c.Cols != b.Rows {
 		panic("mat: MulABtTo dimension mismatch")
 	}
-	for i := 0; i < a.Rows; i++ {
+	if p == nil {
+		mulABtRange(c, a, b, 0, a.Rows)
+		return
+	}
+	p.For(a.Rows, parGrain, func(i0, i1 int) {
+		mulABtRange(c, a, b, i0, i1)
+	})
+}
+
+// mulABtRange computes rows [i0,i1) of C = A·Bᵀ. Four dot products
+// (four rows of B) are computed per pass over the shared A row; each
+// dot keeps a single accumulator so the summation order matches the
+// reference bit for bit.
+func mulABtRange(c, a, b *Dense, i0, i1 int) {
+	kk := a.Cols
+	for i := i0; i < i1; i++ {
 		arow := a.Row(i)
 		crow := c.Row(i)
-		for j := 0; j < b.Rows; j++ {
+		j := 0
+		for ; j+4 <= b.Rows; j += 4 {
+			b0 := b.Data[(j+0)*kk : (j+1)*kk]
+			b1 := b.Data[(j+1)*kk : (j+2)*kk]
+			b2 := b.Data[(j+2)*kk : (j+3)*kk]
+			b3 := b.Data[(j+3)*kk : (j+4)*kk]
+			var s0, s1, s2, s3 float64
+			for l, av := range arow {
+				s0 += av * b0[l]
+				s1 += av * b1[l]
+				s2 += av * b2[l]
+				s3 += av * b3[l]
+			}
+			crow[j+0] = s0
+			crow[j+1] = s1
+			crow[j+2] = s2
+			crow[j+3] = s3
+		}
+		for ; j < b.Rows; j++ {
 			brow := b.Row(j)
 			s := 0.0
-			for l, v := range arow {
-				s += v * brow[l]
+			for l, av := range arow {
+				s += av * brow[l]
 			}
 			crow[j] = s
 		}
@@ -112,34 +298,82 @@ func MulABtTo(c, a, b *Dense) {
 // Gram returns G = Aᵀ·A (k×k for A of shape m×k), exploiting symmetry.
 // Cost: m·k·(k+1) flops (half of a full multiply).
 func Gram(a *Dense) *Dense {
-	k := a.Cols
-	g := NewDense(k, k)
+	g := NewDense(a.Cols, a.Cols)
 	GramAddTo(g, a)
 	return g
 }
 
 // GramAddTo computes G += Aᵀ·A, filling both triangles.
-func GramAddTo(g *Dense, a *Dense) {
+func GramAddTo(g, a *Dense) {
+	ParGramAddTo(g, a, nil)
+}
+
+// ParGramTo computes G = Aᵀ·A, overwriting g.
+func ParGramTo(g, a *Dense, p *par.Pool) {
+	g.Zero()
+	ParGramAddTo(g, a, p)
+}
+
+// ParGramAddTo computes G += Aᵀ·A, filling both triangles. Workers own
+// ranges of G rows balanced by triangle area (row l of the upper
+// triangle holds k−l elements), each streaming all of A.
+func ParGramAddTo(g, a *Dense, p *par.Pool) {
 	k := a.Cols
 	if g.Rows != k || g.Cols != k {
 		panic("mat: GramAddTo dimension mismatch")
 	}
-	for i := 0; i < a.Rows; i++ {
-		row := a.Row(i)
-		for l, v := range row {
-			if v == 0 {
-				continue
-			}
-			grow := g.Data[l*k : (l+1)*k]
-			for j := l; j < k; j++ {
-				grow[j] += v * row[j]
+	if p == nil || k < 2 {
+		gramRange(g, a, 0, k)
+	} else {
+		p.ForRanges(triangleBounds(k, p.Workers()), func(l0, l1 int) {
+			gramRange(g, a, l0, l1)
+		})
+	}
+	mirrorUpper(g)
+}
+
+// gramRange computes upper-triangle rows [l0,l1) of G += Aᵀ·A with the
+// sample index unrolled four ways and triangle rows paired: the
+// diagonal entry of the even row is updated scalar, then one axpy42
+// call folds the four streamed A rows into both G rows from column
+// l+1 rightwards.
+func gramRange(g, a *Dense, l0, l1 int) {
+	k := a.Cols
+	m := a.Rows
+	var vw [8]float64
+	i := 0
+	for ; i+4 <= m; i += 4 {
+		t0 := a.Row(i)
+		t1 := a.Row(i + 1)[:len(t0)]
+		t2 := a.Row(i + 2)[:len(t0)]
+		t3 := a.Row(i + 3)[:len(t0)]
+		l := l0
+		for ; l+2 <= l1; l += 2 {
+			v0, v1, v2, v3 := t0[l], t1[l], t2[l], t3[l]
+			g0 := g.Data[l*k : (l+1)*k]
+			g1 := g.Data[(l+1)*k : (l+2)*k]
+			g0[l] = g0[l] + v0*v0 + v1*v1 + v2*v2 + v3*v3
+			j := l + 1
+			vw[0], vw[1], vw[2], vw[3] = v0, v1, v2, v3
+			vw[4], vw[5], vw[6], vw[7] = t0[j], t1[j], t2[j], t3[j]
+			axpy42(g0[j:], g1[j:], t0[j:], t1[j:], t2[j:], t3[j:], &vw)
+		}
+		for ; l < l1; l++ {
+			v0, v1, v2, v3 := t0[l], t1[l], t2[l], t3[l]
+			grow := g.Data[l*k : (l+1)*k][:len(t0)]
+			for j := l; j < len(t0); j++ {
+				grow[j] = grow[j] + v0*t0[j] + v1*t1[j] + v2*t2[j] + v3*t3[j]
 			}
 		}
 	}
-	// Mirror the upper triangle into the lower triangle.
-	for l := 1; l < k; l++ {
-		for j := 0; j < l; j++ {
-			g.Data[l*k+j] = g.Data[j*k+l]
+	for ; i < m; i++ {
+		row := a.Row(i)
+		for l := l0; l < l1; l++ {
+			v := row[l]
+			grow := g.Data[l*k : (l+1)*k][:len(row)]
+			for j := l; j < len(row); j++ {
+				grow[j] += v * row[j]
+			}
 		}
 	}
 }
@@ -148,19 +382,88 @@ func GramAddTo(g *Dense, a *Dense) {
 // matrix of the *rows*, used for HHᵀ where H is k×n.
 // Cost: n·k·(k+1) flops.
 func GramT(a *Dense) *Dense {
+	g := NewDense(a.Rows, a.Rows)
+	ParGramTTo(g, a, nil)
+	return g
+}
+
+// GramTTo computes G = A·Aᵀ into an existing k×k matrix.
+func GramTTo(g, a *Dense) {
+	ParGramTTo(g, a, nil)
+}
+
+// ParGramTTo computes G = A·Aᵀ into g, partitioning G rows across the
+// pool balanced by triangle area. Row i of the upper triangle is k−i
+// dot products of length n; four are computed per pass over row i of
+// A, single accumulator each (bitwise equal to the reference).
+func ParGramTTo(g, a *Dense, p *par.Pool) {
 	k := a.Rows
-	g := NewDense(k, k)
-	for i := 0; i < k; i++ {
+	if g.Rows != k || g.Cols != k {
+		panic("mat: GramTTo dimension mismatch")
+	}
+	if p == nil || k < 2 {
+		gramTRange(g, a, 0, k)
+	} else {
+		p.ForRanges(triangleBounds(k, p.Workers()), func(i0, i1 int) {
+			gramTRange(g, a, i0, i1)
+		})
+	}
+	mirrorUpper(g)
+}
+
+// gramTRange computes upper-triangle rows [i0,i1) of G = A·Aᵀ.
+func gramTRange(g, a *Dense, i0, i1 int) {
+	k := a.Rows
+	n := a.Cols
+	for i := i0; i < i1; i++ {
 		ri := a.Row(i)
-		for j := i; j < k; j++ {
+		grow := g.Row(i)
+		j := i
+		for ; j+4 <= k; j += 4 {
+			b0 := a.Data[(j+0)*n : (j+1)*n]
+			b1 := a.Data[(j+1)*n : (j+2)*n]
+			b2 := a.Data[(j+2)*n : (j+3)*n]
+			b3 := a.Data[(j+3)*n : (j+4)*n]
+			var s0, s1, s2, s3 float64
+			for l, v := range ri {
+				s0 += v * b0[l]
+				s1 += v * b1[l]
+				s2 += v * b2[l]
+				s3 += v * b3[l]
+			}
+			grow[j+0] = s0
+			grow[j+1] = s1
+			grow[j+2] = s2
+			grow[j+3] = s3
+		}
+		for ; j < k; j++ {
 			rj := a.Row(j)
 			s := 0.0
 			for l, v := range ri {
 				s += v * rj[l]
 			}
-			g.Set(i, j, s)
-			g.Set(j, i, s)
+			grow[j] = s
 		}
 	}
-	return g
+}
+
+// triangleBounds splits rows [0,k) of an upper-triangular update into
+// up to w contiguous ranges of roughly equal area (row l carries
+// weight k−l), so pool workers get balanced flop counts rather than
+// balanced row counts. Returned as boundary list for par.ForRanges.
+func triangleBounds(k, w int) []int {
+	total := k * (k + 1) / 2
+	bounds := make([]int, 1, w+1)
+	acc, cut := 0, 0
+	for l := 0; l < k && len(bounds) < w; l++ {
+		acc += k - l
+		if acc*w >= (cut+1)*total {
+			bounds = append(bounds, l+1)
+			cut++
+		}
+	}
+	if bounds[len(bounds)-1] != k {
+		bounds = append(bounds, k)
+	}
+	return bounds
 }

@@ -37,8 +37,26 @@ func (s *PGD) Solve(g, f, xInit *mat.Dense) (*mat.Dense, Stats, error) {
 	if err := checkDims(g, f, xInit); err != nil {
 		return nil, Stats{}, err
 	}
+	x := mat.NewDense(f.Rows, f.Cols)
+	st, err := s.SolveCtx(nil, g, f, xInit, x)
+	if err != nil {
+		return nil, st, err
+	}
+	return x, st, nil
+}
+
+// SolveCtx implements ContextSolver: the gradient buffer G·X comes
+// from the workspace and the projected steps update dst in place.
+func (s *PGD) SolveCtx(ctx *Context, g, f, xInit, dst *mat.Dense) (Stats, error) {
+	if err := checkDims(g, f, xInit); err != nil {
+		return Stats{}, err
+	}
+	if err := checkDst(f, dst); err != nil {
+		return Stats{}, err
+	}
 	k, r := f.Rows, f.Cols
-	x := coldStart(xInit, k, r)
+	x := dst
+	startInto(x, xInit)
 	x.ClampNonneg() // PGD requires a feasible start
 	var st Stats
 
@@ -63,14 +81,15 @@ func (s *PGD) Solve(g, f, xInit *mat.Dense) (*mat.Dense, Stats, error) {
 		// quadratic part; the best non-negative X maximizes ⟨F, X⟩
 		// but the problem is unbounded unless F ≤ 0, so return the
 		// projection of F (standard convention) clamped at zero.
-		out := f.Clone()
-		out.ClampNonneg()
-		return out, st, nil
+		x.CopyFrom(f)
+		x.ClampNonneg()
+		return st, nil
 	}
 	inv := 1 / l
-	gx := mat.NewDense(k, r)
+	ws, pool := ctx.resources()
+	gx := ws.Get(k, r)
 	for sweep := 0; sweep < s.Sweeps; sweep++ {
-		mat.MulTo(gx, g, x)
+		mat.ParMulTo(gx, g, x, pool)
 		for i := range x.Data {
 			v := x.Data[i] - inv*(gx.Data[i]-f.Data[i])
 			if v < 0 {
@@ -81,5 +100,6 @@ func (s *PGD) Solve(g, f, xInit *mat.Dense) (*mat.Dense, Stats, error) {
 		st.Flops += int64(2*k*k*r + 4*k*r)
 		st.Iterations++
 	}
-	return x, st, nil
+	ws.Put(gx)
+	return st, nil
 }

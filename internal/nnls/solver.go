@@ -88,26 +88,45 @@ func (s *MU) Solve(g, f, xInit *mat.Dense) (*mat.Dense, Stats, error) {
 	if err := checkDims(g, f, xInit); err != nil {
 		return nil, Stats{}, err
 	}
+	x := mat.NewDense(f.Rows, f.Cols)
+	st, err := s.SolveCtx(nil, g, f, xInit, x)
+	if err != nil {
+		return nil, st, err
+	}
+	return x, st, nil
+}
+
+// SolveCtx implements ContextSolver: the steady state draws its one
+// temporary (G·X) from the workspace and allocates nothing.
+func (s *MU) SolveCtx(ctx *Context, g, f, xInit, dst *mat.Dense) (Stats, error) {
+	if err := checkDims(g, f, xInit); err != nil {
+		return Stats{}, err
+	}
+	if err := checkDst(f, dst); err != nil {
+		return Stats{}, err
+	}
 	k, r := f.Rows, f.Cols
-	x := coldStart(xInit, k, r)
+	startInto(dst, xInit)
+	ws, pool := ctx.resources()
+	gx := ws.Get(k, r)
 	var st Stats
-	gx := mat.NewDense(k, r)
 	for sweep := 0; sweep < s.Sweeps; sweep++ {
-		mat.MulTo(gx, g, x)
-		for i := range x.Data {
+		mat.ParMulTo(gx, g, dst, pool)
+		for i := range dst.Data {
 			den := gx.Data[i]
 			if den < s.Eps {
 				den = s.Eps
 			}
-			x.Data[i] *= f.Data[i] / den
-			if x.Data[i] < 0 {
-				x.Data[i] = 0 // guards against negative F entries
+			dst.Data[i] *= f.Data[i] / den
+			if dst.Data[i] < 0 {
+				dst.Data[i] = 0 // guards against negative F entries
 			}
 		}
 		st.Flops += int64(2*k*k*r + 2*k*r)
 		st.Iterations++
 	}
-	return x, st, nil
+	ws.Put(gx)
+	return st, nil
 }
 
 // HALS is hierarchical alternating least squares (Cichocki et al.,
@@ -134,10 +153,31 @@ func (s *HALS) Solve(g, f, xInit *mat.Dense) (*mat.Dense, Stats, error) {
 	if err := checkDims(g, f, xInit); err != nil {
 		return nil, Stats{}, err
 	}
+	x := mat.NewDense(f.Rows, f.Cols)
+	st, err := s.SolveCtx(nil, g, f, xInit, x)
+	if err != nil {
+		return nil, st, err
+	}
+	return x, st, nil
+}
+
+// SolveCtx implements ContextSolver. HALS's only temporary is the
+// numerator row, drawn from the workspace; the row sweeps update dst
+// in place.
+func (s *HALS) SolveCtx(ctx *Context, g, f, xInit, dst *mat.Dense) (Stats, error) {
+	if err := checkDims(g, f, xInit); err != nil {
+		return Stats{}, err
+	}
+	if err := checkDst(f, dst); err != nil {
+		return Stats{}, err
+	}
 	k, r := f.Rows, f.Cols
-	x := coldStart(xInit, k, r)
+	x := dst
+	startInto(x, xInit)
+	ws, _ := ctx.resources()
+	numBuf := ws.Get(1, r)
+	num := numBuf.Data
 	var st Stats
-	num := make([]float64, r)
 	for sweep := 0; sweep < s.Sweeps; sweep++ {
 		for t := 0; t < k; t++ {
 			gtt := g.At(t, t)
@@ -176,17 +216,6 @@ func (s *HALS) Solve(g, f, xInit *mat.Dense) (*mat.Dense, Stats, error) {
 		st.Flops += int64(2*k*k*r + 3*k*r)
 		st.Iterations++
 	}
-	return x, st, nil
-}
-
-// coldStart returns a usable starting iterate: the warm start when
-// provided, else the all-ones matrix (strictly positive, which MU
-// requires to make progress).
-func coldStart(xInit *mat.Dense, k, r int) *mat.Dense {
-	if xInit != nil {
-		return xInit.Clone()
-	}
-	x := mat.NewDense(k, r)
-	x.Fill(1)
-	return x
+	ws.Put(numBuf)
+	return st, nil
 }

@@ -1,0 +1,122 @@
+package par
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestNilPoolInline checks the inline path covers the whole range
+// exactly once.
+func TestNilPoolInline(t *testing.T) {
+	var p *Pool
+	seen := make([]int, 100)
+	p.For(100, 8, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			seen[i]++
+		}
+	})
+	for i, c := range seen {
+		if c != 1 {
+			t.Fatalf("index %d visited %d times", i, c)
+		}
+	}
+	if p.Workers() != 1 {
+		t.Fatalf("nil pool Workers() = %d, want 1", p.Workers())
+	}
+	p.Close() // must not panic
+}
+
+// TestForCoverage checks every index is visited exactly once across
+// a spread of sizes, grain settings and worker counts.
+func TestForCoverage(t *testing.T) {
+	for _, workers := range []int{2, 3, 4, 8} {
+		p := NewPool(workers)
+		for _, n := range []int{0, 1, 2, 3, 7, 8, 64, 1000, 1001} {
+			for _, grain := range []int{1, 4, 100} {
+				counts := make([]int64, n)
+				p.For(n, grain, func(lo, hi int) {
+					if lo < 0 || hi > n || lo > hi {
+						t.Errorf("bad range [%d,%d) of %d", lo, hi, n)
+					}
+					for i := lo; i < hi; i++ {
+						atomic.AddInt64(&counts[i], 1)
+					}
+				})
+				for i, c := range counts {
+					if c != 1 {
+						t.Fatalf("workers=%d n=%d grain=%d: index %d visited %d times", workers, n, grain, i, c)
+					}
+				}
+			}
+		}
+		p.Close()
+	}
+}
+
+// TestForConcurrentCallers runs many For calls through one shared pool
+// at once — the p-ranks-sharing-one-pool configuration of the drivers.
+func TestForConcurrentCallers(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	const callers = 8
+	const n = 513
+	var wg sync.WaitGroup
+	for c := 0; c < callers; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for rep := 0; rep < 50; rep++ {
+				var sum int64
+				p.For(n, 16, func(lo, hi int) {
+					var s int64
+					for i := lo; i < hi; i++ {
+						s += int64(i)
+					}
+					atomic.AddInt64(&sum, s)
+				})
+				if want := int64(n*(n-1)) / 2; sum != want {
+					t.Errorf("sum = %d, want %d", sum, want)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestForRanges checks balanced-boundary dispatch, including empty
+// ranges and the nil pool.
+func TestForRanges(t *testing.T) {
+	for _, pool := range []*Pool{nil, NewPool(3)} {
+		counts := make([]int64, 20)
+		bounds := []int{0, 5, 5, 12, 20} // one empty range in the middle
+		pool.ForRanges(bounds, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				atomic.AddInt64(&counts[i], 1)
+			}
+		})
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("pool=%v: index %d visited %d times", pool != nil, i, c)
+			}
+		}
+		pool.ForRanges([]int{3, 3}, func(lo, hi int) { t.Fatal("empty range must not run") })
+		pool.ForRanges([]int{7}, func(lo, hi int) { t.Fatal("no ranges must not run") })
+		pool.Close()
+	}
+}
+
+// TestNewPoolSmall checks threads ≤ 1 yields the inline pool.
+func TestNewPoolSmall(t *testing.T) {
+	for _, n := range []int{-1, 0, 1} {
+		if p := NewPool(n); p != nil {
+			t.Fatalf("NewPool(%d) = %v, want nil", n, p)
+		}
+	}
+	if p := NewPool(2); p == nil || p.Workers() != 2 {
+		t.Fatalf("NewPool(2) = %v", p)
+	} else {
+		p.Close()
+	}
+}

@@ -102,6 +102,12 @@ func (t *Tracker) Go(task Task) func() {
 	return func() { t.wall[task] += time.Since(start) }
 }
 
+// Add charges an already-measured duration to a task. It is the
+// closure-free alternative to Go for allocation-sensitive loops: the
+// caller records time.Now() before the phase and calls Add with the
+// elapsed time after it.
+func (t *Tracker) Add(task Task, d time.Duration) { t.wall[task] += d }
+
 // AddFlops charges n floating point operations to a task.
 func (t *Tracker) AddFlops(task Task, n int64) { t.flops[task] += n }
 

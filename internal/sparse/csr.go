@@ -11,6 +11,7 @@ import (
 	"sort"
 
 	"hpcnmf/internal/mat"
+	"hpcnmf/internal/par"
 )
 
 // CSR is a sparse matrix in compressed sparse row format.
@@ -35,23 +36,51 @@ type Coord struct {
 }
 
 // FromCoords builds a CSR matrix from coordinate entries. Duplicate
-// coordinates are summed. Entries are sorted; zero values are kept
-// (callers may want explicit zeros), but duplicates collapsing to zero
-// remain stored.
+// coordinates are summed in input order. Entries are sorted; zero
+// values are kept (callers may want explicit zeros), and duplicates
+// collapsing to zero remain stored.
+//
+// Ordering is a two-pass counting sort — stable by column, then by
+// row — so construction is O(nnz + rows + cols) instead of the
+// O(nnz·log nnz) comparison sort the seed used; on bulk loads
+// (generators, Matrix Market files) the sort dominated construction.
 func FromCoords(rows, cols int, entries []Coord) *CSR {
 	for _, e := range entries {
 		if e.Row < 0 || e.Row >= rows || e.Col < 0 || e.Col >= cols {
 			panic(fmt.Sprintf("sparse: coordinate (%d,%d) outside %dx%d", e.Row, e.Col, rows, cols))
 		}
 	}
-	sorted := make([]Coord, len(entries))
-	copy(sorted, entries)
-	sort.Slice(sorted, func(i, j int) bool {
-		if sorted[i].Row != sorted[j].Row {
-			return sorted[i].Row < sorted[j].Row
-		}
-		return sorted[i].Col < sorted[j].Col
-	})
+	nnz := len(entries)
+	// Pass 1: stable counting sort by column.
+	count := make([]int, max(rows, cols)+1)
+	for _, e := range entries {
+		count[e.Col+1]++
+	}
+	for c := 0; c < cols; c++ {
+		count[c+1] += count[c]
+	}
+	byCol := make([]Coord, nnz)
+	for _, e := range entries {
+		byCol[count[e.Col]] = e
+		count[e.Col]++
+	}
+	// Pass 2: stable counting sort by row. Stability preserves the
+	// column order within each row, so the result is (row, col) sorted
+	// with duplicates adjacent and still in input order.
+	for i := range count {
+		count[i] = 0
+	}
+	for _, e := range byCol {
+		count[e.Row+1]++
+	}
+	for r := 0; r < rows; r++ {
+		count[r+1] += count[r]
+	}
+	sorted := make([]Coord, nnz)
+	for _, e := range byCol {
+		sorted[count[e.Row]] = e
+		count[e.Row]++
+	}
 	a := &CSR{Rows: rows, Cols: cols, RowPtr: make([]int, rows+1)}
 	for i := 0; i < len(sorted); {
 		j := i + 1
@@ -69,6 +98,13 @@ func FromCoords(rows, cols int, entries []Coord) *CSR {
 		a.RowPtr[i+1] += a.RowPtr[i]
 	}
 	return a
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
 }
 
 // FromDense converts a dense matrix to CSR, dropping exact zeros.
@@ -179,13 +215,42 @@ func (a *CSR) Submatrix(r0, r1, c0, c1 int) *CSR {
 // the result is dense m×k. This is the A·Hᵀ product of the ANLS
 // iteration. Cost: 2·nnz(A)·k flops.
 func (a *CSR) MulBt(b *mat.Dense) *mat.Dense {
+	c := mat.NewDense(a.Rows, b.Cols)
+	a.MulBtTo(c, b, nil)
+	return c
+}
+
+// MulBtTo computes C = A·B into an existing a.Rows×b.Cols matrix,
+// splitting rows of A (and hence of C) across the pool: workers own
+// disjoint output rows, so the result is identical to the serial
+// kernel for any pool size. The To form lets iteration loops reuse a
+// workspace buffer instead of allocating the result.
+func (a *CSR) MulBtTo(c, b *mat.Dense, p *par.Pool) {
 	if a.Cols != b.Rows {
 		panic(fmt.Sprintf("sparse: MulBt dimension mismatch %dx%d · (%dx%d)ᵀ... B must be Cols×k", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
-	k := b.Cols
-	c := mat.NewDense(a.Rows, k)
-	for i := 0; i < a.Rows; i++ {
+	if c.Rows != a.Rows || c.Cols != b.Cols {
+		panic(fmt.Sprintf("sparse: MulBtTo output is %dx%d, want %dx%d", c.Rows, c.Cols, a.Rows, b.Cols))
+	}
+	if p == nil {
+		a.mulBtRange(c, b, 0, a.Rows)
+		return
+	}
+	p.For(a.Rows, spGrain, func(i0, i1 int) {
+		a.mulBtRange(c, b, i0, i1)
+	})
+}
+
+// spGrain is the minimum number of sparse rows (or columns) worth
+// shipping to a pool worker.
+const spGrain = 64
+
+func (a *CSR) mulBtRange(c, b *mat.Dense, i0, i1 int) {
+	for i := i0; i < i1; i++ {
 		crow := c.Row(i)
+		for t := range crow {
+			crow[t] = 0
+		}
 		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
 			v := a.Val[p]
 			brow := b.Row(a.ColIdx[p])
@@ -194,7 +259,6 @@ func (a *CSR) MulBt(b *mat.Dense) *mat.Dense {
 			}
 		}
 	}
-	return c
 }
 
 // MulHt returns C = A·Hᵀ where H is dense k×n (row-major, so column j
@@ -211,14 +275,57 @@ func (a *CSR) MulHt(h *mat.Dense) *mat.Dense {
 // the result is dense k×n. This is the Wᵀ·A product of the ANLS
 // iteration. Cost: 2·nnz(A)·k flops.
 func (a *CSR) MulWtA(w *mat.Dense) *mat.Dense {
+	c := mat.NewDense(w.Cols, a.Cols)
+	a.MulWtATo(c, w, nil)
+	return c
+}
+
+// MulWtATo computes C = Wᵀ·A into an existing w.Cols×a.Cols matrix.
+//
+// Parallelizing this product cannot partition by rows of A — every row
+// scatters into all k rows of C — so workers own disjoint *column
+// windows* of C instead: each worker scans every sparse row but binary
+// searches to its window [c0,c1) and touches only those output
+// columns. Contributions to each output element still arrive in
+// increasing row order, so the result is bitwise identical to the
+// serial kernel for any pool size, with no reduction buffers.
+func (a *CSR) MulWtATo(c, w *mat.Dense, p *par.Pool) {
 	if a.Rows != w.Rows {
 		panic(fmt.Sprintf("sparse: MulWtA dimension mismatch W %dx%d, A %dx%d", w.Rows, w.Cols, a.Rows, a.Cols))
 	}
-	k := w.Cols
-	c := mat.NewDense(k, a.Cols)
+	if c.Rows != w.Cols || c.Cols != a.Cols {
+		panic(fmt.Sprintf("sparse: MulWtATo output is %dx%d, want %dx%d", c.Rows, c.Cols, w.Cols, a.Cols))
+	}
+	c.Zero()
+	if p == nil {
+		for i := 0; i < a.Rows; i++ {
+			wrow := w.Row(i)
+			for q := a.RowPtr[i]; q < a.RowPtr[i+1]; q++ {
+				j := a.ColIdx[q]
+				v := a.Val[q]
+				for t, wv := range wrow {
+					c.Data[t*a.Cols+j] += v * wv
+				}
+			}
+		}
+		return
+	}
+	p.For(a.Cols, spGrain, func(c0, c1 int) {
+		a.mulWtAWindow(c, w, c0, c1)
+	})
+}
+
+// mulWtAWindow accumulates the columns [c0,c1) of C = Wᵀ·A.
+func (a *CSR) mulWtAWindow(c, w *mat.Dense, c0, c1 int) {
 	for i := 0; i < a.Rows; i++ {
+		lo, hi := a.RowPtr[i], a.RowPtr[i+1]
+		s := lo + sort.SearchInts(a.ColIdx[lo:hi], c0)
+		e := lo + sort.SearchInts(a.ColIdx[lo:hi], c1)
+		if s == e {
+			continue
+		}
 		wrow := w.Row(i)
-		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+		for p := s; p < e; p++ {
 			j := a.ColIdx[p]
 			v := a.Val[p]
 			for t, wv := range wrow {
@@ -226,7 +333,6 @@ func (a *CSR) MulWtA(w *mat.Dense) *mat.Dense {
 			}
 		}
 	}
-	return c
 }
 
 // SquaredFrobeniusNorm returns ‖A‖_F².
