@@ -38,6 +38,9 @@ func main() {
 		kernels = flag.Bool("kernels", false, "run the compute-kernel micro-benchmarks (blocked vs. naive) instead of the figure experiments; with -json, write a KernelReport (e.g. BENCH_kernels.json)")
 		reps    = flag.Int("reps", 3, "repetitions per kernel timing (-kernels); each row reports the best")
 		threads = flag.String("threads", "1,4", "kernel pool widths to time (-kernels)")
+
+		baseline   = flag.String("baseline", "", "with -kernels: compare against this KernelReport JSON and exit 1 on regression")
+		maxRegress = flag.Float64("maxregress", 0.25, "with -baseline: max tolerated fractional drop in speedup-vs-naive per row")
 	)
 	flag.Parse()
 
@@ -65,9 +68,30 @@ func main() {
 				fatal("writing %s: %v", *jsonP, err)
 			}
 			fmt.Printf("wrote %s (%d rows, schema v%d)\n", *jsonP, len(rep.Rows), rep.Version)
-			return
+		} else {
+			experiments.WriteKernelTable(rep, os.Stdout)
 		}
-		experiments.WriteKernelTable(rep, os.Stdout)
+		if *baseline != "" {
+			bf, err := os.Open(*baseline)
+			if err != nil {
+				fatal("%v", err)
+			}
+			base, err := experiments.ReadKernelReport(bf)
+			bf.Close()
+			if err != nil {
+				fatal("%v", err)
+			}
+			regs := experiments.CompareKernelReports(rep, base, *maxRegress)
+			if len(regs) > 0 {
+				fmt.Fprintf(os.Stderr, "nmfbench: %d kernel(s) regressed more than %.0f%% vs %s:\n",
+					len(regs), 100**maxRegress, *baseline)
+				for _, r := range regs {
+					fmt.Fprintf(os.Stderr, "  %s\n", r)
+				}
+				os.Exit(1)
+			}
+			fmt.Printf("no kernel regression beyond %.0f%% vs %s\n", 100**maxRegress, *baseline)
+		}
 		return
 	}
 

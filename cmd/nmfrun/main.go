@@ -38,6 +38,12 @@ func main() {
 		trace   = flag.String("trace", "", "write a Chrome trace_event JSON timeline (one track per rank)")
 		report  = flag.String("report", "", "write a machine-readable JSON run report")
 		metrics = flag.Bool("metrics", false, "collect and print the metrics registry snapshot")
+
+		faultSpec = flag.String("fault", "", "fault-injection spec, e.g. 'kill:AllReduce:rank=2:call=3' (see internal/fault)")
+		deadline  = flag.Duration("deadline", 0, "per-collective communication deadline (0 = default 2m)")
+		ckptDir   = flag.String("ckpt", "", "checkpoint directory: periodically snapshot factors for -resume")
+		ckptEvery = flag.Int("ckpt-every", 0, "checkpoint every N iterations (default 10 with -ckpt)")
+		resume    = flag.String("resume", "", "resume from the checkpoint in this directory and keep checkpointing there")
 	)
 	flag.Parse()
 
@@ -78,6 +84,35 @@ func main() {
 	}
 	if *metrics || *report != "" {
 		opts.Metrics = hpcnmf.NewMetricsRegistry()
+	}
+	opts.CommDeadline = *deadline
+	if *faultSpec != "" {
+		inj, err := hpcnmf.ParseFault(*faultSpec)
+		if err != nil {
+			fatal("%v", err)
+		}
+		opts.Fault = inj
+	}
+	if *resume != "" && *ckptDir != "" && *resume != *ckptDir {
+		fatal("-resume and -ckpt name different directories; -resume keeps checkpointing into its own directory")
+	}
+	opts.CheckpointDir = *ckptDir
+	opts.CheckpointEvery = *ckptEvery
+	var resumedFrom int
+	if *resume != "" {
+		ck, err := hpcnmf.LoadCheckpoint(*resume)
+		if err != nil {
+			fatal("loading checkpoint: %v", err)
+		}
+		opts, err = ck.Resume(opts)
+		if err != nil {
+			fatal("%v", err)
+		}
+		opts.CheckpointDir = *resume // keep snapshotting where we left off
+		resumedFrom = ck.Meta.Iteration
+		*k = opts.K
+		fmt.Printf("resuming %s from iteration %d (%d iterations remain)\n\n",
+			*resume, resumedFrom, opts.MaxIter)
 	}
 	switch *solver {
 	case "bpp":

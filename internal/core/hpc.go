@@ -52,6 +52,9 @@ func RunHPC(a Matrix, g grid.Grid, opts Options) (*Result, error) {
 	tsess := newTraceSession(opts, p)
 	world.SetTracing(tsess)
 	world.SetMetrics(opts.Metrics)
+	configureWorld(world, opts)
+	algName := fmt.Sprintf("HPC-NMF %dx%d", g.PR, g.PC)
+	ckpt := newCheckpointer(opts, algName, m, n)
 	rm := newRunMetrics(opts.Metrics)
 	trackers := make([]*perf.Tracker, p)
 	traffic := make([]*mpi.Counters, p)
@@ -94,6 +97,53 @@ func RunHPC(a Matrix, g grid.Grid, opts Options) (*Result, error) {
 		chunk := opts.CommChunk
 		if chunk <= 0 || chunk > k {
 			chunk = k
+		}
+
+		// Word counts and assembly for gathering the distributed
+		// factors onto world rank 0 — used for the final result and,
+		// when checkpointing is on, periodically inside the loop
+		// (charged to Setup there, keeping the measured per-iteration
+		// traffic clean).
+		wWordCounts := make([]int, p)
+		hWordCounts := make([]int, p)
+		for r := 0; r < p; r++ {
+			ri, rj := g.Coords(r)
+			rmi := grid.BlockSize(m, g.PR, ri)
+			rnj := grid.BlockSize(n, g.PC, rj)
+			wWordCounts[r] = grid.BlockSize(rmi, g.PC, rj) * k
+			hWordCounts[r] = grid.BlockSize(rnj, g.PR, ri) * k
+		}
+		// gatherFactors returns the full W (m×k) and Hᵀ (n×k) on world
+		// rank 0, nil elsewhere.
+		gatherFactors := func(setup bool) (*mat.Dense, *mat.Dense) {
+			gv := c.GatherV
+			if setup {
+				gv = c.GatherVSetup
+			}
+			wAll := gv(0, wij.Data, wWordCounts)
+			hTAll := gv(0, hij.T().Data, hWordCounts)
+			if rank != 0 {
+				return nil, nil
+			}
+			w := mat.NewDense(m, k)
+			hT := mat.NewDense(n, k)
+			wPos, hPos := 0, 0
+			for r := 0; r < p; r++ {
+				ri, rj := g.Coords(r)
+				rr0, _ := grid.BlockRange(m, g.PR, ri)
+				rc0, _ := grid.BlockRange(n, g.PC, rj)
+				rmi := grid.BlockSize(m, g.PR, ri)
+				rnj := grid.BlockSize(n, g.PC, rj)
+				sLo, sHi := grid.BlockRange(rmi, g.PC, rj)
+				block := &mat.Dense{Rows: sHi - sLo, Cols: k, Data: wAll[wPos : wPos+wWordCounts[r]]}
+				w.SetSubmatrix(rr0+sLo, 0, block)
+				wPos += wWordCounts[r]
+				tLo, tHi := grid.BlockRange(rnj, g.PR, ri)
+				hBlock := &mat.Dense{Rows: tHi - tLo, Cols: k, Data: hTAll[hPos : hPos+hWordCounts[r]]}
+				hT.SetSubmatrix(rc0+tLo, 0, hBlock)
+				hPos += hWordCounts[r]
+			}
+			return w, hT
 		}
 
 		// Per-rank iteration buffers, reused across iterations.
@@ -255,47 +305,28 @@ func RunHPC(a Matrix, g grid.Grid, opts Options) (*Result, error) {
 				}
 			}
 			itSpan.End()
+
+			// --- Periodic checkpoint (collective; schedule is uniform
+			// across ranks because iters advances in lockstep) ---
+			if ckpt.due(iters) {
+				w, hT := gatherFactors(true)
+				if rank == 0 {
+					ckpt.write(iters, relErr, w, hT.T())
+				}
+			}
 		}
 		trackers[rank] = tr.Diff(setupTr)
 		traffic[rank] = c.Counters().Diff(setupTraffic)
 
 		// --- Gather factors on world rank 0 (outside the measured loop) ---
-		wWordCounts := make([]int, p)
-		hWordCounts := make([]int, p)
-		for r := 0; r < p; r++ {
-			ri, rj := g.Coords(r)
-			rmi := grid.BlockSize(m, g.PR, ri)
-			rnj := grid.BlockSize(n, g.PC, rj)
-			wWordCounts[r] = grid.BlockSize(rmi, g.PC, rj) * k
-			hWordCounts[r] = grid.BlockSize(rnj, g.PR, ri) * k
-		}
-		wAll := c.GatherV(0, wij.Data, wWordCounts)
-		hTAll := c.GatherV(0, hij.T().Data, hWordCounts)
+		w, hT := gatherFactors(false)
 		if rank == 0 {
-			w := mat.NewDense(m, k)
-			hT := mat.NewDense(n, k)
-			wPos, hPos := 0, 0
-			for r := 0; r < p; r++ {
-				ri, rj := g.Coords(r)
-				rr0, _ := grid.BlockRange(m, g.PR, ri)
-				rc0, _ := grid.BlockRange(n, g.PC, rj)
-				rmi := grid.BlockSize(m, g.PR, ri)
-				rnj := grid.BlockSize(n, g.PC, rj)
-				sLo, sHi := grid.BlockRange(rmi, g.PC, rj)
-				block := &mat.Dense{Rows: sHi - sLo, Cols: k, Data: wAll[wPos : wPos+wWordCounts[r]]}
-				w.SetSubmatrix(rr0+sLo, 0, block)
-				wPos += wWordCounts[r]
-				tLo, tHi := grid.BlockRange(rnj, g.PR, ri)
-				hBlock := &mat.Dense{Rows: tHi - tLo, Cols: k, Data: hTAll[hPos : hPos+hWordCounts[r]]}
-				hT.SetSubmatrix(rc0+tLo, 0, hBlock)
-				hPos += hWordCounts[r]
-			}
 			res = &Result{
 				W:          w,
 				H:          hT.T(),
 				RelErr:     relErr,
 				Iterations: iters,
-				Algorithm:  fmt.Sprintf("HPC-NMF %dx%d", g.PR, g.PC),
+				Algorithm:  algName,
 			}
 		}
 	}

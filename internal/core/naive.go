@@ -48,6 +48,9 @@ func RunNaive(a Matrix, p int, opts Options) (*Result, error) {
 	tsess := newTraceSession(opts, p)
 	world.SetTracing(tsess)
 	world.SetMetrics(opts.Metrics)
+	configureWorld(world, opts)
+	algName := fmt.Sprintf("Naive p=%d", p)
+	ckpt := newCheckpointer(opts, algName, m, n)
 	rm := newRunMetrics(opts.Metrics)
 	trackers := make([]*perf.Tracker, p)
 	traffic := make([]*mpi.Counters, p)
@@ -77,6 +80,24 @@ func RunNaive(a Matrix, p int, opts Options) (*Result, error) {
 		ctx := &nnls.Context{WS: ws, Pool: pool}
 
 		// Per-rank iteration buffers, reused across iterations.
+		// gatherFactors returns the full W (m×k) and Hᵀ (n×k) on rank
+		// 0, nil elsewhere; with setup the traffic is charged to the
+		// Setup category (in-loop checkpoint gathers).
+		gatherFactors := func(setup bool) (*mat.Dense, *mat.Dense) {
+			gv := c.GatherV
+			if setup {
+				gv = c.GatherVSetup
+			}
+			wAll := gv(0, wi.Data, wWordCounts)
+			hTAll := gv(0, hi.T().Data, hWordCounts)
+			if rank != 0 {
+				return nil, nil
+			}
+			w := &mat.Dense{Rows: m, Cols: k, Data: wAll}
+			hT := &mat.Dense{Rows: n, Cols: k, Data: hTAll}
+			return w, hT
+		}
+
 		hiT := mat.NewDense(ni, k)  // (Hi)ᵀ, the all-gather send layout
 		wit := mat.NewDense(k, mi)  // Wiᵀ: warm start and W-solve destination
 		hGram := mat.NewDense(k, k) // HHᵀ (redundant on every rank)
@@ -192,6 +213,15 @@ func RunNaive(a Matrix, p int, opts Options) (*Result, error) {
 				}
 			}
 			itSpan.End()
+
+			// --- Periodic checkpoint (collective; schedule is uniform
+			// across ranks because iters advances in lockstep) ---
+			if ckpt.due(iters) {
+				w, hT := gatherFactors(true)
+				if rank == 0 {
+					ckpt.write(iters, relErr, w, hT.T())
+				}
+			}
 		}
 		// Freeze the measured iteration window before the final
 		// gather adds unrelated traffic.
@@ -199,18 +229,14 @@ func RunNaive(a Matrix, p int, opts Options) (*Result, error) {
 		traffic[rank] = c.Counters().Diff(setupTraffic)
 
 		// --- Gather factors on rank 0 (outside the measured loop) ---
-		hi.TTo(hiT)
-		wAll := c.GatherV(0, wi.Data, wWordCounts)
-		hTAll := c.GatherV(0, hiT.Data, hWordCounts)
+		w, hT := gatherFactors(false)
 		if rank == 0 {
-			w := &mat.Dense{Rows: m, Cols: k, Data: wAll}
-			hT := &mat.Dense{Rows: n, Cols: k, Data: hTAll}
 			res = &Result{
-				W:          w.Clone(),
+				W:          w,
 				H:          hT.T(),
 				RelErr:     relErr,
 				Iterations: iters,
-				Algorithm:  fmt.Sprintf("Naive p=%d", p),
+				Algorithm:  algName,
 			}
 		}
 	}

@@ -3,7 +3,9 @@ package core
 import (
 	"fmt"
 	"math"
+	"time"
 
+	"hpcnmf/internal/fault"
 	"hpcnmf/internal/mat"
 	"hpcnmf/internal/metrics"
 	"hpcnmf/internal/nnls"
@@ -146,6 +148,35 @@ type Options struct {
 	// is safe for concurrent use; reuse one registry across runs to
 	// accumulate, or snapshot per run.
 	Metrics *metrics.Registry
+	// Fault, when non-nil, arms deterministic fault injection in the
+	// parallel drivers: the injector is consulted at every collective
+	// entry on every rank and can delay, drop, or kill a rank there
+	// (see internal/fault; `nmfrun -fault` builds one from a spec
+	// string). A killed rank fails the run fast — every survivor
+	// returns the same mpi.RankFailedError instead of deadlocking.
+	Fault *fault.Injector
+	// CommDeadline bounds how long any rank may block in a send or
+	// receive before the run fails with a typed mpi.RankFailedError
+	// (ErrDeadline) — the straggler/lost-message detector. 0 keeps
+	// the runtime default (2 minutes); < 0 disables.
+	CommDeadline time.Duration
+	// CheckpointDir enables periodic factor checkpointing: every
+	// CheckpointEvery iterations rank 0 gathers the full W and H and
+	// atomically replaces <CheckpointDir>/checkpoint.bin (versioned
+	// header, then both factors in the mat binary format). A run
+	// resumed from the checkpoint (LoadCheckpoint + Checkpoint.Resume)
+	// recomputes the remaining iterations bitwise-identically to the
+	// uninterrupted run. Empty disables.
+	CheckpointDir string
+	// CheckpointEvery is the checkpoint period in iterations (default
+	// 10 when CheckpointDir is set).
+	CheckpointEvery int
+	// ckptBase and ckptRelErr carry a resumed run's prior progress
+	// (set by Checkpoint.Resume) so checkpoints written after a resume
+	// record cumulative iteration counts and the full error history —
+	// a twice-resumed chain stays consistent.
+	ckptBase   int
+	ckptRelErr []float64
 }
 
 // withDefaults validates and normalizes the options.
@@ -167,6 +198,9 @@ func (o Options) withDefaults(m, n int) (Options, error) {
 	}
 	if o.Model == (perf.Model{}) {
 		o.Model = perf.Edison()
+	}
+	if o.CheckpointDir != "" && o.CheckpointEvery <= 0 {
+		o.CheckpointEvery = 10
 	}
 	if (o.Tol > 0 || o.TolGrad > 0) && !o.ComputeError {
 		return o, fmt.Errorf("core: Tol/TolGrad require ComputeError")

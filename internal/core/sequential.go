@@ -201,10 +201,16 @@ func RunSequential(a Matrix, opts Options) (*Result, error) {
 	}
 	defer s.close()
 
+	ckpt := newCheckpointer(s.opts, "Sequential", s.m, s.n)
 	setup := s.tr.Snapshot()
 	for it := 0; it < s.opts.MaxIter && !s.done; it++ {
 		if err := s.step(it); err != nil {
 			return nil, err
+		}
+		if ckpt.due(s.iters) && !s.done {
+			if err := ckpt.writeErr(s.iters, s.relErr, s.w, s.h); err != nil {
+				return nil, err
+			}
 		}
 	}
 	iterTracker := s.tr.Diff(setup)

@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func kernelReportOf(rows ...KernelRow) *KernelReport {
+	return &KernelReport{Version: KernelReportVersion, Seed: 42, Reps: 3, Rows: rows}
+}
+
+func row(kernel, impl string, threads int, speedup float64) KernelRow {
+	return KernelRow{Kernel: kernel, M: 100, N: 40, K: 5, Impl: impl, Threads: threads,
+		Seconds: 1 / speedup, GFlops: speedup, SpeedupVsNaive: speedup}
+}
+
+func TestCompareKernelReports(t *testing.T) {
+	base := kernelReportOf(
+		row("MulAtB", "naive", 1, 1),
+		row("MulAtB", "blocked", 1, 4.0),
+		row("MulAtB", "blocked", 4, 10.0),
+		row("Gram", "blocked", 1, 2.0),
+	)
+
+	// Identical current report: nothing regresses.
+	if regs := CompareKernelReports(base, base, 0.25); len(regs) != 0 {
+		t.Fatalf("self-comparison flagged %v", regs)
+	}
+
+	// One row fell past tolerance, one within it, one row exists only
+	// in the baseline (extra thread counts are ignored, not flagged).
+	cur := kernelReportOf(
+		row("MulAtB", "naive", 1, 1),
+		row("MulAtB", "blocked", 1, 2.0), // 50% drop: regression
+		row("Gram", "blocked", 1, 1.8),   // 10% drop: within tolerance
+	)
+	regs := CompareKernelReports(cur, base, 0.25)
+	if len(regs) != 1 {
+		t.Fatalf("flagged %d rows, want 1: %v", len(regs), regs)
+	}
+	r := regs[0]
+	if r.Kernel != "MulAtB" || r.Impl != "blocked" || r.Threads != 1 {
+		t.Fatalf("flagged the wrong row: %+v", r)
+	}
+	if r.BaseSpeedup != 4.0 || r.CurSpeedup != 2.0 || r.Loss != 0.5 {
+		t.Fatalf("regression arithmetic wrong: %+v", r)
+	}
+	if s := r.String(); !strings.Contains(s, "MulAtB") || !strings.Contains(s, "4.00x") {
+		t.Fatalf("unhelpful regression message %q", s)
+	}
+
+	// Rows present only in the current run are ignored too.
+	cur = kernelReportOf(row("SpMulBt", "blocked", 1, 3.0))
+	if regs := CompareKernelReports(cur, base, 0.25); len(regs) != 0 {
+		t.Fatalf("unmatched current row flagged: %v", regs)
+	}
+}
+
+func TestReadKernelReport(t *testing.T) {
+	rep := kernelReportOf(row("Gram", "blocked", 1, 2.0))
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadKernelReport(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Rows) != 1 || got.Rows[0] != rep.Rows[0] {
+		t.Fatalf("report did not round-trip: %+v", got)
+	}
+
+	if _, err := ReadKernelReport(strings.NewReader("not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := ReadKernelReport(strings.NewReader(`{"version": 999}`)); err == nil {
+		t.Error("future schema version accepted")
+	}
+}

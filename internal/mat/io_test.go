@@ -40,6 +40,61 @@ func TestBinaryRejectsGarbage(t *testing.T) {
 	}
 }
 
+func TestBinaryRoundTripEdgeShapes(t *testing.T) {
+	for _, shape := range [][2]int{{0, 0}, {0, 5}, {5, 0}, {1, 1}, {1, 64}, {64, 1}} {
+		a := randomDense(shape[0], shape[1], 24)
+		var buf bytes.Buffer
+		if err := a.WriteBinary(&buf); err != nil {
+			t.Fatalf("%dx%d: %v", shape[0], shape[1], err)
+		}
+		b, err := ReadBinary(&buf)
+		if err != nil {
+			t.Fatalf("%dx%d: %v", shape[0], shape[1], err)
+		}
+		if b.Rows != shape[0] || b.Cols != shape[1] || !a.Equal(b, 0) {
+			t.Fatalf("%dx%d did not round-trip", shape[0], shape[1])
+		}
+	}
+}
+
+func TestBinaryRejectsCorruptHeader(t *testing.T) {
+	a := randomDense(4, 3, 25)
+	var buf bytes.Buffer
+	if err := a.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	// Flipped magic bytes.
+	bad := append([]byte(nil), good...)
+	bad[0] ^= 0xff
+	if _, err := ReadBinary(bytes.NewReader(bad)); err == nil {
+		t.Error("corrupt magic accepted")
+	}
+
+	// Negative dims (sign bit of the little-endian rows field).
+	bad = append([]byte(nil), good...)
+	bad[len(binaryMagic)+7] = 0x80
+	if _, err := ReadBinary(bytes.NewReader(bad)); err == nil {
+		t.Error("negative rows accepted")
+	}
+
+	// Implausibly huge dims: must fail on validation or on missing
+	// payload, not attempt a multi-terabyte allocation.
+	bad = append([]byte(nil), good...)
+	for i := 0; i < 6; i++ {
+		bad[len(binaryMagic)+i] = 0xff
+	}
+	if _, err := ReadBinary(bytes.NewReader(bad)); err == nil {
+		t.Error("implausible dims accepted")
+	}
+
+	// Truncation inside the header itself (magic ok, dims cut short).
+	if _, err := ReadBinary(bytes.NewReader(good[:len(binaryMagic)+4])); err == nil {
+		t.Error("truncated header accepted")
+	}
+}
+
 func TestMatrixMarketArrayRoundTrip(t *testing.T) {
 	a := randomDense(6, 9, 23)
 	var buf bytes.Buffer

@@ -356,10 +356,24 @@ func (c *Comm) Gather(root int, data []float64) []float64 {
 func (c *Comm) GatherV(root int, data []float64, counts []int) []float64 {
 	ev := c.beginColl(CatGather, len(data))
 	defer ev.end()
+	return c.gatherV(root, data, counts, CatGather)
+}
+
+// GatherVSetup is GatherV charged to the Setup category, which the
+// per-iteration communication models exclude. The checkpointing layer
+// uses it so periodic factor gathers do not distort the measured
+// collective traffic of the algorithm under study.
+func (c *Comm) GatherVSetup(root int, data []float64, counts []int) []float64 {
+	ev := c.beginColl(CatSetup, len(data))
+	defer ev.end()
+	return c.gatherV(root, data, counts, CatSetup)
+}
+
+func (c *Comm) gatherV(root int, data []float64, counts []int, cat Category) []float64 {
 	base := c.opBase()
 	p := c.Size()
 	if c.rank != root {
-		c.send(root, base, data, CatGather)
+		c.send(root, base, data, cat)
 		return nil
 	}
 	offsets, total := offsetsOf(counts)

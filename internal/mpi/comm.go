@@ -22,6 +22,10 @@ type Comm struct {
 	// tracer is this rank's event tracer when the world has tracing
 	// attached (nil otherwise); sub-communicators inherit it.
 	tracer *trace.Tracer
+	// dropSends suppresses message delivery for the duration of one
+	// collective (the FaultDrop action): peers observe silence and
+	// fail by deadline, exercising the detector end to end.
+	dropSends bool
 }
 
 // Tracer returns this rank's event tracer, or nil when tracing is
@@ -69,6 +73,12 @@ func (c *Comm) Recv(src, tag int) []float64 {
 // send and recv are the internal primitives used by collectives; dst
 // and src are communicator ranks.
 func (c *Comm) send(dst, tag int, data []float64, cat Category) {
+	if c.dropSends {
+		// FaultDrop: the message is lost on the wire. The sender is
+		// still charged (its NIC transmitted), but nothing arrives.
+		c.world.counters[c.WorldRank()].Add(cat, 1, int64(len(data)))
+		return
+	}
 	c.world.send(c.WorldRank(), c.members[dst], tag, data, cat)
 }
 
@@ -77,17 +87,21 @@ func (c *Comm) recv(src, tag int) []float64 {
 }
 
 // collEvent times one collective call for the tracer and the latency
-// histogram. With observability off it is the zero value and both
-// begin and end reduce to a couple of nil checks — no clock read, no
-// allocation, no ring-buffer touch.
+// histogram. With observability and fault injection off it is (almost)
+// the zero value and both begin and end reduce to a few nil checks —
+// no clock read, no allocation, no ring-buffer touch.
 type collEvent struct {
 	sp    trace.Span
 	hist  *metrics.Histogram
 	start time.Time
+	// dropped remembers that this collective armed dropSends, so end
+	// can disarm it.
+	dropped *Comm
 }
 
-// beginColl opens the span/latency sample for a collective; words is
-// this rank's contribution size, recorded as the span payload.
+// beginColl opens the span/latency sample for a collective and gives
+// the fault injector its shot at the call-site; words is this rank's
+// contribution size, recorded as the span payload.
 func (c *Comm) beginColl(cat Category, words int) collEvent {
 	var ev collEvent
 	if c.tracer != nil {
@@ -97,11 +111,48 @@ func (c *Comm) beginColl(cat Category, words int) collEvent {
 		ev.hist = h
 		ev.start = time.Now()
 	}
+	if c.world.fault != nil {
+		c.injectFault(cat, &ev)
+	}
 	return ev
 }
 
-// end closes the span and observes the latency sample.
+// injectFault consults the armed injector at this collective call-site
+// and applies the drawn action: delay stalls the rank, drop arms
+// dropSends for the collective's duration, kill fails the rank with a
+// typed RankFailedError. Each injection is recorded as a trace span
+// and an mpi.fault.<action> counter when those instruments are
+// attached.
+func (c *Comm) injectFault(cat Category, ev *collEvent) {
+	act, d := c.world.fault(c.WorldRank(), cat.String())
+	if act == FaultNone {
+		return
+	}
+	sp := c.tracer.Begin(trace.CatMPI, "fault:"+act.String())
+	if m := c.world.metrics; m != nil {
+		m.Counter("mpi.fault." + act.String()).Inc()
+	}
+	switch act {
+	case FaultDelay:
+		time.Sleep(d)
+		sp.End()
+	case FaultDrop:
+		c.dropSends = true
+		ev.dropped = c
+		sp.End()
+	case FaultKill:
+		sp.End()
+		ev.sp.End()
+		panic(&RankFailedError{Rank: c.WorldRank(), Site: cat.String(), Err: ErrInjectedKill})
+	}
+}
+
+// end closes the span, observes the latency sample, and disarms a drop
+// injection.
 func (ev collEvent) end() {
+	if ev.dropped != nil {
+		ev.dropped.dropSends = false
+	}
 	ev.sp.End()
 	if ev.hist != nil {
 		ev.hist.Observe(time.Since(ev.start).Seconds())
@@ -167,6 +218,19 @@ func (c *Comm) Split(color, key int) *Comm {
 		members[i] = g.rank
 	}
 	return c.Sub(members)
+}
+
+// Abort tears the world down (MPI_Abort): the failure is recorded as a
+// RankFailedError attributed to this rank, every blocked rank unblocks
+// and fails with the same error, and the calling rank panics out of
+// its body immediately. cause may be nil (ErrAborted is used).
+func (c *Comm) Abort(cause error) {
+	if cause == nil {
+		cause = ErrAborted
+	}
+	err := &RankFailedError{Rank: c.WorldRank(), Site: "Abort", Err: cause}
+	c.world.recordFailure(c.WorldRank(), err)
+	panic(err)
 }
 
 // Barrier blocks until every rank in the communicator has entered it

@@ -46,13 +46,23 @@ type World struct {
 	// each queue is touched only by the destination rank's goroutine,
 	// so no locking is needed.
 	pending [][]message
-	abort   chan struct{} // closed when any rank panics
+	abort   chan struct{} // closed when any rank fails
 	once    sync.Once
-	err     error
+	// failure is the first rank failure, recorded under once before
+	// abort is closed; survivors read it only after observing the
+	// close, so the write is ordered before every read.
+	failure *RankFailedError
 	// recvTimeout bounds how long a receive may block before the
 	// runtime declares a deadlock (a mismatched collective schedule,
 	// the failure mode MPI surfaces as a hang). Zero disables.
 	recvTimeout time.Duration
+	// sendTimeout bounds a blocked send the same way (a send only
+	// blocks when the receiving rank has stopped draining its links).
+	sendTimeout time.Duration
+	// fault, when non-nil, is consulted at every collective entry
+	// (see FaultFunc); the injection layer in internal/fault provides
+	// implementations. Set before Run.
+	fault FaultFunc
 
 	counters []*Counters // per world rank
 
@@ -88,14 +98,32 @@ func NewWorld(p int) *World {
 		w.counters[i] = NewCounters()
 	}
 	w.recvTimeout = 2 * time.Minute
+	w.sendTimeout = 2 * time.Minute
 	return w
 }
 
-// SetRecvTimeout adjusts the deadlock detector: a receive blocking
-// longer than d panics with a diagnostic instead of hanging the
-// process (0 disables). The default is generous (2 minutes); tests
-// that provoke deadlocks deliberately set it short.
+// SetRecvTimeout adjusts the receive deadline: a receive blocking
+// longer than d fails the rank with a typed RankFailedError
+// (ErrDeadline) instead of hanging the process (0 disables). The
+// default is generous (2 minutes); tests that provoke deadlocks
+// deliberately set it short.
 func (w *World) SetRecvTimeout(d time.Duration) { w.recvTimeout = d }
+
+// SetSendTimeout adjusts the matching send deadline (a send blocks
+// only when the destination rank has stopped draining its links).
+func (w *World) SetSendTimeout(d time.Duration) { w.sendTimeout = d }
+
+// SetDeadline sets both the send and receive deadlines; it is the
+// single knob Options.CommDeadline maps to.
+func (w *World) SetDeadline(d time.Duration) {
+	w.recvTimeout = d
+	w.sendTimeout = d
+}
+
+// SetFault arms fault injection: f is consulted at every collective
+// entry on every rank (nil disarms — the default — and costs the hot
+// path a single nil check). Must be called before Run.
+func (w *World) SetFault(f FaultFunc) { w.fault = f }
 
 // SetTracing attaches one event tracer per rank from a trace session
 // created for this world's size. Every collective records a span on
@@ -149,9 +177,11 @@ func (w *World) Size() int { return w.p }
 func (w *World) Traffic() []*Counters { return w.counters }
 
 // Run executes body once per rank, concurrently, and waits for all
-// ranks to finish. If any rank panics, the panic is recorded, all
-// pending communication is aborted so sibling ranks unblock, and Run
-// re-panics with the first failure.
+// ranks to finish. If any rank fails — an application panic, an
+// injected kill, or a communication deadline — the failure is recorded
+// as a RankFailedError, all pending communication is aborted so
+// sibling ranks unblock (they fail fast with the same error instead of
+// deadlocking), and Run re-panics with the first failure.
 func (w *World) Run(body func(c *Comm)) {
 	var wg sync.WaitGroup
 	wg.Add(w.p)
@@ -160,22 +190,44 @@ func (w *World) Run(body func(c *Comm)) {
 			defer wg.Done()
 			defer func() {
 				if e := recover(); e != nil {
-					w.once.Do(func() {
-						w.err = fmt.Errorf("mpi: rank %d panicked: %v", rank, e)
-						close(w.abort)
-					})
+					w.recordFailure(rank, e)
 				}
 			}()
 			body(w.worldComm(rank))
 		}(r)
 	}
 	wg.Wait()
-	if w.err != nil {
-		panic(w.err)
+	if w.failure != nil {
+		panic(w.failure)
 	}
 	if w.metrics != nil {
 		w.publishMetrics()
 	}
+}
+
+// recordFailure stores the first rank failure and broadcasts the abort
+// (the runtime's MPI_Abort): later failures — including the survivors'
+// own abort panics — are dropped, so the error every rank ultimately
+// observes attributes the original fault.
+func (w *World) recordFailure(rank int, cause any) {
+	w.once.Do(func() {
+		switch e := cause.(type) {
+		case *RankFailedError:
+			w.failure = e
+		case error:
+			w.failure = &RankFailedError{Rank: rank, Site: "run body", Err: e}
+		default:
+			w.failure = &RankFailedError{Rank: rank, Site: "run body", Err: fmt.Errorf("panic: %v", e)}
+		}
+		close(w.abort)
+	})
+}
+
+// abortPanic fails the calling rank with the already-recorded world
+// failure. Only called after observing the abort channel closed, which
+// orders the failure write before this read.
+func (w *World) abortPanic() {
+	panic(w.failure)
 }
 
 // worldComm returns the world communicator for a given rank: all p
@@ -202,8 +254,25 @@ func (w *World) send(src, dst, tag int, data []float64, cat Category) {
 	w.counters[src].Add(cat, 1, int64(len(data)))
 	select {
 	case w.links[src*w.p+dst] <- message{tag: tag, data: payload}:
+		return
 	case <-w.abort:
-		panic("mpi: aborted (sibling rank failed)")
+		w.abortPanic()
+	default:
+	}
+	// Slow path: the link buffer is full, so the destination rank has
+	// stopped draining — block with the send deadline armed.
+	var timeout <-chan time.Time
+	if w.sendTimeout > 0 {
+		timer := time.NewTimer(w.sendTimeout)
+		defer timer.Stop()
+		timeout = timer.C
+	}
+	select {
+	case w.links[src*w.p+dst] <- message{tag: tag, data: payload}:
+	case <-w.abort:
+		w.abortPanic()
+	case <-timeout:
+		panic(deadlineError(src, fmt.Sprintf("send tag %d to rank %d", tag, dst), w.sendTimeout))
 	}
 }
 
@@ -229,7 +298,7 @@ func (w *World) recv(src, dst, tag int) []float64 {
 			w.pending[link] = append(w.pending[link], m)
 			continue
 		case <-w.abort:
-			panic("mpi: aborted (sibling rank failed)")
+			w.abortPanic()
 		default:
 		}
 		break
@@ -249,9 +318,9 @@ func (w *World) recv(src, dst, tag int) []float64 {
 			}
 			w.pending[link] = append(w.pending[link], m)
 		case <-w.abort:
-			panic("mpi: aborted (sibling rank failed)")
+			w.abortPanic()
 		case <-timeout:
-			panic(fmt.Sprintf("mpi: rank %d blocked %v waiting for tag %d from rank %d — likely a mismatched collective schedule (deadlock)", dst, w.recvTimeout, tag, src))
+			panic(deadlineError(dst, fmt.Sprintf("recv tag %d from rank %d", tag, src), w.recvTimeout))
 		}
 	}
 }

@@ -1,0 +1,73 @@
+package sparse
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"hpcnmf/internal/rng"
+)
+
+func TestMatrixMarketCSRRoundTrip(t *testing.T) {
+	a := RandomER(17, 11, 0.2, rng.New(31))
+	var buf bytes.Buffer
+	if err := a.WriteMatrixMarket(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b, err := ReadMatrixMarket(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Rows != a.Rows || b.Cols != a.Cols || b.NNZ() != a.NNZ() {
+		t.Fatalf("shape changed: %dx%d nnz=%d -> %dx%d nnz=%d",
+			a.Rows, a.Cols, a.NNZ(), b.Rows, b.Cols, b.NNZ())
+	}
+	for i := range a.RowPtr {
+		if a.RowPtr[i] != b.RowPtr[i] {
+			t.Fatalf("RowPtr[%d] changed", i)
+		}
+	}
+	for p := range a.Val {
+		if a.ColIdx[p] != b.ColIdx[p] || a.Val[p] != b.Val[p] {
+			t.Fatalf("entry %d changed: (%d, %g) -> (%d, %g)",
+				p, a.ColIdx[p], a.Val[p], b.ColIdx[p], b.Val[p])
+		}
+	}
+}
+
+func TestMatrixMarketEmptyMatrixRoundTrip(t *testing.T) {
+	a := FromCoords(5, 4, nil)
+	var buf bytes.Buffer
+	if err := a.WriteMatrixMarket(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b, err := ReadMatrixMarket(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Rows != 5 || b.Cols != 4 || b.NNZ() != 0 {
+		t.Fatalf("empty matrix became %dx%d nnz=%d", b.Rows, b.Cols, b.NNZ())
+	}
+}
+
+func TestMatrixMarketRejectsCorruptInput(t *testing.T) {
+	cases := map[string]string{
+		"empty":             "",
+		"junk header":       "hello world\n1 1 1\n1 1 1\n",
+		"wrong flavor":      "%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n4\n",
+		"bad size line":     "%%MatrixMarket matrix coordinate real general\n2 x 1\n1 1 1\n",
+		"bad row index":     "%%MatrixMarket matrix coordinate real general\n2 2 1\nx 1 1\n",
+		"bad value":         "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 zz\n",
+		"row out of range":  "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1\n",
+		"col out of range":  "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 3 1\n",
+		"zero-based index":  "%%MatrixMarket matrix coordinate real general\n2 2 1\n0 1 1\n",
+		"short entry line":  "%%MatrixMarket matrix coordinate real general\n2 2 1\n1\n",
+		"truncated entries": "%%MatrixMarket matrix coordinate real general\n3 3 5\n1 1 1\n2 2 2\n",
+		"extra entries":     "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 1\n2 2 2\n",
+	}
+	for name, c := range cases {
+		if _, err := ReadMatrixMarket(strings.NewReader(c)); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}

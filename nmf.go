@@ -28,9 +28,11 @@ import (
 	"hpcnmf/internal/core"
 	"hpcnmf/internal/costmodel"
 	"hpcnmf/internal/datasets"
+	"hpcnmf/internal/fault"
 	"hpcnmf/internal/grid"
 	"hpcnmf/internal/mat"
 	"hpcnmf/internal/metrics"
+	"hpcnmf/internal/mpi"
 	"hpcnmf/internal/perf"
 	"hpcnmf/internal/sparse"
 	"hpcnmf/internal/trace"
@@ -103,6 +105,48 @@ func NewReport(ds DatasetInfo, p int, opts Options, res *Result, tracePath strin
 
 // ParseReport reads a report written by Report.WriteJSON.
 func ParseReport(r io.Reader) (*Report, error) { return core.ParseReport(r) }
+
+// Fault tolerance: deterministic fault injection, typed rank-failure
+// errors, and checkpoint/restart (see README "Fault tolerance").
+
+// FaultInjector delays, drops, or kills ranks at chosen collective
+// call-sites; arm one via Options.Fault. Build it from a spec string
+// with ParseFault or programmatically with fault.New.
+type FaultInjector = fault.Injector
+
+// ParseFault builds a fault injector from a ';'-separated spec string,
+// e.g. "kill:AllReduce:rank=2:call=3" or "delay:AllGather:rank=1:d=50ms"
+// (see internal/fault for the grammar).
+func ParseFault(spec string) (*FaultInjector, error) { return fault.Parse(spec) }
+
+// RankFailedError is the typed error every surviving rank observes
+// when a rank dies or a communication deadline expires; retrieve it
+// from a failed run's error with errors.As to attribute the failure.
+type RankFailedError = mpi.RankFailedError
+
+// Failure causes carried inside a RankFailedError (match with errors.Is).
+var (
+	ErrInjectedKill = mpi.ErrInjectedKill
+	ErrCommDeadline = mpi.ErrDeadline
+)
+
+// Checkpoint is a restartable factorization snapshot (factors plus a
+// versioned header). Enable periodic checkpointing with
+// Options.CheckpointDir / Options.CheckpointEvery; load one with
+// LoadCheckpoint and continue it by rewriting the options with
+// Checkpoint.Resume — the resumed run recomputes the remaining
+// iterations bitwise-identically to an uninterrupted one.
+type Checkpoint = core.Checkpoint
+
+// CheckpointMeta is the checkpoint's versioned header.
+type CheckpointMeta = core.CheckpointMeta
+
+// LoadCheckpoint reads dir/checkpoint.bin written by a checkpointing
+// run.
+func LoadCheckpoint(dir string) (*Checkpoint, error) { return core.LoadCheckpoint(dir) }
+
+// WriteCheckpoint atomically replaces dir/checkpoint.bin.
+func WriteCheckpoint(dir string, ck *Checkpoint) error { return core.WriteCheckpoint(dir, ck) }
 
 // NewDense returns a zero dense matrix with the given shape.
 func NewDense(rows, cols int) *Dense { return mat.NewDense(rows, cols) }
