@@ -16,6 +16,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -24,30 +25,51 @@ import (
 )
 
 func main() {
-	var (
-		exp     = flag.String("exp", "all", "experiment id(s), comma-separated, or 'all': "+strings.Join(experiments.Names(), ", "))
-		scale   = flag.Float64("scale", 1.0, "dataset scale factor (1.0 = paper-shaped defaults)")
-		iters   = flag.Int("iters", 3, "alternating iterations to measure")
-		seed    = flag.Uint64("seed", 42, "random seed")
-		view    = flag.String("view", "modeled", "time view: modeled, measured, both, or csv (figure experiments)")
-		p       = flag.Int("p", 16, "processor count for comparison experiments")
-		k       = flag.Int("k", 50, "rank for scaling experiments")
-		ks      = flag.String("ks", "10,20,30,40,50", "rank sweep for comparison experiments")
-		ps      = flag.String("ps", "4,16,64", "processor sweep for scaling experiments")
-		jsonP   = flag.String("json", "", "write a machine-readable BenchReport JSON for the selected figure/table3 experiments (e.g. BENCH_main.json)")
-		kernels = flag.Bool("kernels", false, "run the compute-kernel micro-benchmarks (blocked vs. naive) instead of the figure experiments; with -json, write a KernelReport (e.g. BENCH_kernels.json)")
-		reps    = flag.Int("reps", 3, "repetitions per kernel timing (-kernels); each row reports the best")
-		threads = flag.String("threads", "1,4", "kernel pool widths to time (-kernels)")
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "nmfbench: %v\n", err)
+		os.Exit(1)
+	}
+}
 
-		baseline   = flag.String("baseline", "", "with -kernels: compare against this KernelReport JSON and exit 1 on regression")
-		maxRegress = flag.Float64("maxregress", 0.25, "with -baseline: max tolerated fractional drop in speedup-vs-naive per row")
+// errRegression marks a kernel-regression gate failure (exit 1 with
+// the offending rows already printed to stderr).
+var errRegression = fmt.Errorf("kernel regression gate failed")
+
+// run is the whole command behind a testable seam: flags come from
+// args, output goes to the writers, and failures are returned instead
+// of exiting the process.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("nmfbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		exp     = fs.String("exp", "all", "experiment id(s), comma-separated, or 'all': "+strings.Join(experiments.Names(), ", "))
+		scale   = fs.Float64("scale", 1.0, "dataset scale factor (1.0 = paper-shaped defaults)")
+		iters   = fs.Int("iters", 3, "alternating iterations to measure")
+		seed    = fs.Uint64("seed", 42, "random seed")
+		view    = fs.String("view", "modeled", "time view: modeled, measured, both, or csv (figure experiments)")
+		p       = fs.Int("p", 16, "processor count for comparison experiments")
+		k       = fs.Int("k", 50, "rank for scaling experiments")
+		ks      = fs.String("ks", "10,20,30,40,50", "rank sweep for comparison experiments")
+		ps      = fs.String("ps", "4,16,64", "processor sweep for scaling experiments")
+		jsonP   = fs.String("json", "", "write a machine-readable BenchReport JSON for the selected figure/table3 experiments (e.g. BENCH_main.json)")
+		kernels = fs.Bool("kernels", false, "run the compute-kernel micro-benchmarks (blocked vs. naive) instead of the figure experiments; with -json, write a KernelReport (e.g. BENCH_kernels.json)")
+		reps    = fs.Int("reps", 3, "repetitions per kernel timing (-kernels); each row reports the best")
+		threads = fs.String("threads", "1,4", "kernel pool widths to time (-kernels)")
+
+		baseline   = fs.String("baseline", "", "with -kernels: compare against this KernelReport JSON and exit 1 on regression")
+		maxRegress = fs.Float64("maxregress", 0.25, "with -baseline: max tolerated fractional drop in speedup-vs-naive per row")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
 
 	if *kernels {
 		tlist, err := parseInts(*threads)
 		if err != nil {
-			fatal("bad -threads: %v", err)
+			return fmt.Errorf("bad -threads: %w", err)
 		}
 		kcfg := experiments.KernelConfig{K: *k, Threads: tlist, Reps: *reps, Seed: *seed}
 		if *scale != 1.0 {
@@ -58,41 +80,41 @@ func main() {
 		if *jsonP != "" {
 			out, err := os.Create(*jsonP)
 			if err != nil {
-				fatal("%v", err)
+				return err
 			}
 			if err := rep.WriteJSON(out); err != nil {
 				out.Close()
-				fatal("writing %s: %v", *jsonP, err)
+				return fmt.Errorf("writing %s: %w", *jsonP, err)
 			}
 			if err := out.Close(); err != nil {
-				fatal("writing %s: %v", *jsonP, err)
+				return fmt.Errorf("writing %s: %w", *jsonP, err)
 			}
-			fmt.Printf("wrote %s (%d rows, schema v%d)\n", *jsonP, len(rep.Rows), rep.Version)
+			fmt.Fprintf(stdout, "wrote %s (%d rows, schema v%d)\n", *jsonP, len(rep.Rows), rep.Version)
 		} else {
-			experiments.WriteKernelTable(rep, os.Stdout)
+			experiments.WriteKernelTable(rep, stdout)
 		}
 		if *baseline != "" {
 			bf, err := os.Open(*baseline)
 			if err != nil {
-				fatal("%v", err)
+				return err
 			}
 			base, err := experiments.ReadKernelReport(bf)
 			bf.Close()
 			if err != nil {
-				fatal("%v", err)
+				return err
 			}
 			regs := experiments.CompareKernelReports(rep, base, *maxRegress)
 			if len(regs) > 0 {
-				fmt.Fprintf(os.Stderr, "nmfbench: %d kernel(s) regressed more than %.0f%% vs %s:\n",
+				fmt.Fprintf(stderr, "nmfbench: %d kernel(s) regressed more than %.0f%% vs %s:\n",
 					len(regs), 100**maxRegress, *baseline)
 				for _, r := range regs {
-					fmt.Fprintf(os.Stderr, "  %s\n", r)
+					fmt.Fprintf(stderr, "  %s\n", r)
 				}
-				os.Exit(1)
+				return errRegression
 			}
-			fmt.Printf("no kernel regression beyond %.0f%% vs %s\n", 100**maxRegress, *baseline)
+			fmt.Fprintf(stdout, "no kernel regression beyond %.0f%% vs %s\n", 100**maxRegress, *baseline)
 		}
-		return
+		return nil
 	}
 
 	cfg := experiments.Config{
@@ -105,10 +127,10 @@ func main() {
 	}
 	var err error
 	if cfg.Ks, err = parseInts(*ks); err != nil {
-		fatal("bad -ks: %v", err)
+		return fmt.Errorf("bad -ks: %w", err)
 	}
 	if cfg.Ps, err = parseInts(*ps); err != nil {
-		fatal("bad -ps: %v", err)
+		return fmt.Errorf("bad -ps: %w", err)
 	}
 
 	ids := strings.Split(*exp, ",")
@@ -127,31 +149,32 @@ func main() {
 		}
 		rep, err := experiments.Collect(ids, cfg)
 		if err != nil {
-			fatal("%v", err)
+			return err
 		}
 		out, err := os.Create(*jsonP)
 		if err != nil {
-			fatal("%v", err)
+			return err
 		}
 		if err := rep.WriteJSON(out); err != nil {
 			out.Close()
-			fatal("writing %s: %v", *jsonP, err)
+			return fmt.Errorf("writing %s: %w", *jsonP, err)
 		}
 		if err := out.Close(); err != nil {
-			fatal("writing %s: %v", *jsonP, err)
+			return fmt.Errorf("writing %s: %w", *jsonP, err)
 		}
-		fmt.Printf("wrote %s (%d rows, schema v%d)\n", *jsonP, len(rep.Rows), rep.Version)
-		return
+		fmt.Fprintf(stdout, "wrote %s (%d rows, schema v%d)\n", *jsonP, len(rep.Rows), rep.Version)
+		return nil
 	}
 
 	for i, id := range ids {
 		if i > 0 {
-			fmt.Println()
+			fmt.Fprintln(stdout)
 		}
-		if err := experiments.Run(id, cfg, os.Stdout); err != nil {
-			fatal("%s: %v", id, err)
+		if err := experiments.Run(id, cfg, stdout); err != nil {
+			return fmt.Errorf("%s: %w", id, err)
 		}
 	}
+	return nil
 }
 
 func parseInts(s string) ([]int, error) {
@@ -167,9 +190,4 @@ func parseInts(s string) ([]int, error) {
 		out = append(out, v)
 	}
 	return out, nil
-}
-
-func fatal(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "nmfbench: "+format+"\n", args...)
-	os.Exit(1)
 }

@@ -15,42 +15,60 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"hpcnmf"
 )
 
 func main() {
-	var (
-		data    = flag.String("data", "dsyn", "dataset: dsyn, ssyn, video, webbase, bow (ignored with -mm)")
-		mmPath  = flag.String("mm", "", "read a MatrixMarket file instead of generating a dataset")
-		scale   = flag.Float64("scale", 0.25, "dataset scale factor")
-		alg     = flag.String("alg", "hpc2d", "algorithm: seq, naive, hpc1d, hpc2d, auto (cost-model pick)")
-		solver  = flag.String("solver", "bpp", "local NLS solver: bpp, activeset, mu, hals, pgd")
-		sweeps  = flag.Int("sweeps", 1, "inner sweeps for mu/hals")
-		k       = flag.Int("k", 10, "factorization rank")
-		p       = flag.Int("p", 16, "processor count (parallel algorithms)")
-		iters   = flag.Int("iters", 10, "max alternating iterations")
-		tol     = flag.Float64("tol", 0, "early-stop tolerance on relative-error decrease (0 = off)")
-		seed    = flag.Uint64("seed", 42, "random seed")
-		view    = flag.String("view", "both", "breakdown view: modeled, measured, both")
-		out     = flag.String("out", "", "write factors to <out>.W and <out>.H (binary)")
-		trace   = flag.String("trace", "", "write a Chrome trace_event JSON timeline (one track per rank)")
-		report  = flag.String("report", "", "write a machine-readable JSON run report")
-		metrics = flag.Bool("metrics", false, "collect and print the metrics registry snapshot")
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "nmfrun: %v\n", err)
+		os.Exit(1)
+	}
+}
 
-		faultSpec = flag.String("fault", "", "fault-injection spec, e.g. 'kill:AllReduce:rank=2:call=3' (see internal/fault)")
-		deadline  = flag.Duration("deadline", 0, "per-collective communication deadline (0 = default 2m)")
-		ckptDir   = flag.String("ckpt", "", "checkpoint directory: periodically snapshot factors for -resume")
-		ckptEvery = flag.Int("ckpt-every", 0, "checkpoint every N iterations (default 10 with -ckpt)")
-		resume    = flag.String("resume", "", "resume from the checkpoint in this directory and keep checkpointing there")
+// run is the whole command behind a testable seam: flags come from
+// args, output goes to the writers, and failures are returned instead
+// of exiting the process.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("nmfrun", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		data    = fs.String("data", "dsyn", "dataset: dsyn, ssyn, video, webbase, bow (ignored with -mm)")
+		mmPath  = fs.String("mm", "", "read a MatrixMarket file instead of generating a dataset")
+		scale   = fs.Float64("scale", 0.25, "dataset scale factor")
+		alg     = fs.String("alg", "hpc2d", "algorithm: seq, naive, hpc1d, hpc2d, auto (cost-model pick)")
+		solver  = fs.String("solver", "bpp", "local NLS solver: bpp, activeset, mu, hals, pgd")
+		sweeps  = fs.Int("sweeps", 1, "inner sweeps for mu/hals")
+		k       = fs.Int("k", 10, "factorization rank")
+		p       = fs.Int("p", 16, "processor count (parallel algorithms)")
+		iters   = fs.Int("iters", 10, "max alternating iterations")
+		tol     = fs.Float64("tol", 0, "early-stop tolerance on relative-error decrease (0 = off)")
+		seed    = fs.Uint64("seed", 42, "random seed")
+		view    = fs.String("view", "both", "breakdown view: modeled, measured, both")
+		out     = fs.String("out", "", "write factors to <out>.W and <out>.H (binary)")
+		trace   = fs.String("trace", "", "write a Chrome trace_event JSON timeline (one track per rank)")
+		report  = fs.String("report", "", "write a machine-readable JSON run report")
+		metrics = fs.Bool("metrics", false, "collect and print the metrics registry snapshot")
+
+		faultSpec = fs.String("fault", "", "fault-injection spec, e.g. 'kill:AllReduce:rank=2:call=3' (see internal/fault)")
+		deadline  = fs.Duration("deadline", 0, "per-collective communication deadline (0 = default 2m)")
+		ckptDir   = fs.String("ckpt", "", "checkpoint directory: periodically snapshot factors for -resume")
+		ckptEvery = fs.Int("ckpt-every", 0, "checkpoint every N iterations (default 10 with -ckpt)")
+		resume    = fs.String("resume", "", "resume from the checkpoint in this directory and keep checkpointing there")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
 
 	switch *view {
 	case "modeled", "measured", "both":
 	default:
-		fatal("unknown -view %q (want modeled, measured, or both)", *view)
+		return fmt.Errorf("unknown -view %q (want modeled, measured, or both)", *view)
 	}
 
 	var a hpcnmf.Matrix
@@ -58,12 +76,12 @@ func main() {
 	if *mmPath != "" {
 		f, err := os.Open(*mmPath)
 		if err != nil {
-			fatal("%v", err)
+			return err
 		}
 		csr, err := hpcnmf.ReadMatrixMarket(f)
 		f.Close()
 		if err != nil {
-			fatal("parsing %s: %v", *mmPath, err)
+			return fmt.Errorf("parsing %s: %w", *mmPath, err)
 		}
 		a = hpcnmf.WrapSparse(csr)
 		name = *mmPath
@@ -89,12 +107,12 @@ func main() {
 	if *faultSpec != "" {
 		inj, err := hpcnmf.ParseFault(*faultSpec)
 		if err != nil {
-			fatal("%v", err)
+			return err
 		}
 		opts.Fault = inj
 	}
 	if *resume != "" && *ckptDir != "" && *resume != *ckptDir {
-		fatal("-resume and -ckpt name different directories; -resume keeps checkpointing into its own directory")
+		return fmt.Errorf("-resume and -ckpt name different directories; -resume keeps checkpointing into its own directory")
 	}
 	opts.CheckpointDir = *ckptDir
 	opts.CheckpointEvery = *ckptEvery
@@ -102,16 +120,16 @@ func main() {
 	if *resume != "" {
 		ck, err := hpcnmf.LoadCheckpoint(*resume)
 		if err != nil {
-			fatal("loading checkpoint: %v", err)
+			return fmt.Errorf("loading checkpoint: %w", err)
 		}
 		opts, err = ck.Resume(opts)
 		if err != nil {
-			fatal("%v", err)
+			return err
 		}
 		opts.CheckpointDir = *resume // keep snapshotting where we left off
 		resumedFrom = ck.Meta.Iteration
 		*k = opts.K
-		fmt.Printf("resuming %s from iteration %d (%d iterations remain)\n\n",
+		fmt.Fprintf(stdout, "resuming %s from iteration %d (%d iterations remain)\n\n",
 			*resume, resumedFrom, opts.MaxIter)
 	}
 	switch *solver {
@@ -126,7 +144,7 @@ func main() {
 	case "pgd":
 		opts.Solver = hpcnmf.SolverPGD
 	default:
-		fatal("unknown solver %q", *solver)
+		return fmt.Errorf("unknown solver %q", *solver)
 	}
 
 	var res *hpcnmf.Result
@@ -134,11 +152,11 @@ func main() {
 	if *alg == "auto" {
 		adv := hpcnmf.Advise(a, *k, *p)
 		if len(adv) == 0 {
-			fatal("cost model returned no algorithm advice for k=%d p=%d; pick -alg explicitly", *k, *p)
+			return fmt.Errorf("cost model returned no algorithm advice for k=%d p=%d; pick -alg explicitly", *k, *p)
 		}
-		fmt.Println("cost-model forecast (fastest first):")
+		fmt.Fprintln(stdout, "cost-model forecast (fastest first):")
 		for _, row := range adv {
-			fmt.Printf("  %-14s %.6f s/iter\n", row.Algorithm, row.Seconds)
+			fmt.Fprintf(stdout, "  %-14s %.6f s/iter\n", row.Algorithm, row.Seconds)
 		}
 		if adv[0].Algorithm == "Naive" {
 			*alg = "naive"
@@ -147,7 +165,7 @@ func main() {
 		} else {
 			*alg = "hpc2d"
 		}
-		fmt.Printf("selected: %s\n\n", *alg)
+		fmt.Fprintf(stdout, "selected: %s\n\n", *alg)
 	}
 	procs := *p
 	switch *alg {
@@ -161,58 +179,54 @@ func main() {
 	case "hpc2d":
 		res, err = hpcnmf.RunParallel(a, *p, opts)
 	default:
-		fatal("unknown algorithm %q", *alg)
+		return fmt.Errorf("unknown algorithm %q", *alg)
 	}
 	if err != nil {
-		fatal("%v", err)
+		return err
 	}
 
 	m, n := a.Dims()
-	fmt.Printf("dataset:   %s (%dx%d, nnz=%d)\n", name, m, n, a.NNZ())
-	fmt.Printf("algorithm: %s, solver %s, k=%d\n", res.Algorithm, *solver, *k)
-	fmt.Printf("iterations: %d\n\n", res.Iterations)
-	fmt.Println("relative error per iteration:")
+	fmt.Fprintf(stdout, "dataset:   %s (%dx%d, nnz=%d)\n", name, m, n, a.NNZ())
+	fmt.Fprintf(stdout, "algorithm: %s, solver %s, k=%d\n", res.Algorithm, *solver, *k)
+	fmt.Fprintf(stdout, "iterations: %d\n\n", res.Iterations)
+	fmt.Fprintln(stdout, "relative error per iteration:")
 	for i, e := range res.RelErr {
-		fmt.Printf("  iter %3d: %.6f\n", i+1, e)
+		fmt.Fprintf(stdout, "  iter %3d: %.6f\n", i+1, e)
 	}
 	table, err := res.Breakdown.Format(*view)
 	if err != nil {
-		fatal("%v", err)
+		return err
 	}
-	fmt.Printf("\nper-iteration task breakdown:\n%s", table)
+	fmt.Fprintf(stdout, "\nper-iteration task breakdown:\n%s", table)
 
 	if *trace != "" {
 		if err := res.Trace.WriteChromeFile(*trace); err != nil {
-			fatal("writing trace: %v", err)
+			return fmt.Errorf("writing trace: %w", err)
 		}
-		fmt.Printf("\nwrote trace %s (%d events, %d rank tracks; open in Perfetto or chrome://tracing)\n",
+		fmt.Fprintf(stdout, "\nwrote trace %s (%d events, %d rank tracks; open in Perfetto or chrome://tracing)\n",
 			*trace, len(res.Trace.Events), res.Trace.Ranks)
 	}
 	if *metrics {
-		fmt.Printf("\nmetrics:\n")
-		opts.Metrics.Snapshot().WriteText(os.Stdout)
+		fmt.Fprintf(stdout, "\nmetrics:\n")
+		opts.Metrics.Snapshot().WriteText(stdout)
 	}
 	if *report != "" {
 		rep := hpcnmf.NewReport(hpcnmf.DescribeMatrix(name, a), procs, opts, res, *trace)
 		if err := rep.WriteJSONFile(*report); err != nil {
-			fatal("writing report: %v", err)
+			return fmt.Errorf("writing report: %w", err)
 		}
-		fmt.Printf("\nwrote report %s (schema v%d)\n", *report, rep.Version)
+		fmt.Fprintf(stdout, "\nwrote report %s (schema v%d)\n", *report, rep.Version)
 	}
 
 	if *out != "" {
 		if err := hpcnmf.SaveFactor(*out+".W", res.W); err != nil {
-			fatal("saving W: %v", err)
+			return fmt.Errorf("saving W: %w", err)
 		}
 		if err := hpcnmf.SaveFactor(*out+".H", res.H); err != nil {
-			fatal("saving H: %v", err)
+			return fmt.Errorf("saving H: %w", err)
 		}
-		fmt.Printf("\nwrote %s.W (%dx%d) and %s.H (%dx%d)\n",
+		fmt.Fprintf(stdout, "\nwrote %s.W (%dx%d) and %s.H (%dx%d)\n",
 			*out, res.W.Rows, res.W.Cols, *out, res.H.Rows, res.H.Cols)
 	}
-}
-
-func fatal(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "nmfrun: "+format+"\n", args...)
-	os.Exit(1)
+	return nil
 }

@@ -1,0 +1,85 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runOK executes run with the given args, failing the test on error.
+func runOK(t *testing.T, args ...string) string {
+	t.Helper()
+	var out, errb bytes.Buffer
+	if err := run(args, &out, &errb); err != nil {
+		t.Fatalf("run(%v): %v\nstderr: %s", args, err, errb.String())
+	}
+	return out.String()
+}
+
+// fast returns the base arguments for a quick smoke run.
+func fast(extra ...string) []string {
+	return append([]string{"-data", "dsyn", "-scale", "0.05", "-alg", "seq", "-k", "3", "-iters", "2"}, extra...)
+}
+
+func TestRunFlagValidation(t *testing.T) {
+	var out, errb bytes.Buffer
+	cases := [][]string{
+		{"-view", "bogus"},
+		{"-solver", "bogus"},
+		fast("-alg", "bogus"),
+		fast("stray-arg"),
+		{"-resume", "/tmp/a", "-ckpt", "/tmp/b"},
+		{"-mm", "/nonexistent/matrix.mtx"},
+		{"-resume", "/nonexistent/ckpt-dir"},
+		{"-not-a-flag"},
+	}
+	for _, args := range cases {
+		if err := run(args, &out, &errb); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}
+
+func TestRunSeqSmoke(t *testing.T) {
+	got := runOK(t, fast()...)
+	for _, want := range []string{"dataset:", "algorithm:", "relative error per iteration", "iter   1", "per-iteration task breakdown"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunReportAndMetrics(t *testing.T) {
+	dir := t.TempDir()
+	report := filepath.Join(dir, "report.json")
+	got := runOK(t, fast("-report", report, "-metrics")...)
+	if !strings.Contains(got, "metrics:") {
+		t.Errorf("output missing metrics snapshot:\n%s", got)
+	}
+	raw, err := os.ReadFile(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep map[string]any
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if rep["version"] == nil {
+		t.Errorf("report has no schema version: %v", rep)
+	}
+}
+
+func TestRunResumeRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	runOK(t, fast("-ckpt", dir, "-ckpt-every", "1")...)
+	if matches, _ := filepath.Glob(filepath.Join(dir, "*")); len(matches) == 0 {
+		t.Fatal("checkpoint directory is empty after a checkpointed run")
+	}
+	got := runOK(t, fast("-resume", dir, "-iters", "4")...)
+	if !strings.Contains(got, "resuming "+dir) {
+		t.Errorf("resumed run did not report resuming:\n%s", got)
+	}
+}

@@ -1,0 +1,142 @@
+// Command nmfserve runs the batched-projection model server: fitted
+// NMF models are held resident (basis + cached Gram) and new data
+// columns are projected onto them over HTTP, with concurrent requests
+// coalesced into stacked NNLS solves.
+//
+//	nmfserve -addr localhost:7600
+//	curl -X POST :7600/v1/fit -d '{"model":"m","rows":4,"cols":3,"data":[...],"k":2}'
+//	curl :7600/v1/jobs/fit-1
+//	curl -X POST :7600/v1/project -d '{"model":"m","column":[...]}'
+//	curl :7600/metrics
+//
+// Shutdown (SIGINT/SIGTERM) is graceful: the listener stops accepting,
+// in-flight fits and queued projections drain, then the process exits.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"hpcnmf"
+	"hpcnmf/internal/serve"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "nmfserve: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run is the whole command behind a testable seam: flags come from
+// args, output goes to the writers, and failures are returned instead
+// of exiting the process. It serves until SIGINT/SIGTERM.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("nmfserve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr       = fs.String("addr", "localhost:7600", "listen address (use :0 for an ephemeral port)")
+		maxBatch   = fs.Int("max-batch", 32, "max columns per stacked NNLS solve")
+		maxDelay   = fs.Duration("max-delay", 2*time.Millisecond, "how long a batch lingers for stragglers (0 = flush immediately)")
+		queueCap   = fs.Int("queue", 0, "pending projection columns per model before 429 (0 = 4x max-batch)")
+		budgetMB   = fs.Int64("budget-mb", 256, "resident model budget in MiB; past it the LRU model is evicted (< 0 disables)")
+		fitWorkers = fs.Int("fit-workers", 2, "async fit worker pool size")
+		fitQueue   = fs.Int("fit-queue", 8, "pending fit jobs before 429 + Retry-After")
+		solverName = fs.String("solver", "bpp", "projection NNLS solver: bpp, activeset, mu, hals, pgd")
+		sweeps     = fs.Int("sweeps", 8, "inner sweeps for the inexact projection solvers (mu, hals, pgd)")
+		tracePath  = fs.String("trace", "", "write a Chrome trace_event JSON of batch/solve spans on shutdown")
+		drainSecs  = fs.Int("drain-timeout", 30, "seconds to wait for in-flight HTTP requests on shutdown")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	var kind hpcnmf.SolverKind
+	switch *solverName {
+	case "bpp":
+		kind = hpcnmf.SolverBPP
+	case "activeset":
+		kind = hpcnmf.SolverActiveSet
+	case "mu":
+		kind = hpcnmf.SolverMU
+	case "hals":
+		kind = hpcnmf.SolverHALS
+	case "pgd":
+		kind = hpcnmf.SolverPGD
+	default:
+		return fmt.Errorf("unknown solver %q", *solverName)
+	}
+	if *maxDelay < 0 {
+		return fmt.Errorf("-max-delay must be >= 0")
+	}
+	budget := *budgetMB << 20
+	if *budgetMB < 0 {
+		budget = -1
+	}
+	// maxDelay 0 means "flush immediately"; serve.Options keeps 0 as
+	// its default marker, so translate.
+	delay := *maxDelay
+	if delay == 0 {
+		delay = -1
+	}
+
+	srv := serve.New(serve.Options{
+		MaxBatch:      *maxBatch,
+		MaxDelay:      delay,
+		QueueCap:      *queueCap,
+		StoreBudget:   budget,
+		FitWorkers:    *fitWorkers,
+		FitQueue:      *fitQueue,
+		ProjectSolver: kind,
+		ProjectSweeps: *sweeps,
+		TraceEvents:   *tracePath != "",
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		srv.Close()
+		return err
+	}
+	hs := &http.Server{Handler: srv}
+	fmt.Fprintf(stdout, "listening on %s\n", ln.Addr())
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigCh)
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.Serve(ln) }()
+
+	select {
+	case err := <-errCh:
+		srv.Close()
+		return err
+	case sig := <-sigCh:
+		fmt.Fprintf(stdout, "received %v: draining in-flight work\n", sig)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Duration(*drainSecs)*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil {
+		fmt.Fprintf(stderr, "nmfserve: HTTP shutdown: %v\n", err)
+	}
+	srv.Close() // drains accepted fits, then queued projections
+	if *tracePath != "" {
+		if tr := srv.Trace(); tr != nil {
+			if err := tr.WriteChromeFile(*tracePath); err != nil {
+				return fmt.Errorf("writing trace: %w", err)
+			}
+			fmt.Fprintf(stdout, "wrote trace %s (%d events)\n", *tracePath, len(tr.Events))
+		}
+	}
+	fmt.Fprintln(stdout, "drained, shutting down")
+	return nil
+}

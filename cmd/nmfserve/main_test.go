@@ -1,0 +1,167 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// syncBuffer is a goroutine-safe bytes.Buffer: run writes to it from
+// the server goroutine while the test polls it for the listen line.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+func TestServeFlagValidation(t *testing.T) {
+	var out, errb bytes.Buffer
+	cases := [][]string{
+		{"-solver", "bogus"},
+		{"-max-delay", "-5ms"},
+		{"stray-arg"},
+		{"-not-a-flag"},
+		{"-addr", "999.999.999.999:1"}, // unlistenable address
+	}
+	for _, args := range cases {
+		if err := run(args, &out, &errb); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}
+
+// TestServeEndToEnd boots the server on an ephemeral port, fits a
+// model over HTTP, projects against it, checks /metrics moved, and
+// shuts down via SIGINT — the full serve lifecycle.
+func TestServeEndToEnd(t *testing.T) {
+	var out syncBuffer
+	var errb syncBuffer
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-addr", "127.0.0.1:0", "-fit-workers", "1"}, &out, &errb)
+	}()
+
+	// Parse the advertised address from the listen line.
+	var base string
+	deadline := time.Now().Add(10 * time.Second)
+	for base == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("server never printed its listen line; output: %q", out.String())
+		}
+		for _, line := range strings.Split(out.String(), "\n") {
+			if addr, ok := strings.CutPrefix(line, "listening on "); ok {
+				base = "http://" + strings.TrimSpace(addr)
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Fit a tiny rank-2 model.
+	data := make([]float64, 6*5)
+	for i := range data {
+		data[i] = 0.2 + float64(i%7)/7
+	}
+	fit := map[string]any{"model": "demo", "rows": 6, "cols": 5, "data": data, "k": 2, "max_iter": 30}
+	body, _ := json.Marshal(fit)
+	resp, err := http.Post(base+"/v1/fit", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("fit: %v", err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("fit: status %d", resp.StatusCode)
+	}
+	var accepted struct {
+		StatusURL string `json:"status_url"`
+	}
+	json.NewDecoder(resp.Body).Decode(&accepted)
+	resp.Body.Close()
+
+	// Poll until the fit lands.
+	state := ""
+	for state != "done" {
+		if time.Now().After(deadline) {
+			t.Fatalf("fit job stuck in state %q", state)
+		}
+		r, err := http.Get(base + accepted.StatusURL)
+		if err != nil {
+			t.Fatalf("poll: %v", err)
+		}
+		var job struct {
+			State string `json:"state"`
+			Error string `json:"error"`
+		}
+		json.NewDecoder(r.Body).Decode(&job)
+		r.Body.Close()
+		if job.State == "failed" {
+			t.Fatalf("fit failed: %s", job.Error)
+		}
+		state = job.State
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Project a column of the training data.
+	col := make([]float64, 6)
+	for i := range col {
+		col[i] = data[i*5]
+	}
+	body, _ = json.Marshal(map[string]any{"model": "demo", "column": col})
+	resp, err = http.Post(base+"/v1/project", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("project: %v", err)
+	}
+	var proj struct {
+		H         [][]float64 `json:"h"`
+		Residuals []float64   `json:"residuals"`
+	}
+	json.NewDecoder(resp.Body).Decode(&proj)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || len(proj.H) != 1 || len(proj.H[0]) != 2 {
+		t.Fatalf("project: status %d, body %+v", resp.StatusCode, proj)
+	}
+
+	// Metrics counters must have moved.
+	r, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	var mbuf bytes.Buffer
+	mbuf.ReadFrom(r.Body)
+	r.Body.Close()
+	for _, want := range []string{"serve.project.requests", "serve.fit.completed"} {
+		if !strings.Contains(mbuf.String(), want) {
+			t.Errorf("metrics missing %q:\n%s", want, mbuf.String())
+		}
+	}
+
+	// Graceful shutdown on SIGINT.
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGINT); err != nil {
+		t.Fatalf("signalling self: %v", err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v\nstderr: %s", err, errb.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("server did not shut down after SIGINT")
+	}
+	if got := out.String(); !strings.Contains(got, "drained, shutting down") {
+		t.Errorf("shutdown did not report draining:\n%s", got)
+	}
+}

@@ -349,13 +349,19 @@ func relErrFrom(normA2, cross, wtwDotHht float64) float64 {
 	return math.Sqrt(v) / math.Sqrt(normA2)
 }
 
-// shouldStop implements the Tol early-exit rule on the error history.
+// shouldStop implements the Tol early-exit rule on the error history:
+// stop once an iteration improves the relative error by less than tol.
+// The improvement must be non-negative — an error *increase* (negative
+// delta, the signature of an oscillating inexact solver) is not
+// convergence, and treating it as such would freeze the factorization
+// at a transiently bad iterate.
 func shouldStop(relErr []float64, tol float64) bool {
 	n := len(relErr)
 	if tol <= 0 || n < 2 {
 		return false
 	}
-	return relErr[n-2]-relErr[n-1] < tol
+	d := relErr[n-2] - relErr[n-1]
+	return d >= 0 && d < tol
 }
 
 // projGradSq returns ‖P[∇_H f]‖²_F for the H-subproblem from the

@@ -1,0 +1,213 @@
+package core
+
+import (
+	"fmt"
+
+	"hpcnmf/internal/mat"
+	"hpcnmf/internal/nnls"
+	"hpcnmf/internal/par"
+)
+
+// Projector projects new data columns onto a fixed basis: given W
+// (m×k), each batch of columns C (m×c) is mapped to
+//
+//	H = argmin_{H ≥ 0} ‖W·H − C‖_F
+//
+// — exactly the H-subproblem of the ANLS framework (paper Algorithm 1,
+// line 4) with W frozen. This is the cheap "absorb new data" operation
+// of the streaming scenario (§6.1.1) and the hot path of the serving
+// layer: the k×k Gram WᵀW is computed once and cached, so a projection
+// costs one WᵀC product (2·m·k·c flops) plus a small NNLS solve,
+// independent of however much data originally fitted the basis.
+//
+// A Projector owns a workspace arena and is therefore single-goroutine,
+// like the driver states; concurrent callers each need their own (the
+// serving layer gives every model batcher one). Steady-state
+// ProjectInto calls with a workspace-aware solver (MU/HALS/PGD)
+// allocate nothing.
+type Projector struct {
+	w    *mat.Dense // m×k basis; not owned — callers mutate via SetBasis/RefreshGram
+	gram *mat.Dense // k×k cached WᵀW
+	s    nnls.Solver
+	ctx  *nnls.Context
+}
+
+// NewProjector caches the Gram of basis w (m×k) and prepares reusable
+// solver resources. solver defaults to BPP when nil; pool may be nil
+// (serial kernels). The basis is referenced, not copied — callers that
+// mutate it must call RefreshGram (or SetBasis) afterwards.
+func NewProjector(w *mat.Dense, solver nnls.Solver, pool *par.Pool) (*Projector, error) {
+	if w.Rows < 1 || w.Cols < 1 {
+		return nil, fmt.Errorf("core: projector basis is %dx%d, want at least 1x1", w.Rows, w.Cols)
+	}
+	if !w.IsFinite() {
+		return nil, fmt.Errorf("core: projector basis has non-finite entries")
+	}
+	if solver == nil {
+		solver = nnls.NewBPP()
+	}
+	p := &Projector{
+		w:    w,
+		gram: mat.NewDense(w.Cols, w.Cols),
+		s:    solver,
+		ctx:  &nnls.Context{WS: mat.NewWorkspace(), Pool: pool},
+	}
+	p.RefreshGram()
+	return p, nil
+}
+
+// Dims returns the basis shape (m rows, k components).
+func (p *Projector) Dims() (m, k int) { return p.w.Rows, p.w.Cols }
+
+// Basis returns the projector's basis W (shared, not a copy).
+func (p *Projector) Basis() *mat.Dense { return p.w }
+
+// Gram returns the cached WᵀW (shared, not a copy). Callers must treat
+// it as read-only.
+func (p *Projector) Gram() *mat.Dense { return p.gram }
+
+// RefreshGram recomputes the cached Gram after the basis was mutated
+// in place (the streaming refinement sweeps do this once per sweep).
+func (p *Projector) RefreshGram() {
+	mat.ParGramTo(p.gram, p.w, p.ctx.Pool)
+}
+
+// SetBasis swaps in a new basis of the same shape and refreshes the
+// Gram.
+func (p *Projector) SetBasis(w *mat.Dense) error {
+	if w.Rows != p.w.Rows || w.Cols != p.w.Cols {
+		return fmt.Errorf("core: projector basis is %dx%d, replacement is %dx%d",
+			p.w.Rows, p.w.Cols, w.Rows, w.Cols)
+	}
+	p.w = w
+	p.RefreshGram()
+	return nil
+}
+
+// Project projects cols (m×c) and returns a fresh k×c coefficient
+// matrix. See ProjectInto for the allocation-free form.
+func (p *Projector) Project(cols *mat.Dense) (*mat.Dense, nnls.Stats, error) {
+	h := mat.NewDense(p.w.Cols, cols.Cols)
+	st, err := p.ProjectInto(h, cols, nil)
+	if err != nil {
+		return nil, st, err
+	}
+	return h, st, nil
+}
+
+// ProjectInto solves H = argmin_{H≥0} ‖W·H − C‖_F into dst (k×c) for
+// cols (m×c). When resid is non-nil it must have length c and receives
+// each column's relative residual ‖cⱼ − W·hⱼ‖/‖cⱼ‖ (0 for a zero
+// column) — the foreground signal of the background-subtraction use
+// case, computed from solve byproducts at negligible cost.
+//
+// A numerically rank-deficient basis (near-duplicate columns of W make
+// WᵀW singular) degrades gracefully: if the plain solve fails or
+// returns a non-finite iterate, the solve is retried with Tikhonov
+// damping (G + λI, escalating λ), which restores strict convexity at
+// the cost of a slight shrinkage of H. Only a basis that defeats the
+// damped ladder too yields an error — never a panic.
+func (p *Projector) ProjectInto(dst, cols *mat.Dense, resid []float64) (nnls.Stats, error) {
+	m, k := p.w.Rows, p.w.Cols
+	if cols.Rows != m {
+		return nnls.Stats{}, fmt.Errorf("core: projecting %d-row columns onto a %d-row basis", cols.Rows, m)
+	}
+	c := cols.Cols
+	if dst.Rows != k || dst.Cols != c {
+		return nnls.Stats{}, fmt.Errorf("core: projection destination is %dx%d, want %dx%d", dst.Rows, dst.Cols, k, c)
+	}
+	if resid != nil && len(resid) != c {
+		return nnls.Stats{}, fmt.Errorf("core: residual buffer has length %d, want %d", len(resid), c)
+	}
+	if c == 0 {
+		return nnls.Stats{}, nil
+	}
+	ws := p.ctx.WS
+	f := ws.Get(k, c)
+	mat.ParMulAtBTo(f, p.w, cols, p.ctx.Pool) // f = WᵀC
+	st, err := solveDamped(p.s, p.ctx, p.gram, f, nil, dst)
+	if err != nil {
+		ws.Put(f)
+		return st, err
+	}
+	if resid != nil {
+		p.residuals(resid, cols, f, dst)
+	}
+	ws.Put(f)
+	return st, nil
+}
+
+// residuals fills out[j] = ‖cⱼ − W·hⱼ‖/‖cⱼ‖ from the byproducts:
+// ‖c − W·h‖² = ‖c‖² − 2·hᵀf + hᵀG·h with f = Wᵀc and G = WᵀW.
+func (p *Projector) residuals(out []float64, cols, f, h *mat.Dense) {
+	k, c := h.Rows, h.Cols
+	gh := p.ctx.WS.Get(k, c)
+	mat.ParMulTo(gh, p.gram, h, p.ctx.Pool)
+	for j := 0; j < c; j++ {
+		cross, quad := 0.0, 0.0
+		for i := 0; i < k; i++ {
+			cross += h.At(i, j) * f.At(i, j)
+			quad += h.At(i, j) * gh.At(i, j)
+		}
+		c2 := 0.0
+		for i := 0; i < cols.Rows; i++ {
+			v := cols.At(i, j)
+			c2 += v * v
+		}
+		out[j] = relErrFrom(c2, cross, quad)
+	}
+	p.ctx.WS.Put(gh)
+}
+
+// tikhonovBase scales the first damping rung to the Gram's magnitude:
+// λ₀ = tikhonovBase · (tr(G)/k + 1). Each retry multiplies λ by
+// tikhonovStep, so four rungs span twelve orders of magnitude — enough
+// to regularize any Gram a finite basis can produce.
+const (
+	tikhonovBase  = 1e-10
+	tikhonovStep  = 1e4
+	tikhonovTries = 4
+)
+
+// solveDamped is the rank-deficiency-hardened NNLS entry shared by the
+// projection path (serve and Streaming) and the streaming refinement
+// sweeps: it first runs the plain solve and, if the solver errors or
+// its iterate went non-finite (the divergence that the batch drivers
+// turn into a checkFactorSanity panic), retries on the Tikhonov-damped
+// system (G + λI)·x = f with escalating λ. The damped copy of G is
+// drawn from the context workspace, so the common non-degenerate path
+// stays allocation-free.
+func solveDamped(s nnls.Solver, ctx *nnls.Context, g, f, xInit, dst *mat.Dense) (nnls.Stats, error) {
+	st, err := nnls.SolveWith(s, ctx, g, f, xInit, dst)
+	if err == nil && dst.IsFinite() {
+		return st, nil
+	}
+	k := g.Rows
+	lam := 0.0
+	for i := 0; i < k; i++ {
+		lam += g.At(i, i)
+	}
+	lam = tikhonovBase * (lam/float64(k) + 1)
+	var ws *mat.Workspace
+	if ctx != nil {
+		ws = ctx.WS
+	}
+	gd := ws.Get(k, k)
+	defer ws.Put(gd)
+	for try := 0; try < tikhonovTries; try++ {
+		gd.CopyFrom(g)
+		for i := 0; i < k; i++ {
+			gd.Set(i, i, gd.At(i, i)+lam)
+		}
+		st2, err2 := nnls.SolveWith(s, ctx, gd, f, nil, dst)
+		st.Add(st2)
+		if err2 == nil && dst.IsFinite() {
+			return st, nil
+		}
+		lam *= tikhonovStep
+	}
+	if err == nil {
+		err = fmt.Errorf("solver iterate went non-finite")
+	}
+	return st, fmt.Errorf("core: NNLS solve failed even with Tikhonov damping up to λ=%g (rank-deficient system): %w", lam, err)
+}

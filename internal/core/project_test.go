@@ -1,0 +1,256 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"hpcnmf/internal/mat"
+	"hpcnmf/internal/nnls"
+	"hpcnmf/internal/rng"
+)
+
+// randBasis builds a strictly positive m×k basis.
+func randBasis(m, k int, seed uint64) *mat.Dense {
+	r := rng.New(seed)
+	w := mat.NewDense(m, k)
+	for i := range w.Data {
+		w.Data[i] = 0.1 + r.Float64()
+	}
+	return w
+}
+
+// TestProjectorRecoversCoefficients: columns synthesized as W·h must
+// project back to (approximately) h, with near-zero residual.
+func TestProjectorRecoversCoefficients(t *testing.T) {
+	const m, k, c = 30, 4, 6
+	w := randBasis(m, k, 1)
+	hTrue := randBasis(k, c, 2)
+	cols := mat.NewDense(m, c)
+	mat.MulTo(cols, w, hTrue)
+
+	for _, tc := range []struct {
+		name   string
+		solver nnls.Solver
+		tol    float64
+	}{
+		{"BPP", nil, 1e-8}, // nil selects BPP (exact)
+		{"HALS", nnls.NewHALS(200), 1e-4},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			p, err := NewProjector(w, tc.solver, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			h := mat.NewDense(k, c)
+			resid := make([]float64, c)
+			if _, err := p.ProjectInto(h, cols, resid); err != nil {
+				t.Fatal(err)
+			}
+			for i := range h.Data {
+				if math.Abs(h.Data[i]-hTrue.Data[i]) > tc.tol {
+					t.Fatalf("h[%d] = %g, want %g", i, h.Data[i], hTrue.Data[i])
+				}
+			}
+			// The byproduct formula ‖c‖²−2hᵀf+hᵀGh cancels nearly to
+			// zero here, and sqrt amplifies the rounding, so the
+			// residual check is looser than the coefficient check.
+			for j, r := range resid {
+				if r > 1e-5 {
+					t.Fatalf("residual[%d] = %g, want ~0 for exactly representable columns", j, r)
+				}
+			}
+		})
+	}
+}
+
+// TestProjectorResidualMatchesDirect: the byproduct-based residual must
+// agree with the explicitly computed ‖c − W·h‖/‖c‖.
+func TestProjectorResidualMatchesDirect(t *testing.T) {
+	const m, k, c = 25, 3, 5
+	w := randBasis(m, k, 3)
+	cols := randBasis(m, c, 4) // not in the basis span: nonzero residual
+	p, err := NewProjector(w, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := mat.NewDense(k, c)
+	resid := make([]float64, c)
+	if _, err := p.ProjectInto(h, cols, resid); err != nil {
+		t.Fatal(err)
+	}
+	recon := mat.NewDense(m, c)
+	mat.MulTo(recon, w, h)
+	for j := 0; j < c; j++ {
+		num, den := 0.0, 0.0
+		for i := 0; i < m; i++ {
+			d := cols.At(i, j) - recon.At(i, j)
+			num += d * d
+			den += cols.At(i, j) * cols.At(i, j)
+		}
+		want := math.Sqrt(num / den)
+		if math.Abs(resid[j]-want) > 1e-9 {
+			t.Fatalf("residual[%d] = %g via byproducts, %g direct", j, resid[j], want)
+		}
+		if want < 1e-3 {
+			t.Fatalf("test columns accidentally lie in the basis span (residual %g)", want)
+		}
+	}
+}
+
+// TestProjectorRankDeficientBasis is the satellite regression: a basis
+// with duplicated columns (exactly singular Gram) must project via the
+// Tikhonov fallback — finite coefficients, small residual, no panic —
+// where the batch drivers would have tripped checkFactorSanity.
+func TestProjectorRankDeficientBasis(t *testing.T) {
+	const m, k = 20, 4
+	w := randBasis(m, k, 5)
+	for i := 0; i < m; i++ {
+		w.Set(i, 2, w.At(i, 1)) // duplicate column: rank(W) = k-1
+		w.Set(i, 3, w.At(i, 1))
+	}
+	cols := mat.NewDense(m, 2)
+	for i := 0; i < m; i++ {
+		cols.Set(i, 0, 2*w.At(i, 0)+w.At(i, 1))
+		cols.Set(i, 1, w.At(i, 1))
+	}
+	for _, tc := range []struct {
+		name   string
+		solver nnls.Solver
+	}{
+		{"BPP", nil},
+		{"ActiveSet", nnls.NewActiveSet()},
+		{"HALS", nnls.NewHALS(200)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			p, err := NewProjector(w, tc.solver, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			h := mat.NewDense(k, 2)
+			resid := make([]float64, 2)
+			if _, err := p.ProjectInto(h, cols, resid); err != nil {
+				t.Fatalf("rank-deficient projection failed: %v", err)
+			}
+			if !h.IsFinite() {
+				t.Fatal("rank-deficient projection produced non-finite coefficients")
+			}
+			for j, r := range resid {
+				if r > 1e-4 {
+					t.Errorf("residual[%d] = %g, want ~0 (columns are in the basis span)", j, r)
+				}
+			}
+		})
+	}
+}
+
+// failUntilDamped fails unless the Gram diagonal shows added damping,
+// making the fallback ladder deterministic to test.
+type failUntilDamped struct {
+	baseDiag float64 // diagonal of the undamped Gram
+	calls    int
+	minLam   float64 // smallest damping that "succeeds"
+}
+
+func (s *failUntilDamped) Name() string { return "failUntilDamped" }
+
+func (s *failUntilDamped) Solve(g, f, xInit *mat.Dense) (*mat.Dense, nnls.Stats, error) {
+	s.calls++
+	if g.At(0, 0) < s.baseDiag+s.minLam {
+		return nil, nnls.Stats{Iterations: 1}, fmt.Errorf("synthetic failure at diag %g", g.At(0, 0))
+	}
+	x := mat.NewDense(g.Rows, f.Cols)
+	for i := range x.Data {
+		x.Data[i] = 1
+	}
+	return x, nnls.Stats{Iterations: 1}, nil
+}
+
+// TestSolveDampedEscalation: the ladder retries with escalating λ until
+// the solver accepts, accumulating stats across rungs; a solver that
+// never accepts yields an error, not a panic.
+func TestSolveDampedEscalation(t *testing.T) {
+	const k = 3
+	g := mat.NewDense(k, k)
+	for i := 0; i < k; i++ {
+		g.Set(i, i, 1)
+	}
+	f := mat.NewDense(k, 2)
+	dst := mat.NewDense(k, 2)
+
+	// λ₀ = 1e-10·(tr(G)/k + 1) = 2e-10; demand the third rung (λ₀·step²).
+	fake := &failUntilDamped{baseDiag: 1, minLam: 1e-3}
+	st, err := solveDamped(fake, nil, g, f, nil, dst)
+	if err != nil {
+		t.Fatalf("solveDamped: %v", err)
+	}
+	if fake.calls != 4 { // plain + two failed rungs + accepted third
+		t.Errorf("solver called %d times, want 4 (plain, 2 rejected rungs, 1 accepted)", fake.calls)
+	}
+	if st.Iterations != 4 {
+		t.Errorf("stats accumulated %d iterations, want 4 (every attempt counted)", st.Iterations)
+	}
+	if dst.At(0, 0) != 1 {
+		t.Errorf("dst not written by the accepted rung")
+	}
+
+	// A solver the ladder cannot save must surface an error.
+	hopeless := &failUntilDamped{baseDiag: 1, minLam: math.Inf(1)}
+	if _, err := solveDamped(hopeless, nil, g, f, nil, dst); err == nil {
+		t.Fatal("solveDamped succeeded with a solver that always fails")
+	}
+}
+
+// TestProjectorValidation: shape and finiteness misuse is reported as
+// errors, never panics.
+func TestProjectorValidation(t *testing.T) {
+	if _, err := NewProjector(mat.NewDense(0, 0), nil, nil); err == nil {
+		t.Error("empty basis accepted")
+	}
+	bad := mat.NewDense(3, 2)
+	bad.Data[0] = math.NaN()
+	if _, err := NewProjector(bad, nil, nil); err == nil {
+		t.Error("non-finite basis accepted")
+	}
+	p, err := NewProjector(randBasis(8, 2, 6), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.ProjectInto(mat.NewDense(2, 1), mat.NewDense(5, 1), nil); err == nil {
+		t.Error("row-mismatched columns accepted")
+	}
+	if _, err := p.ProjectInto(mat.NewDense(3, 1), mat.NewDense(8, 1), nil); err == nil {
+		t.Error("mis-shaped destination accepted")
+	}
+	if _, err := p.ProjectInto(mat.NewDense(2, 2), mat.NewDense(8, 2), make([]float64, 1)); err == nil {
+		t.Error("short residual buffer accepted")
+	}
+	if err := p.SetBasis(mat.NewDense(7, 2)); err == nil {
+		t.Error("shape-changing SetBasis accepted")
+	}
+}
+
+// TestProjectIntoZeroAllocs pins the steady-state contract the serving
+// layer builds on: with a workspace-aware solver, repeated ProjectInto
+// calls allocate nothing after warm-up.
+func TestProjectIntoZeroAllocs(t *testing.T) {
+	const m, k, c = 40, 5, 8
+	w := randBasis(m, k, 7)
+	cols := randBasis(m, c, 8)
+	p, err := NewProjector(w, nnls.NewHALS(8), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := mat.NewDense(k, c)
+	resid := make([]float64, c)
+	round := func() {
+		if _, err := p.ProjectInto(h, cols, resid); err != nil {
+			t.Fatal(err)
+		}
+	}
+	round()
+	round()
+	if allocs := testing.AllocsPerRun(10, round); allocs != 0 {
+		t.Errorf("steady-state ProjectInto allocates %v times per call, want 0", allocs)
+	}
+}

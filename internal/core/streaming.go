@@ -13,20 +13,47 @@ import (
 // live video camera. The algorithm to incrementally adjust the NMF
 // based on the new streaming video is presented in [12]." New columns
 // are first projected onto the current basis (one NNLS solve with W
-// fixed — cheap), then a configurable number of full ANLS refinement
-// sweeps adapt the basis to the evicting window.
+// fixed — cheap, via the same Projector the serving layer uses), then
+// a configurable number of full ANLS refinement sweeps adapt the basis
+// to the evicting window.
+//
+// The window lives in a preallocated m×window ring buffer: a Push
+// writes the new columns into the slots vacated by the evicted ones,
+// so the steady state copies only the new data — no window-sized
+// re-stack per push — and, with a workspace-aware solver, performs no
+// heap allocation at all (TestStreamingPushZeroAllocs). The ANLS
+// refinement is ring-order-oblivious: HHᵀ and AHᵀ are sums over
+// columns, so the rotated slot order changes nothing but float
+// summation order, and unoccupied slots hold zero columns, which
+// contribute nothing.
 type Streaming struct {
 	m, k   int
 	window int
 	sweeps int
 	solver nnls.Solver
-	seed   uint64
 	pushes int
-	// data holds the current window, one column per retained sample,
-	// as an m×w dense matrix; h is the matching k×w coefficient block.
-	data *mat.Dense
+
+	// Ring state: logical column j (0 = oldest retained) lives in slot
+	// (head+j) mod window of data and h. Slots outside the retained
+	// range are zero in both matrices.
+	count int // retained columns, ≤ window
+	head  int // slot of the oldest retained column
+
+	data *mat.Dense // m×window ring storage
+	h    *mat.Dense // k×window coefficients, same slot order
 	w    *mat.Dense // m×k basis
-	h    *mat.Dense // k×window coefficients
+	a    Matrix     // WrapDense(data), wrapped once
+
+	proj *Projector
+	ctx  *nnls.Context
+	ws   *mat.Workspace
+
+	// Refinement buffers, allocated once.
+	hGram *mat.Dense // k×k = H·Hᵀ
+	aht   *mat.Dense // m×k = A·Hᵀ
+	fw    *mat.Dense // k×m = (A·Hᵀ)ᵀ
+	wt    *mat.Dense // k×m = Wᵀ, warm start and destination of the W solve
+	wta   *mat.Dense // k×window = Wᵀ·A
 }
 
 // StreamingOptions configures a Streaming factorizer.
@@ -39,6 +66,12 @@ type StreamingOptions struct {
 	// to adapt the basis (default 1; 0 keeps the basis frozen and
 	// only projects, which tracks a stationary background for free).
 	RefineSweeps int
+	// Solver selects the local NLS method (default BPP). The inexact
+	// sweep solvers (MU, HALS, PGD) are the ones whose steady-state
+	// pushes are allocation-free.
+	Solver SolverKind
+	// SolverSweeps is the inner sweep count for MU/HALS/PGD (default 1).
+	SolverSweeps int
 	// Seed drives the deterministic basis initialization.
 	Seed uint64
 }
@@ -58,60 +91,103 @@ func NewStreaming(m int, opts StreamingOptions) (*Streaming, error) {
 	if sweeps < 0 {
 		sweeps = 0
 	}
-	return &Streaming{
+	innerSweeps := opts.SolverSweeps
+	if innerSweeps < 1 {
+		innerSweeps = 1
+	}
+	k, window := opts.K, opts.Window
+	w := initW(m, k, 0, opts.Seed)
+	proj, err := NewProjector(w, opts.Solver.New(innerSweeps), nil)
+	if err != nil {
+		return nil, err
+	}
+	data := mat.NewDense(m, window)
+	s := &Streaming{
 		m:      m,
-		k:      opts.K,
-		window: opts.Window,
+		k:      k,
+		window: window,
 		sweeps: sweeps,
-		solver: nnls.NewBPP(),
-		seed:   opts.Seed,
-		data:   mat.NewDense(m, 0),
-		w:      initW(m, opts.K, 0, opts.Seed),
-		h:      mat.NewDense(opts.K, 0),
-	}, nil
+		solver: opts.Solver.New(innerSweeps),
+		data:   data,
+		h:      mat.NewDense(k, window),
+		w:      w,
+		a:      WrapDense(data),
+		proj:   proj,
+		ws:     mat.NewWorkspace(),
+		hGram:  mat.NewDense(k, k),
+		aht:    mat.NewDense(m, k),
+		fw:     mat.NewDense(k, m),
+		wt:     mat.NewDense(k, m),
+		wta:    mat.NewDense(k, window),
+	}
+	s.ctx = &nnls.Context{WS: s.ws}
+	s.w.TTo(s.wt)
+	return s, nil
 }
 
-// Push appends new columns (an m×c matrix, newest last), evicts the
-// oldest columns beyond the window, projects the new columns onto the
-// current basis, and runs the configured refinement sweeps.
+// Push appends new columns (an m×c matrix, newest last), evicting the
+// oldest columns beyond the window: the projection writes the new
+// coefficients straight into the ring slots the evicted columns
+// vacate, then the configured refinement sweeps run over the retained
+// window.
 func (s *Streaming) Push(cols *mat.Dense) error {
 	if cols.Rows != s.m {
 		return fmt.Errorf("core: pushed columns have %d rows, want %d", cols.Rows, s.m)
 	}
-	if cols.Cols == 0 {
+	c := cols.Cols
+	if c == 0 {
 		return nil
 	}
-	// Project new columns: h_new = argmin ‖W·h − c‖, h ≥ 0.
-	wtw := mat.Gram(s.w)
-	wtc := mat.MulAtB(s.w, cols) // k×c
-	hNew, _, err := s.solver.Solve(wtw, wtc, nil)
-	if err != nil {
+	if c > s.window {
+		// Only the newest window columns can be retained; the older
+		// ones would be projected and immediately evicted.
+		cols = cols.SubmatrixCols(c-s.window, c)
+		c = s.window
+	}
+
+	// Project new columns onto the current basis into a contiguous
+	// scratch block, then scatter data and coefficients into the ring.
+	hNew := s.ws.Get(s.k, c)
+	if _, err := s.proj.ProjectInto(hNew, cols, nil); err != nil {
+		s.ws.Put(hNew)
 		return fmt.Errorf("core: streaming projection failed: %w", err)
 	}
-	s.data = mat.StackCols(s.data, cols)
-	s.h = mat.StackCols(s.h, hNew)
-	// Evict beyond the window.
-	if s.data.Cols > s.window {
-		drop := s.data.Cols - s.window
-		s.data = s.data.SubmatrixCols(drop, s.data.Cols)
-		s.h = s.h.SubmatrixCols(drop, s.h.Cols)
+	drop := s.count + c - s.window
+	if drop < 0 {
+		drop = 0
 	}
+	// The c write slots are exactly the empty tail plus the dropped
+	// oldest slots, so no explicit zeroing is ever needed.
+	for j := 0; j < c; j++ {
+		slot := (s.head + s.count + j) % s.window
+		for i := 0; i < s.m; i++ {
+			s.data.Data[i*s.window+slot] = cols.Data[i*c+j]
+		}
+		for i := 0; i < s.k; i++ {
+			s.h.Data[i*s.window+slot] = hNew.Data[i*c+j]
+		}
+	}
+	s.ws.Put(hNew)
+	s.head = (s.head + drop) % s.window
+	s.count += c - drop
 	s.pushes++
 
 	// Refinement: standard ANLS sweeps over the retained window,
-	// warm-started from the current factors.
-	a := WrapDense(s.data)
+	// warm-started from the current factors. The rank-deficiency
+	// safeguard (solveDamped) replaces the batch drivers'
+	// checkFactorSanity panic: a degenerate window degrades into a
+	// damped solve or an error, never a panic.
 	for sweep := 0; sweep < s.sweeps; sweep++ {
-		hGram := mat.GramT(s.h)
-		aht := a.MulHt(s.h)
-		wt, _, err := s.solver.Solve(hGram, aht.T(), s.w.T())
-		if err != nil {
+		mat.ParGramTTo(s.hGram, s.h, nil)
+		mulHtInto(s.aht, s.a, s.h, s.ws, nil)
+		s.aht.TTo(s.fw)
+		if _, err := solveDamped(s.solver, s.ctx, s.hGram, s.fw, s.wt, s.wt); err != nil {
 			return fmt.Errorf("core: streaming W refinement failed: %w", err)
 		}
-		s.w = wt.T()
-		wtw = mat.Gram(s.w)
-		wta := a.MulAtB(s.w)
-		if s.h, _, err = s.solver.Solve(wtw, wta, s.h); err != nil {
+		s.wt.TTo(s.w)
+		s.proj.RefreshGram()
+		mulAtBInto(s.wta, s.a, s.w, nil)
+		if _, err := solveDamped(s.solver, s.ctx, s.proj.Gram(), s.wta, s.h, s.h); err != nil {
 			return fmt.Errorf("core: streaming H refinement failed: %w", err)
 		}
 	}
@@ -119,42 +195,60 @@ func (s *Streaming) Push(cols *mat.Dense) error {
 }
 
 // Len reports the number of columns currently retained.
-func (s *Streaming) Len() int { return s.data.Cols }
+func (s *Streaming) Len() int { return s.count }
+
+// slot maps logical column j (0 = oldest) to its ring slot.
+func (s *Streaming) slot(j int) int { return (s.head + j) % s.window }
+
+// Projector returns the projector holding the current basis — the
+// cheap project-only entry point the serving layer batches behind.
+// The basis it references is updated in place by refinement sweeps.
+func (s *Streaming) Projector() *Projector { return s.proj }
 
 // Factors returns (copies of) the current basis W (m×k) and window
-// coefficients H (k×len).
-func (s *Streaming) Factors() (w, h *mat.Dense) { return s.w.Clone(), s.h.Clone() }
+// coefficients H (k×Len), columns in age order (oldest first).
+func (s *Streaming) Factors() (w, h *mat.Dense) {
+	h = mat.NewDense(s.k, s.count)
+	for j := 0; j < s.count; j++ {
+		slot := s.slot(j)
+		for i := 0; i < s.k; i++ {
+			h.Data[i*s.count+j] = s.h.Data[i*s.window+slot]
+		}
+	}
+	return s.w.Clone(), h
+}
 
 // RelErr returns ‖A_window − W·H‖_F / ‖A_window‖_F for the retained
-// window (0 for an empty window).
+// window (0 for an empty window). Unoccupied ring slots are zero
+// columns in both A and H and contribute nothing to any term.
 func (s *Streaming) RelErr() float64 {
-	if s.data.Cols == 0 {
+	if s.count == 0 {
 		return 0
 	}
 	normA2 := s.data.SquaredFrobeniusNorm()
 	if normA2 == 0 {
 		return 0
 	}
-	wta := mat.MulAtB(s.w, s.data)
-	wtw := mat.Gram(s.w)
-	hGram := mat.GramT(s.h)
-	return relErrFrom(normA2, mat.Dot(wta, s.h), mat.Dot(wtw, hGram))
+	mulAtBInto(s.wta, s.a, s.w, nil)
+	mat.ParGramTTo(s.hGram, s.h, nil)
+	return relErrFrom(normA2, mat.Dot(s.wta, s.h), mat.Dot(s.proj.Gram(), s.hGram))
 }
 
 // Residual returns the reconstruction residual of the j-th retained
 // column (newest = Len()-1): the per-pixel foreground signal in the
 // background-subtraction use case.
 func (s *Streaming) Residual(j int) []float64 {
-	if j < 0 || j >= s.data.Cols {
-		panic(fmt.Sprintf("core: residual column %d of %d", j, s.data.Cols))
+	if j < 0 || j >= s.count {
+		panic(fmt.Sprintf("core: residual column %d of %d", j, s.count))
 	}
+	slot := s.slot(j)
 	out := make([]float64, s.m)
 	for i := 0; i < s.m; i++ {
 		rec := 0.0
 		for t := 0; t < s.k; t++ {
-			rec += s.w.At(i, t) * s.h.At(t, j)
+			rec += s.w.At(i, t) * s.h.At(t, slot)
 		}
-		out[i] = s.data.At(i, j) - rec
+		out[i] = s.data.At(i, slot) - rec
 	}
 	return out
 }

@@ -1,0 +1,9 @@
+//go:build race
+
+package serve
+
+// raceEnabled reports whether the race detector is compiled in; its
+// instrumentation allocates on channel operations, so zero-allocation
+// assertions are skipped under -race (the benchmark pins them in
+// normal builds).
+const raceEnabled = true

@@ -1,0 +1,554 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"hpcnmf/internal/core"
+	"hpcnmf/internal/mat"
+	"hpcnmf/internal/metrics"
+)
+
+// testBasis builds a well-conditioned nonnegative m×k basis.
+func testBasis(m, k int, seed int64) *mat.Dense {
+	rng := rand.New(rand.NewSource(seed))
+	w := mat.NewDense(m, k)
+	for i := range w.Data {
+		w.Data[i] = 0.1 + rng.Float64()
+	}
+	return w
+}
+
+func testColumn(m int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	col := make([]float64, m)
+	for i := range col {
+		col[i] = rng.Float64()
+	}
+	return col
+}
+
+// newTestServer builds a server preloaded with model "m1" (24×4).
+func newTestServer(t *testing.T, opts Options) *Server {
+	t.Helper()
+	s := New(opts)
+	if err := s.AddModel("m1", testBasis(24, 4, 1)); err != nil {
+		t.Fatalf("AddModel: %v", err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+// TestProjectBatchesConcurrentRequests is the load test from the issue:
+// 32 concurrent clients each projecting single columns must coalesce so
+// that the solver-call counter lands measurably below the request
+// counter.
+func TestProjectBatchesConcurrentRequests(t *testing.T) {
+	const clients, rounds = 32, 8
+	s := newTestServer(t, Options{
+		MaxBatch: clients,
+		MaxDelay: 5 * time.Millisecond,
+		QueueCap: 4 * clients,
+	})
+	cols := make([][]float64, clients)
+	for i := range cols {
+		cols[i] = testColumn(24, int64(100+i))
+	}
+	for round := 0; round < rounds; round++ {
+		start := make(chan struct{})
+		var wg sync.WaitGroup
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				<-start
+				r, err := s.project("m1", cols[c])
+				if err != nil {
+					t.Errorf("project: %v", err)
+					return
+				}
+				if len(r.h) != 4 {
+					t.Errorf("got %d coefficients, want 4", len(r.h))
+				}
+				putReq(r)
+			}(c)
+		}
+		close(start)
+		wg.Wait()
+	}
+	requests := s.met.requests.Value()
+	solves := s.met.solves.Value()
+	if requests != clients*rounds {
+		t.Fatalf("requests counter = %d, want %d", requests, clients*rounds)
+	}
+	if solves >= requests {
+		t.Fatalf("solves = %d not below requests = %d: batching is not coalescing", solves, requests)
+	}
+	if 2*solves > requests {
+		t.Errorf("solves = %d for %d requests: expected at least 2x coalescing under concurrent load", solves, requests)
+	}
+	if got := s.met.batchCols.Count(); got != s.met.batches.Value() {
+		t.Errorf("batchCols observations = %d, batches = %d", got, s.met.batches.Value())
+	}
+}
+
+// TestCloseDrainsInflight verifies the drain-don't-drop shutdown
+// contract: every request accepted before Close is answered.
+func TestCloseDrainsInflight(t *testing.T) {
+	const n = 20
+	s := newTestServer(t, Options{
+		MaxBatch: 8,
+		MaxDelay: 50 * time.Millisecond, // long linger: requests pile up
+		QueueCap: n,
+	})
+	reqs := make([]*projReq, n)
+	for i := range reqs {
+		reqs[i] = getReq(testColumn(24, int64(200+i)))
+	}
+	err := s.st.withModel("m1", func(m *model) error { return m.bat.submit(reqs...) })
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	s.Close()
+	for i, r := range reqs {
+		select {
+		case <-r.done:
+		default:
+			t.Fatalf("request %d was dropped by shutdown", i)
+		}
+		if r.err != nil {
+			t.Fatalf("request %d failed: %v", i, r.err)
+		}
+		if len(r.h) != 4 {
+			t.Fatalf("request %d: got %d coefficients, want 4", i, len(r.h))
+		}
+		putReq(r)
+	}
+	if s.met.solves.Value() == 0 {
+		t.Fatal("no solves recorded")
+	}
+}
+
+// TestSubmitAfterCloseRejected: requests that arrive after shutdown get
+// a clean errClosing, not a hang or a panic.
+func TestSubmitAfterCloseRejected(t *testing.T) {
+	s := newTestServer(t, Options{})
+	s.Close()
+	if _, err := s.project("m1", testColumn(24, 3)); err == nil {
+		t.Fatal("project after Close succeeded, want error")
+	}
+}
+
+// TestProjectMatchesDirectSolve: the batched path must agree with a
+// direct Projector call on the same basis.
+func TestProjectMatchesDirectSolve(t *testing.T) {
+	w := testBasis(24, 4, 1)
+	s := newTestServer(t, Options{MaxDelay: -1})
+	col := testColumn(24, 7)
+
+	r, err := s.project("m1", col)
+	if err != nil {
+		t.Fatalf("project: %v", err)
+	}
+	got := append([]float64(nil), r.h...)
+	resid := r.resid
+	putReq(r)
+
+	proj, err := core.NewProjector(w, nil, nil)
+	if err != nil {
+		t.Fatalf("NewProjector: %v", err)
+	}
+	c := mat.NewDense(24, 1)
+	copy(c.Data, col)
+	h, _, err := proj.Project(c)
+	if err != nil {
+		t.Fatalf("Project: %v", err)
+	}
+	for i := 0; i < 4; i++ {
+		if diff := got[i] - h.Data[i]; diff > 1e-10 || diff < -1e-10 {
+			t.Fatalf("h[%d] = %g via serve, %g direct", i, got[i], h.Data[i])
+		}
+	}
+	if resid < 0 || resid > 1 {
+		t.Fatalf("relative residual = %g, want within [0, 1]", resid)
+	}
+}
+
+func TestProjectErrors(t *testing.T) {
+	s := newTestServer(t, Options{})
+	if _, err := s.project("nope", testColumn(24, 3)); err == nil {
+		t.Fatal("unknown model accepted")
+	} else if _, ok := err.(notFoundError); !ok {
+		t.Fatalf("unknown model: got %T, want notFoundError", err)
+	}
+	if _, err := s.project("m1", testColumn(7, 3)); err == nil {
+		t.Fatal("wrong-shape column accepted")
+	} else if _, ok := err.(*shapeError); !ok {
+		t.Fatalf("wrong shape: got %T, want *shapeError", err)
+	}
+}
+
+// TestQueueBackpressure: a full projection queue rejects with errBusy
+// instead of blocking, and the rejection is counted.
+func TestQueueBackpressure(t *testing.T) {
+	s := newTestServer(t, Options{
+		MaxBatch: 4,
+		MaxDelay: time.Second, // park the loop so the queue stays full
+		QueueCap: 4,
+	})
+	reqs := make([]*projReq, 4)
+	for i := range reqs {
+		reqs[i] = getReq(testColumn(24, int64(i)))
+	}
+	if err := s.st.withModel("m1", func(m *model) error { return m.bat.submit(reqs...) }); err != nil {
+		t.Fatalf("fill: %v", err)
+	}
+	// The loop may already have cut a batch; keep stuffing until a
+	// submit bounces.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		r := getReq(testColumn(24, 9))
+		err := s.st.withModel("m1", func(m *model) error { return m.bat.submit(r) })
+		if err != nil {
+			putReq(r)
+			if err != errBusy {
+				t.Fatalf("got %v, want errBusy", err)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("queue never filled")
+		}
+	}
+}
+
+// TestStoreEvictsLRU: with a budget for two models, adding a third
+// evicts the least recently used one, and projecting against the
+// evicted model reports not-found.
+func TestStoreEvictsLRU(t *testing.T) {
+	per := modelBytes(24, 4, 32)
+	s := New(Options{StoreBudget: 2 * per})
+	defer s.Close()
+	for _, id := range []string{"a", "b"} {
+		if err := s.AddModel(id, testBasis(24, 4, 1)); err != nil {
+			t.Fatalf("AddModel(%s): %v", id, err)
+		}
+	}
+	// Touch "a" so "b" is the LRU victim.
+	r, err := s.project("a", testColumn(24, 5))
+	if err != nil {
+		t.Fatalf("project(a): %v", err)
+	}
+	putReq(r)
+	if err := s.AddModel("c", testBasis(24, 4, 2)); err != nil {
+		t.Fatalf("AddModel(c): %v", err)
+	}
+	if got := s.met.storeEvictions.Value(); got != 1 {
+		t.Fatalf("evictions = %d, want 1", got)
+	}
+	if _, err := s.project("b", testColumn(24, 5)); err == nil {
+		t.Fatal("evicted model still serves")
+	}
+	ids := []string{}
+	for _, info := range s.st.list() {
+		ids = append(ids, info.ID)
+	}
+	if fmt.Sprint(ids) != "[a c]" {
+		t.Fatalf("resident models = %v, want [a c]", ids)
+	}
+}
+
+// TestStoreReplaceClosesOldBatcher: re-adding a model id swaps the
+// basis and drains the old batcher.
+func TestStoreReplaceClosesOldBatcher(t *testing.T) {
+	s := newTestServer(t, Options{})
+	if err := s.AddModel("m1", testBasis(24, 4, 9)); err != nil {
+		t.Fatalf("replace: %v", err)
+	}
+	r, err := s.project("m1", testColumn(24, 5))
+	if err != nil {
+		t.Fatalf("project after replace: %v", err)
+	}
+	putReq(r)
+	if got := len(s.st.list()); got != 1 {
+		t.Fatalf("models resident = %d, want 1", got)
+	}
+}
+
+// TestJobsBackpressure drives the fit queue with a controllable run
+// function: one running job plus a full queue must reject with
+// errQueueFull, and close drains every accepted job.
+func TestJobsBackpressure(t *testing.T) {
+	met := newServeMetrics(metrics.NewRegistry())
+	release := make(chan struct{})
+	var ran atomic32
+	q := newJobs(1, 1, met, func(j *fitJob) (float64, int, error) {
+		<-release
+		ran.inc()
+		return 0.5, 3, nil
+	})
+	first, err := q.submit(FitRequest{Model: "x"})
+	if err != nil {
+		t.Fatalf("submit 1: %v", err)
+	}
+	// Wait until the worker picks up the first job, freeing the queue
+	// slot; then one more fills the queue.
+	waitFor(t, func() bool {
+		info, _ := q.get(first)
+		return info.State == JobRunning
+	})
+	if _, err := q.submit(FitRequest{Model: "y"}); err != nil {
+		t.Fatalf("submit 2: %v", err)
+	}
+	if _, err := q.submit(FitRequest{Model: "z"}); err != errQueueFull {
+		t.Fatalf("submit 3: got %v, want errQueueFull", err)
+	}
+	if got := met.fitRejected.Value(); got != 1 {
+		t.Fatalf("fitRejected = %d, want 1", got)
+	}
+	if q.retryAfter() < 1 {
+		t.Fatalf("retryAfter = %d, want >= 1", q.retryAfter())
+	}
+	close(release)
+	q.close()
+	if got := ran.val(); got != 2 {
+		t.Fatalf("jobs run to completion = %d, want 2 (close must drain)", got)
+	}
+	if got := met.fitCompleted.Value(); got != 2 {
+		t.Fatalf("fitCompleted = %d, want 2", got)
+	}
+	info, ok := q.get(first)
+	if !ok || info.State != JobDone {
+		t.Fatalf("job 1 state = %+v, want done", info)
+	}
+}
+
+// TestHTTPEndToEnd walks the whole HTTP surface: fit a small matrix,
+// poll the job, project against the fitted model, inspect listings and
+// metrics, delete the model.
+func TestHTTPEndToEnd(t *testing.T) {
+	s := New(Options{FitWorkers: 1, MaxDelay: -1, TraceEvents: true})
+	defer s.Close()
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	// Fit: a strictly positive 6×5 matrix, rank 2.
+	rng := rand.New(rand.NewSource(42))
+	data := make([]float64, 30)
+	for i := range data {
+		data[i] = 0.2 + rng.Float64()
+	}
+	fit := FitRequest{Model: "demo", Rows: 6, Cols: 5, Data: data, K: 2, MaxIter: 40, Seed: 7}
+	resp := postJSON(t, ts.URL+"/v1/fit", fit)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("fit: status %d", resp.StatusCode)
+	}
+	var accepted struct {
+		Job       string `json:"job"`
+		StatusURL string `json:"status_url"`
+	}
+	decodeBody(t, resp, &accepted)
+
+	var job JobInfo
+	waitFor(t, func() bool {
+		r, err := http.Get(ts.URL + accepted.StatusURL)
+		if err != nil {
+			t.Fatalf("poll: %v", err)
+		}
+		decodeBody(t, r, &job)
+		return job.State == JobDone || job.State == JobFailed
+	})
+	if job.State != JobDone {
+		t.Fatalf("fit job: %+v", job)
+	}
+
+	// Project one column of the training matrix: residual should be
+	// small since the model was fit on it.
+	col := make([]float64, 6)
+	for i := 0; i < 6; i++ {
+		col[i] = data[i*5]
+	}
+	resp = postJSON(t, ts.URL+"/v1/project", ProjectRequest{Model: "demo", Column: col})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("project: status %d", resp.StatusCode)
+	}
+	var proj ProjectResponse
+	decodeBody(t, resp, &proj)
+	if len(proj.H) != 1 || len(proj.H[0]) != 2 {
+		t.Fatalf("projection shape: %+v", proj)
+	}
+	if len(proj.Residuals) != 1 || proj.Residuals[0] > 0.5 {
+		t.Fatalf("residual = %v, want small", proj.Residuals)
+	}
+
+	// Multi-column body.
+	resp = postJSON(t, ts.URL+"/v1/project", ProjectRequest{Model: "demo", Columns: [][]float64{col, col, col}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("project multi: status %d", resp.StatusCode)
+	}
+	decodeBody(t, resp, &proj)
+	if len(proj.H) != 3 {
+		t.Fatalf("multi projection returned %d rows, want 3", len(proj.H))
+	}
+
+	// Listings, health, metrics.
+	r, err := http.Get(ts.URL + "/v1/models")
+	if err != nil || r.StatusCode != http.StatusOK {
+		t.Fatalf("models: %v %v", err, r)
+	}
+	var models struct {
+		Models []ModelInfo `json:"models"`
+	}
+	decodeBody(t, r, &models)
+	if len(models.Models) != 1 || models.Models[0].ID != "demo" || models.Models[0].K != 2 {
+		t.Fatalf("models listing: %+v", models)
+	}
+	r, err = http.Get(ts.URL + "/healthz")
+	if err != nil || r.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %v %v", err, r)
+	}
+	r.Body.Close()
+	r, err = http.Get(ts.URL + "/metrics")
+	if err != nil || r.StatusCode != http.StatusOK {
+		t.Fatalf("metrics: %v %v", err, r)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(r.Body)
+	r.Body.Close()
+	for _, want := range []string{"serve.project.requests", "serve.project.solves", "serve.fit.completed"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("metrics output missing %q", want)
+		}
+	}
+
+	// Delete, then project against the gone model.
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/models/demo", nil)
+	r, err = http.DefaultClient.Do(req)
+	if err != nil || r.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete: %v %v", err, r)
+	}
+	resp = postJSON(t, ts.URL+"/v1/project", ProjectRequest{Model: "demo", Column: col})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("project after delete: status %d, want 404", resp.StatusCode)
+	}
+
+	// Bad requests.
+	resp = postJSON(t, ts.URL+"/v1/fit", FitRequest{Model: "bad", Rows: 2, Cols: 2, Data: []float64{1}, K: 1})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("short-data fit: status %d, want 400", resp.StatusCode)
+	}
+	resp.Body.Close()
+	resp = postJSON(t, ts.URL+"/v1/project", ProjectRequest{Model: "demo"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty project: status %d, want 400", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	s.Close()
+	tr := s.Trace()
+	if tr == nil || len(tr.Events) == 0 {
+		t.Fatal("tracing enabled but no spans recorded")
+	}
+}
+
+// TestProjectSteadyStateZeroAlloc pins the acceptance criterion: the
+// per-request serving path allocates nothing once warm (immediate-flush
+// mode, workspace-backed HALS solver).
+func TestProjectSteadyStateZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates on channel operations")
+	}
+	s := newTestServer(t, Options{
+		MaxDelay:      -1,
+		ProjectSolver: core.SolverHALS,
+	})
+	col := testColumn(24, 5)
+	work := func() {
+		r, err := s.project("m1", col)
+		if err != nil {
+			t.Fatalf("project: %v", err)
+		}
+		putReq(r)
+	}
+	for i := 0; i < 50; i++ { // warm pools, workspace, histogram buckets
+		work()
+	}
+	if allocs := testing.AllocsPerRun(200, work); allocs != 0 {
+		t.Errorf("steady-state project allocates %.1f objects per request, want 0", allocs)
+	}
+}
+
+func BenchmarkProjectSteadyState(b *testing.B) {
+	s := New(Options{MaxDelay: -1, ProjectSolver: core.SolverHALS})
+	defer s.Close()
+	if err := s.AddModel("m1", testBasis(256, 16, 1)); err != nil {
+		b.Fatal(err)
+	}
+	col := testColumn(256, 5)
+	for i := 0; i < 20; i++ {
+		r, err := s.project("m1", col)
+		if err != nil {
+			b.Fatal(err)
+		}
+		putReq(r)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := s.project("m1", col)
+		if err != nil {
+			b.Fatal(err)
+		}
+		putReq(r)
+	}
+}
+
+// --- helpers ---
+
+type atomic32 struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (a *atomic32) inc()     { a.mu.Lock(); a.n++; a.mu.Unlock() }
+func (a *atomic32) val() int { a.mu.Lock(); defer a.mu.Unlock(); return a.n }
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached within 10s")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func postJSON(t *testing.T, url string, body any) *http.Response {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(body); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", &buf)
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	return resp
+}
+
+func decodeBody(t *testing.T, r *http.Response, v any) {
+	t.Helper()
+	defer r.Body.Close()
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+}

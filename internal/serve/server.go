@@ -1,0 +1,552 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"hpcnmf/internal/core"
+	"hpcnmf/internal/mat"
+	"hpcnmf/internal/metrics"
+	"hpcnmf/internal/trace"
+)
+
+// Options configures a serving instance. The zero value serves with
+// the defaults noted on each field.
+type Options struct {
+	// MaxBatch caps how many columns one stacked NNLS solve takes
+	// (default 32).
+	MaxBatch int
+	// MaxDelay is how long the batching loop lingers for stragglers
+	// after a batch's first column arrives (default 2ms; 0 flushes
+	// immediately — lowest latency, least coalescing). Negative
+	// selects 0.
+	MaxDelay time.Duration
+	// QueueCap bounds each model's pending projection queue; beyond it
+	// submits are rejected with 429 (default 4·MaxBatch).
+	QueueCap int
+	// StoreBudget bounds resident model bytes; least-recently-used
+	// models are evicted past it (default 256 MiB; < 0 disables).
+	StoreBudget int64
+	// FitWorkers is the async fit worker-pool size (default 2).
+	FitWorkers int
+	// FitQueue bounds the pending fit-job queue; beyond it fits are
+	// rejected with 429 + Retry-After (default 8).
+	FitQueue int
+	// ProjectSolver selects the NNLS method for the projection path
+	// (default BPP — exact; the inexact sweep solvers make the
+	// steady-state serve path allocation-free).
+	ProjectSolver core.SolverKind
+	// ProjectSweeps is the inner sweep count for inexact projection
+	// solvers (default 8 — projections are one-shot, so they need more
+	// sweeps than an ANLS iteration that revisits every column).
+	ProjectSweeps int
+	// Metrics receives serving instrumentation; nil creates a private
+	// registry (exposed at /metrics either way).
+	Metrics *metrics.Registry
+	// TraceEvents arms a per-batcher event tracer (one span per batch,
+	// one per solve); read the merged timeline with Trace after Close.
+	TraceEvents bool
+	// TraceCapacity bounds each batcher's event ring (≤ 0 selects
+	// trace.DefaultCapacity).
+	TraceCapacity int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 32
+	}
+	if o.MaxDelay < 0 {
+		o.MaxDelay = 0
+	} else if o.MaxDelay == 0 {
+		o.MaxDelay = 2 * time.Millisecond
+	}
+	if o.QueueCap <= 0 {
+		o.QueueCap = 4 * o.MaxBatch
+	}
+	if o.StoreBudget == 0 {
+		o.StoreBudget = 256 << 20
+	}
+	if o.FitWorkers <= 0 {
+		o.FitWorkers = 2
+	}
+	if o.FitQueue <= 0 {
+		o.FitQueue = 8
+	}
+	if o.ProjectSweeps <= 0 {
+		o.ProjectSweeps = 8
+	}
+	return o
+}
+
+// serveMetrics caches the registry instruments the serving hot path
+// touches, so a request pays atomic increments, not registry lookups.
+type serveMetrics struct {
+	requests       *metrics.Counter
+	rejected       *metrics.Counter
+	projectErrors  *metrics.Counter
+	batches        *metrics.Counter
+	solves         *metrics.Counter
+	batchCols      *metrics.Histogram
+	batchLatency   *metrics.Histogram
+	requestLatency *metrics.Histogram
+	fitAccepted    *metrics.Counter
+	fitRejected    *metrics.Counter
+	fitCompleted   *metrics.Counter
+	fitFailed      *metrics.Counter
+	fitQueueDepth  *metrics.Gauge
+	storeModels    *metrics.Gauge
+	storeBytes     *metrics.Gauge
+	storeEvictions *metrics.Counter
+}
+
+func newServeMetrics(reg *metrics.Registry) *serveMetrics {
+	return &serveMetrics{
+		requests:       reg.Counter("serve.project.requests"),
+		rejected:       reg.Counter("serve.project.rejected"),
+		projectErrors:  reg.Counter("serve.project.errors"),
+		batches:        reg.Counter("serve.project.batches"),
+		solves:         reg.Counter("serve.project.solves"),
+		batchCols:      reg.Histogram("serve.project.batch_columns"),
+		batchLatency:   reg.Histogram("serve.project.batch_seconds"),
+		requestLatency: reg.Histogram("serve.project.request_seconds"),
+		fitAccepted:    reg.Counter("serve.fit.accepted"),
+		fitRejected:    reg.Counter("serve.fit.rejected"),
+		fitCompleted:   reg.Counter("serve.fit.completed"),
+		fitFailed:      reg.Counter("serve.fit.failed"),
+		fitQueueDepth:  reg.Gauge("serve.fit.queue_depth"),
+		storeModels:    reg.Gauge("serve.store.models"),
+		storeBytes:     reg.Gauge("serve.store.bytes"),
+		storeEvictions: reg.Counter("serve.store.evictions"),
+	}
+}
+
+// Server is the batched-projection serving layer: an http.Handler plus
+// the model store, per-model batching loops, and the async fit pool
+// behind it. Create with New, serve via ServeHTTP, stop with Close
+// (which drains in-flight batches and accepted fit jobs).
+type Server struct {
+	opts Options
+	reg  *metrics.Registry
+	met  *serveMetrics
+	st   *store
+	jobs *jobs
+	mux  *http.ServeMux
+
+	traceMu  sync.Mutex
+	sessions []*trace.Session
+
+	closeOnce sync.Once
+}
+
+// New builds a serving instance.
+func New(opts Options) *Server {
+	opts = opts.withDefaults()
+	reg := opts.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	s := &Server{opts: opts, reg: reg, met: newServeMetrics(reg)}
+	s.st = newStore(opts.StoreBudget, s.met)
+	s.jobs = newJobs(opts.FitWorkers, opts.FitQueue, s.met, s.runFit)
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/fit", s.handleFit)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("POST /v1/project", s.handleProject)
+	s.mux.HandleFunc("GET /v1/models", s.handleModels)
+	s.mux.HandleFunc("DELETE /v1/models/{id}", s.handleDeleteModel)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Metrics returns the registry backing /metrics.
+func (s *Server) Metrics() *metrics.Registry { return s.reg }
+
+// Close shuts the serving layer down gracefully: the fit workers drain
+// every accepted job, then every model batcher drains its pending
+// projections — requests accepted before Close are answered, never
+// dropped. The HTTP listener (owned by the caller) should stop
+// accepting first.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() {
+		s.jobs.close()
+		s.st.closeAll()
+	})
+}
+
+// Trace merges every batcher's recorded spans (one per batch, one per
+// solve). Call after Close; nil when TraceEvents was off.
+func (s *Server) Trace() *trace.Trace {
+	s.traceMu.Lock()
+	defer s.traceMu.Unlock()
+	if len(s.sessions) == 0 {
+		return nil
+	}
+	merged := &trace.Trace{}
+	for _, sess := range s.sessions {
+		t := sess.Merge()
+		merged.Ranks += t.Ranks
+		merged.Dropped += t.Dropped
+		merged.Events = append(merged.Events, t.Events...)
+	}
+	return merged
+}
+
+// AddModel installs a fitted basis directly (no fit job) — the
+// preloaded-model path and the test seam. The basis is copied.
+func (s *Server) AddModel(id string, w *mat.Dense) error {
+	if id == "" {
+		return fmt.Errorf("serve: empty model id")
+	}
+	m, err := s.newModel(id, w.Clone())
+	if err != nil {
+		return err
+	}
+	return s.st.add(m)
+}
+
+// newModel wraps a basis in a model with a running batcher.
+func (s *Server) newModel(id string, w *mat.Dense) (*model, error) {
+	solver := s.opts.ProjectSolver.New(s.opts.ProjectSweeps)
+	proj, err := core.NewProjector(w, solver, nil)
+	if err != nil {
+		return nil, err
+	}
+	var tc *trace.Tracer
+	if s.opts.TraceEvents {
+		sess := trace.NewSession(1, s.opts.TraceCapacity)
+		tc = sess.Tracer(0)
+		s.traceMu.Lock()
+		s.sessions = append(s.sessions, sess)
+		s.traceMu.Unlock()
+	}
+	return &model{
+		id:    id,
+		w:     w,
+		bytes: modelBytes(w.Rows, w.Cols, s.opts.MaxBatch),
+		bat:   startBatcher(proj, s.opts.MaxBatch, s.opts.MaxDelay, s.opts.QueueCap, s.met, tc),
+	}, nil
+}
+
+// project runs one column through the model's batching loop and
+// returns the request carrier (coefficients in r.h, relative residual
+// in r.resid). The caller must putReq it after copying the outputs.
+// This is the whole per-request steady-state path — carrier from the
+// pool, one atomic submit, one channel round trip — and it allocates
+// nothing once warm.
+func (s *Server) project(modelID string, col []float64) (*projReq, error) {
+	start := time.Now()
+	s.met.requests.Inc()
+	r := getReq(col)
+	err := s.st.withModel(modelID, func(m *model) error {
+		if len(col) != m.w.Rows {
+			return &shapeError{got: len(col), want: m.w.Rows}
+		}
+		return m.bat.submit(r)
+	})
+	if err != nil {
+		putReq(r)
+		if errors.Is(err, errBusy) {
+			s.met.rejected.Inc()
+		}
+		return nil, err
+	}
+	<-r.done
+	if r.err != nil {
+		err := r.err
+		putReq(r)
+		return nil, err
+	}
+	s.met.requestLatency.Observe(time.Since(start).Seconds())
+	return r, nil
+}
+
+// projectMany submits every column of a request atomically (all
+// coalesce into the same batch window, and a full queue rejects the
+// whole request rather than half of it), then waits for all.
+func (s *Server) projectMany(modelID string, cols [][]float64) ([]*projReq, error) {
+	s.met.requests.Add(int64(len(cols)))
+	reqs := make([]*projReq, len(cols))
+	for i, c := range cols {
+		reqs[i] = getReq(c)
+	}
+	err := s.st.withModel(modelID, func(m *model) error {
+		for _, c := range cols {
+			if len(c) != m.w.Rows {
+				return &shapeError{got: len(c), want: m.w.Rows}
+			}
+		}
+		return m.bat.submit(reqs...)
+	})
+	if err != nil {
+		for _, r := range reqs {
+			putReq(r)
+		}
+		if errors.Is(err, errBusy) {
+			s.met.rejected.Add(int64(len(cols)))
+		}
+		return nil, err
+	}
+	var firstErr error
+	for _, r := range reqs {
+		<-r.done
+		if r.err != nil && firstErr == nil {
+			firstErr = r.err
+		}
+	}
+	if firstErr != nil {
+		for _, r := range reqs {
+			putReq(r)
+		}
+		return nil, firstErr
+	}
+	return reqs, nil
+}
+
+// shapeError reports a column/basis dimension mismatch (HTTP 400).
+type shapeError struct{ got, want int }
+
+func (e *shapeError) Error() string {
+	return fmt.Sprintf("serve: column has %d rows, model expects %d", e.got, e.want)
+}
+
+// runFit executes one fit job: factorize the submitted matrix with the
+// sequential driver and install the resulting basis as a servable
+// model.
+func (s *Server) runFit(j *fitJob) (float64, int, error) {
+	spec := j.spec
+	a := mat.NewDense(spec.Rows, spec.Cols)
+	copy(a.Data, spec.Data)
+	kind, err := solverKind(spec.Solver)
+	if err != nil {
+		return 0, 0, err
+	}
+	opts := core.Options{
+		K:            spec.K,
+		MaxIter:      spec.MaxIter,
+		Solver:       kind,
+		Sweeps:       spec.Sweeps,
+		Seed:         spec.Seed,
+		Tol:          spec.Tol,
+		ComputeError: true,
+	}
+	res, err := core.RunSequential(core.WrapDense(a), opts)
+	if err != nil {
+		return 0, 0, err
+	}
+	m, err := s.newModel(spec.Model, res.W)
+	if err != nil {
+		return 0, 0, err
+	}
+	m.fitted = time.Now()
+	m.iterations = res.Iterations
+	if len(res.RelErr) > 0 {
+		m.relErr = res.RelErr[len(res.RelErr)-1]
+	}
+	if err := s.st.add(m); err != nil {
+		m.bat.close()
+		return 0, 0, err
+	}
+	return m.relErr, res.Iterations, nil
+}
+
+// solverKind parses the wire solver name ("" selects BPP).
+func solverKind(name string) (core.SolverKind, error) {
+	switch name {
+	case "", "bpp":
+		return core.SolverBPP, nil
+	case "activeset":
+		return core.SolverActiveSet, nil
+	case "mu":
+		return core.SolverMU, nil
+	case "hals":
+		return core.SolverHALS, nil
+	case "pgd":
+		return core.SolverPGD, nil
+	default:
+		return 0, fmt.Errorf("serve: unknown solver %q (want bpp, activeset, mu, hals, or pgd)", name)
+	}
+}
+
+// FitRequest is the POST /v1/fit body: a dense matrix (row-major) and
+// the factorization parameters.
+type FitRequest struct {
+	Model   string    `json:"model"`
+	Rows    int       `json:"rows"`
+	Cols    int       `json:"cols"`
+	Data    []float64 `json:"data"`
+	K       int       `json:"k"`
+	MaxIter int       `json:"max_iter,omitempty"`
+	Solver  string    `json:"solver,omitempty"`
+	Sweeps  int       `json:"sweeps,omitempty"`
+	Seed    uint64    `json:"seed,omitempty"`
+	Tol     float64   `json:"tol,omitempty"`
+}
+
+func (f *FitRequest) validate() error {
+	if f.Model == "" {
+		return fmt.Errorf("missing model id")
+	}
+	if f.Rows < 1 || f.Cols < 1 {
+		return fmt.Errorf("matrix is %dx%d, want at least 1x1", f.Rows, f.Cols)
+	}
+	if len(f.Data) != f.Rows*f.Cols {
+		return fmt.Errorf("data has %d entries, want rows*cols = %d", len(f.Data), f.Rows*f.Cols)
+	}
+	if f.K < 1 {
+		return fmt.Errorf("rank k = %d, want ≥ 1", f.K)
+	}
+	if _, err := solverKind(f.Solver); err != nil {
+		return err
+	}
+	return nil
+}
+
+// ProjectRequest is the POST /v1/project body: one column or several.
+type ProjectRequest struct {
+	Model   string      `json:"model"`
+	Column  []float64   `json:"column,omitempty"`
+	Columns [][]float64 `json:"columns,omitempty"`
+}
+
+// ProjectResponse carries the projected coefficients, one row per
+// requested column, plus each column's relative reconstruction
+// residual (the foreground signal of the background-subtraction use
+// case).
+type ProjectResponse struct {
+	Model     string      `json:"model"`
+	H         [][]float64 `json:"h"`
+	Residuals []float64   `json:"residuals"`
+}
+
+func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) {
+	var req FitRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding fit request: %w", err))
+		return
+	}
+	if err := req.validate(); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	id, err := s.jobs.submit(req)
+	if err != nil {
+		if errors.Is(err, errQueueFull) {
+			w.Header().Set("Retry-After", strconv.Itoa(s.jobs.retryAfter()))
+			httpError(w, http.StatusTooManyRequests, err)
+			return
+		}
+		httpError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	w.WriteHeader(http.StatusAccepted)
+	writeJSON(w, map[string]string{"job": id, "status_url": "/v1/jobs/" + id})
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	info, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("serve: job %q not found", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, info)
+}
+
+func (s *Server) handleProject(w http.ResponseWriter, r *http.Request) {
+	var req ProjectRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding project request: %w", err))
+		return
+	}
+	if req.Model == "" {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("missing model id"))
+		return
+	}
+	cols := req.Columns
+	if req.Column != nil {
+		cols = append([][]float64{req.Column}, cols...)
+	}
+	if len(cols) == 0 {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("no columns to project"))
+		return
+	}
+	reqs, err := s.projectMany(req.Model, cols)
+	if err != nil {
+		switch {
+		case errors.Is(err, errBusy):
+			w.Header().Set("Retry-After", "1")
+			httpError(w, http.StatusTooManyRequests, err)
+		case errors.Is(err, errClosing):
+			httpError(w, http.StatusServiceUnavailable, err)
+		default:
+			var nf notFoundError
+			var se *shapeError
+			switch {
+			case errors.As(err, &nf):
+				httpError(w, http.StatusNotFound, err)
+			case errors.As(err, &se):
+				httpError(w, http.StatusBadRequest, err)
+			default:
+				httpError(w, http.StatusInternalServerError, err)
+			}
+		}
+		return
+	}
+	resp := ProjectResponse{
+		Model:     req.Model,
+		H:         make([][]float64, len(reqs)),
+		Residuals: make([]float64, len(reqs)),
+	}
+	for i, pr := range reqs {
+		h := make([]float64, len(pr.h))
+		copy(h, pr.h)
+		resp.H[i] = h
+		resp.Residuals[i] = pr.resid
+		putReq(pr)
+	}
+	writeJSON(w, resp)
+}
+
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]any{"models": s.st.list()})
+}
+
+func (s *Server) handleDeleteModel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !s.st.remove(id) {
+		httpError(w, http.StatusNotFound, notFoundError{id})
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	s.reg.Snapshot().WriteText(w)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}

@@ -268,6 +268,21 @@ func RankSweep(a Matrix, ks []int, opts Options) ([]RankPoint, error) {
 // (see core.Elbow for the rule); frac ≤ 0 selects the default 0.1.
 func Elbow(points []RankPoint, frac float64) RankPoint { return core.Elbow(points, frac) }
 
+// Projector projects new data columns onto a fixed basis W — the
+// H-subproblem NNLS solve with W frozen, off a cached WᵀW Gram. It is
+// the shared cheap-serve path of the streaming factorizer and the
+// internal/serve batching layer, and degrades gracefully (Tikhonov
+// damping) when the basis is rank-deficient.
+type Projector = core.Projector
+
+// NewProjector caches the Gram of basis w and prepares reusable solver
+// resources; the zero SolverKind is BPP, and sweeps applies to the
+// inexact solvers. The returned projector is single-goroutine (it owns
+// a workspace arena).
+func NewProjector(w *Dense, kind SolverKind, sweeps int) (*Projector, error) {
+	return core.NewProjector(w, kind.New(sweeps), nil)
+}
+
 // Streaming maintains an NMF of a sliding window of data columns —
 // the incremental video scenario of §6.1.1. Push new columns as they
 // arrive; read Factors, RelErr, and per-column Residual /
