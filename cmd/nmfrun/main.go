@@ -6,7 +6,8 @@
 //
 // Usage:
 //
-//	nmfrun -data ssyn -k 16 -alg hpc2d -p 16 -iters 10
+//	nmfrun -data ssyn -k 16 -alg hpc2d -p 16 -iters 10   # -grid auto picks the grid
+//	nmfrun -data ssyn -k 16 -alg hpc2d -grid 4x2         # explicit grid
 //	nmfrun -data video -alg hpc1d -p 8
 //	nmfrun -mm matrix.mtx -alg naive -p 4        # MatrixMarket input
 //	nmfrun -data ssyn -alg hpc2d -p 16 -trace t.json -report r.json -metrics
@@ -17,6 +18,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
+	"strings"
 
 	"hpcnmf"
 )
@@ -43,6 +46,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		sweeps  = fs.Int("sweeps", 1, "inner sweeps for mu/hals")
 		k       = fs.Int("k", 10, "factorization rank")
 		p       = fs.Int("p", 16, "processor count (parallel algorithms)")
+		gridStr = fs.String("grid", "auto", "hpc2d processor grid: auto (cost-model argmin over factorizations of -p) or explicit PRxPC, e.g. 4x2 (overrides -p)")
+		noOvl   = fs.Bool("no-overlap", false, "disable comm/compute overlap in the HPC driver (blocking baseline)")
 		iters   = fs.Int("iters", 10, "max alternating iterations")
 		tol     = fs.Float64("tol", 0, "early-stop tolerance on relative-error decrease (0 = off)")
 		seed    = fs.Uint64("seed", 42, "random seed")
@@ -92,13 +97,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 
 	opts := hpcnmf.Options{
-		K:            *k,
-		MaxIter:      *iters,
-		Tol:          *tol,
-		Sweeps:       *sweeps,
-		Seed:         *seed,
-		ComputeError: true,
-		TraceEvents:  *trace != "",
+		K:             *k,
+		MaxIter:       *iters,
+		Tol:           *tol,
+		Sweeps:        *sweeps,
+		Seed:          *seed,
+		ComputeError:  true,
+		TraceEvents:   *trace != "",
+		NoCommOverlap: *noOvl,
 	}
 	if *metrics || *report != "" {
 		opts.Metrics = hpcnmf.NewMetricsRegistry()
@@ -177,7 +183,16 @@ func run(args []string, stdout, stderr io.Writer) error {
 	case "hpc1d":
 		res, err = hpcnmf.RunOnGrid(a, *p, 1, opts)
 	case "hpc2d":
-		res, err = hpcnmf.RunParallel(a, *p, opts)
+		if *gridStr == "auto" {
+			res, err = hpcnmf.RunParallel(a, *p, opts)
+		} else {
+			var pr, pc int
+			if pr, pc, err = parseGrid(*gridStr); err != nil {
+				return err
+			}
+			procs = pr * pc
+			res, err = hpcnmf.RunOnGrid(a, pr, pc, opts)
+		}
 	default:
 		return fmt.Errorf("unknown algorithm %q", *alg)
 	}
@@ -188,6 +203,15 @@ func run(args []string, stdout, stderr io.Writer) error {
 	m, n := a.Dims()
 	fmt.Fprintf(stdout, "dataset:   %s (%dx%d, nnz=%d)\n", name, m, n, a.NNZ())
 	fmt.Fprintf(stdout, "algorithm: %s, solver %s, k=%d\n", res.Algorithm, *solver, *k)
+	if res.Grid.PR > 0 {
+		how := "explicit"
+		if res.GridAuto {
+			how = "cost-model pick"
+		}
+		fmt.Fprintf(stdout, "grid:      %dx%d (%s), predicted %.6f s/iter, measured %.6f s/iter\n",
+			res.Grid.PR, res.Grid.PC, how,
+			res.GridPredictedSeconds, res.Breakdown.MeasuredTotal())
+	}
 	fmt.Fprintf(stdout, "iterations: %d\n\n", res.Iterations)
 	fmt.Fprintln(stdout, "relative error per iteration:")
 	for i, e := range res.RelErr {
@@ -229,4 +253,17 @@ func run(args []string, stdout, stderr io.Writer) error {
 			*out, res.W.Rows, res.W.Cols, *out, res.H.Rows, res.H.Cols)
 	}
 	return nil
+}
+
+// parseGrid parses an explicit "PRxPC" grid spec like "4x2".
+func parseGrid(s string) (pr, pc int, err error) {
+	prs, pcs, ok := strings.Cut(s, "x")
+	if ok {
+		pr, _ = strconv.Atoi(prs)
+		pc, _ = strconv.Atoi(pcs)
+	}
+	if !ok || pr < 1 || pc < 1 {
+		return 0, 0, fmt.Errorf("bad -grid %q (want auto or PRxPC, e.g. 4x2)", s)
+	}
+	return pr, pc, nil
 }

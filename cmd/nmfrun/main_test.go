@@ -83,3 +83,57 @@ func TestRunResumeRoundTrip(t *testing.T) {
 		t.Errorf("resumed run did not report resuming:\n%s", got)
 	}
 }
+
+func TestRunGridAutoPrintsPick(t *testing.T) {
+	got := runOK(t, fast("-alg", "hpc2d", "-p", "4", "-grid", "auto")...)
+	if !strings.Contains(got, "cost-model pick") || !strings.Contains(got, "grid:") {
+		t.Errorf("auto grid run did not report the pick:\n%s", got)
+	}
+	if !strings.Contains(got, "predicted") || !strings.Contains(got, "measured") {
+		t.Errorf("grid line missing predicted/measured forecast:\n%s", got)
+	}
+}
+
+func TestRunGridExplicitOverridesP(t *testing.T) {
+	got := runOK(t, fast("-alg", "hpc2d", "-p", "16", "-grid", "2x2")...)
+	if !strings.Contains(got, "grid:      2x2 (explicit)") {
+		t.Errorf("explicit -grid 2x2 not honored:\n%s", got)
+	}
+}
+
+func TestRunGridFlagRejectsMalformed(t *testing.T) {
+	var out, errb bytes.Buffer
+	for _, bad := range []string{"4", "0x2", "2x0", "x", "2x", "axb", "-1x2", "2x2x2"} {
+		args := fast("-alg", "hpc2d", "-grid", bad)
+		if err := run(args, &out, &errb); err == nil {
+			t.Errorf("run with -grid %q succeeded, want parse error", bad)
+		} else if !strings.Contains(err.Error(), "grid") {
+			t.Errorf("-grid %q error %q does not mention the flag", bad, err)
+		}
+	}
+}
+
+func TestRunNoOverlapMatchesDefault(t *testing.T) {
+	ovl := runOK(t, fast("-alg", "hpc2d", "-p", "4")...)
+	blk := runOK(t, fast("-alg", "hpc2d", "-p", "4", "-no-overlap")...)
+	// Timings differ run to run, but every numeric iterate must not:
+	// the overlapped schedule is bitwise identical to the blocking one.
+	iterLines := func(s string) []string {
+		var keep []string
+		for _, ln := range strings.Split(s, "\n") {
+			if strings.Contains(ln, "iter ") {
+				keep = append(keep, ln)
+			}
+		}
+		return keep
+	}
+	a, b := iterLines(ovl), iterLines(blk)
+	if len(a) == 0 || len(a) != len(b) {
+		t.Fatalf("iterate lines differ in count: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("-no-overlap changed iterate %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+}

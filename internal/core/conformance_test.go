@@ -1,0 +1,132 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"hpcnmf/internal/grid"
+)
+
+// TestConformanceAllGridsMatchSequential is the differential grid
+// conformance suite: every pr×pc factorization of every p in
+// {1, 2, 3, 4, 6, 8} — including the degenerate 1×p and p×1 shapes —
+// must produce the same factors as the sequential driver from the
+// same seed, for each of the inexact solvers (MU, HALS, PGD). The
+// dims are chosen so every shape is feasible (m/8 = 6 ≥ k, n/8 = 5 ≥
+// k) and exercise uneven block splits (40/3, 48/6, …). CI runs this
+// under -race as the `conformance` job.
+func TestConformanceAllGridsMatchSequential(t *testing.T) {
+	const m, n, k = 48, 40, 4
+	a := WrapDense(lowRankDense(m, n, k, 0.02, 3))
+	for _, solver := range []SolverKind{SolverMU, SolverHALS, SolverPGD} {
+		opts := Options{K: k, MaxIter: 5, Seed: 11, Solver: solver, ComputeError: true}
+		seq, err := RunSequential(a, opts)
+		if err != nil {
+			t.Fatalf("%v sequential: %v", solver, err)
+		}
+		for _, p := range []int{1, 2, 3, 4, 6, 8} {
+			for _, g := range grid.Factorizations(p) {
+				par, err := RunHPC(a, g, opts)
+				if err != nil {
+					t.Fatalf("%v grid %dx%d: %v", solver, g.PR, g.PC, err)
+				}
+				if d := par.W.MaxDiff(seq.W); d > 1e-6 {
+					t.Errorf("%v grid %dx%d: W diverges from sequential by %g", solver, g.PR, g.PC, d)
+				}
+				if d := par.H.MaxDiff(seq.H); d > 1e-6 {
+					t.Errorf("%v grid %dx%d: H diverges from sequential by %g", solver, g.PR, g.PC, d)
+				}
+				if len(par.RelErr) != len(seq.RelErr) {
+					t.Errorf("%v grid %dx%d: %d error samples, sequential %d",
+						solver, g.PR, g.PC, len(par.RelErr), len(seq.RelErr))
+					continue
+				}
+				for i := range par.RelErr {
+					if math.Abs(par.RelErr[i]-seq.RelErr[i]) > 1e-8 {
+						t.Errorf("%v grid %dx%d: RelErr[%d] = %v, sequential %v",
+							solver, g.PR, g.PC, i, par.RelErr[i], seq.RelErr[i])
+						break
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestConformanceGridsAgreeAcrossOverlapModes re-runs a ragged grid
+// per solver with overlap disabled: the blocking schedule must be
+// bitwise identical to the overlapped default, grid by grid.
+func TestConformanceGridsAgreeAcrossOverlapModes(t *testing.T) {
+	const m, n, k = 48, 40, 4
+	a := WrapDense(lowRankDense(m, n, k, 0.02, 3))
+	for _, solver := range []SolverKind{SolverMU, SolverHALS, SolverPGD} {
+		for _, g := range []grid.Grid{{PR: 2, PC: 3}, {PR: 3, PC: 2}, {PR: 2, PC: 2}} {
+			opts := Options{K: k, MaxIter: 4, Seed: 11, Solver: solver}
+			ovl, err := RunHPC(a, g, opts)
+			if err != nil {
+				t.Fatalf("%v overlap %dx%d: %v", solver, g.PR, g.PC, err)
+			}
+			opts.NoCommOverlap = true
+			blk, err := RunHPC(a, g, opts)
+			if err != nil {
+				t.Fatalf("%v blocking %dx%d: %v", solver, g.PR, g.PC, err)
+			}
+			if d := ovl.W.MaxDiff(blk.W); d != 0 {
+				t.Errorf("%v grid %dx%d: overlap changed W by %g (want bitwise equal)", solver, g.PR, g.PC, d)
+			}
+			if d := ovl.H.MaxDiff(blk.H); d != 0 {
+				t.Errorf("%v grid %dx%d: overlap changed H by %g (want bitwise equal)", solver, g.PR, g.PC, d)
+			}
+		}
+	}
+}
+
+// TestRunParallelAutoRecordsModeledPick: the autotuned entry point
+// must run on the cost model's argmin grid and record the choice and
+// its forecast on the Result.
+func TestRunParallelAutoRecordsModeledPick(t *testing.T) {
+	const m, n, k = 64, 48, 4
+	a := WrapDense(lowRankDense(m, n, k, 0.02, 5))
+	res, err := RunParallelAuto(a, 4, Options{K: k, MaxIter: 3, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.GridAuto {
+		t.Error("GridAuto not set by the autotuned path")
+	}
+	if res.Grid.PR*res.Grid.PC != 4 {
+		t.Errorf("Result.Grid = %v, not a factorization of 4", res.Grid)
+	}
+	if res.GridPredictedSeconds <= 0 {
+		t.Errorf("GridPredictedSeconds = %v, want > 0", res.GridPredictedSeconds)
+	}
+	// The pick must agree with an explicit run on the same grid.
+	exp, err := RunHPC(a, res.Grid, Options{K: k, MaxIter: 3, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := res.W.MaxDiff(exp.W); d != 0 {
+		t.Errorf("autotuned run differs from explicit run on its grid by %g", d)
+	}
+}
+
+// TestRunParallelAutoFallsBackWhenInfeasible: when the feasibility
+// rule k ≤ min(m/pr, n/pc) rejects every factorization, the auto path
+// must degrade to the bandwidth-heuristic grid instead of failing —
+// and an explicitly infeasible AutoGrid request must surface the
+// typed error, not a panic.
+func TestRunParallelAutoFallsBackWhenInfeasible(t *testing.T) {
+	const m, n, k = 6, 6, 4 // k > m/pr for every pr > 1, and k > m/1? no: 4 ≤ 6, but 2x2 gives 3 < 4
+	a := WrapDense(lowRankDense(m, n, 2, 0.02, 5))
+	res, err := RunParallelAuto(a, 4, Options{K: k, MaxIter: 2, Seed: 9})
+	if err != nil {
+		t.Fatalf("fallback path failed: %v", err)
+	}
+	if res.GridAuto {
+		t.Error("fallback run still claims GridAuto")
+	}
+	want := grid.Choose(m, n, 4)
+	if res.Grid != want {
+		t.Errorf("fallback grid %v, want Choose's %v", res.Grid, want)
+	}
+}

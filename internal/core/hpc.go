@@ -1,8 +1,10 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
+	"hpcnmf/internal/costmodel"
 	"hpcnmf/internal/grid"
 	"hpcnmf/internal/mat"
 	"hpcnmf/internal/mpi"
@@ -12,11 +14,45 @@ import (
 	"hpcnmf/internal/trace"
 )
 
-// RunParallelAuto runs HPC-NMF with the communication-minimizing grid
-// chosen automatically for the matrix shape (grid.Choose).
+// RunParallelAuto runs HPC-NMF with the grid chosen automatically:
+// the cost-model autotuner (RunHPCAuto) when any factorization of p
+// is feasible, falling back to the bandwidth heuristic grid.Choose
+// when the feasibility rule (k ≤ min(m/pr, n/pc)) rejects every
+// candidate — small problems still run, they just can't be tuned.
 func RunParallelAuto(a Matrix, p int, opts Options) (*Result, error) {
+	res, err := RunHPCAuto(a, p, opts)
+	if errors.Is(err, grid.ErrNoFeasibleGrid) {
+		m, n := a.Dims()
+		return RunHPC(a, grid.Choose(m, n, p), opts)
+	}
+	return res, err
+}
+
+// RunHPCAuto runs HPC-NMF on the pr×pc factorization of p with the
+// minimum modeled per-iteration time under Options.Model — the §5.2
+// grid-selection analysis executed by costmodel.AutoGrid. The chosen
+// grid and its forecast are recorded in Result.Grid and
+// Result.GridPredictedSeconds; compare the latter against the
+// measured breakdown to audit the model. Errors wrapping
+// grid.ErrNoFeasibleGrid mean no factorization of p fits the problem
+// shape at rank k.
+func RunHPCAuto(a Matrix, p int, opts Options) (*Result, error) {
 	m, n := a.Dims()
-	return RunHPC(a, grid.Choose(m, n, p), opts)
+	o, err := opts.withDefaults(m, n)
+	if err != nil {
+		return nil, err
+	}
+	model := o.Model
+	g, _, err := costmodel.AutoGrid(m, n, o.K, p, int64(a.NNZ()),
+		model.Alpha, model.Beta, model.Gamma)
+	if err != nil {
+		return nil, err
+	}
+	res, err := RunHPC(a, g, opts)
+	if res != nil {
+		res.GridAuto = true
+	}
+	return res, err
 }
 
 // RunHPC executes HPC-NMF (Algorithm 3) on a pr×pc processor grid.
@@ -47,6 +83,7 @@ func RunHPC(a Matrix, g grid.Grid, opts Options) (*Result, error) {
 	p := g.Size()
 	k := opts.K
 	normA2 := a.SquaredFrobeniusNorm()
+	pred := costmodel.HPCExact(m, n, k, g, int64(a.NNZ())/int64(p))
 
 	world := mpi.NewWorld(p)
 	tsess := newTraceSession(opts, p)
@@ -156,18 +193,44 @@ func RunHPC(a Matrix, g grid.Grid, opts Options) (*Result, error) {
 		wta := mat.NewDense(k, hHi-hLo)   // Wᵀ·A columns, H-solve RHS
 		wij.TTo(wijt)
 
+		if rank == 0 {
+			c.Tracer().Begin(trace.CatPhase, fmt.Sprintf("grid %dx%d", g.PR, g.PC)).End()
+		}
+
 		var relErr = make([]float64, 0, opts.MaxIter)
 		iters := 0
 		setupTr := tr.Snapshot()
 		setupTraffic := c.Counters().Snapshot()
+		// First-chunk width of the blocked all-gather pipelines: with
+		// overlap on, the chunk for columns [0, kc0) is posted as a
+		// nonblocking collective before the Gram product it does not
+		// depend on, so its rounds progress while this rank computes.
+		// The remaining wait is charged to TaskAllGather, shrinking
+		// the measured all-gather critical path; the payload and
+		// schedule are identical to the blocking path, so results are
+		// bitwise equal either way.
+		kc0 := min(chunk, k)
 		for it := 0; it < opts.MaxIter; it++ {
 			iters++
 			itSpan := c.Tracer().BeginArg(trace.CatIter, "iteration", "iter", int64(it))
 			// --- Compute W given H (lines 3-8) ---
+			var agH *mpi.Request
+			if !opts.NoCommOverlap {
+				agH = colComm.IAllGatherV(
+					hij.Submatrix(0, kc0, 0, hHi-hLo).T().Data,
+					grid.ScaleCounts(hRowCounts, kc0))
+			}
 			ps := clk.Start(perf.TaskGram)
 			mat.ParGramTTo(uij, hij, pool) // line 3: Uij = (Hj)i·(Hj)iᵀ
 			clk.Stop(ps)
 			tr.AddFlops(perf.TaskGram, gramFlops(hHi-hLo, k))
+
+			var hjT0 *mat.Dense
+			if agH != nil {
+				ps = clk.Start(perf.TaskAllGather)
+				hjT0 = &mat.Dense{Rows: nj, Cols: kc0, Data: agH.Wait()}
+				clk.Stop(ps)
+			}
 
 			ps = clk.Start(perf.TaskAllReduce)
 			hht := &mat.Dense{Rows: k, Cols: k, Data: c.AllReduce(uij.Data)} // line 4
@@ -180,11 +243,16 @@ func RunHPC(a Matrix, g grid.Grid, opts Options) (*Result, error) {
 			for c0 := 0; c0 < k; c0 += chunk {
 				c1 := min(c0+chunk, k)
 				kc := c1 - c0
-				ps = clk.Start(perf.TaskAllGather)
-				hjTChunk := &mat.Dense{Rows: nj, Cols: kc, Data: colComm.AllGatherV(
-					hij.Submatrix(c0, c1, 0, hHi-hLo).T().Data,
-					grid.ScaleCounts(hRowCounts, kc))}
-				clk.Stop(ps)
+				var hjTChunk *mat.Dense
+				if c0 == 0 && hjT0 != nil {
+					hjTChunk = hjT0 // prefetched during the Gram product
+				} else {
+					ps = clk.Start(perf.TaskAllGather)
+					hjTChunk = &mat.Dense{Rows: nj, Cols: kc, Data: colComm.AllGatherV(
+						hij.Submatrix(c0, c1, 0, hHi-hLo).T().Data,
+						grid.ScaleCounts(hRowCounts, kc))}
+					clk.Stop(ps)
+				}
 				ps = clk.Start(perf.TaskMM)
 				vijChunk := ws.Get(mi, kc)
 				mulBtInto(vijChunk, aij, hjTChunk, pool) // Vij columns [c0,c1)
@@ -214,10 +282,23 @@ func RunHPC(a Matrix, g grid.Grid, opts Options) (*Result, error) {
 			checkFactorSanity("W", wij)
 
 			// --- Compute H given W (lines 9-14) ---
+			var agW *mpi.Request
+			if !opts.NoCommOverlap {
+				agW = rowComm.IAllGatherV(
+					wij.SubmatrixCols(0, kc0).Data,
+					grid.ScaleCounts(wRowCounts, kc0))
+			}
 			ps = clk.Start(perf.TaskGram)
 			mat.ParGramTo(xij, wij, pool) // line 9: Xij = (Wi)jᵀ·(Wi)j
 			clk.Stop(ps)
 			tr.AddFlops(perf.TaskGram, gramFlops(wHi-wLo, k))
+
+			var wi0 *mat.Dense
+			if agW != nil {
+				ps = clk.Start(perf.TaskAllGather)
+				wi0 = &mat.Dense{Rows: mi, Cols: kc0, Data: agW.Wait()}
+				clk.Stop(ps)
+			}
 
 			ps = clk.Start(perf.TaskAllReduce)
 			wtw := &mat.Dense{Rows: k, Cols: k, Data: c.AllReduce(xij.Data)} // line 10
@@ -229,11 +310,16 @@ func RunHPC(a Matrix, g grid.Grid, opts Options) (*Result, error) {
 			for c0 := 0; c0 < k; c0 += chunk {
 				c1 := min(c0+chunk, k)
 				kc := c1 - c0
-				ps = clk.Start(perf.TaskAllGather)
-				wiChunk := &mat.Dense{Rows: mi, Cols: kc, Data: rowComm.AllGatherV(
-					wij.SubmatrixCols(c0, c1).Data,
-					grid.ScaleCounts(wRowCounts, kc))}
-				clk.Stop(ps)
+				var wiChunk *mat.Dense
+				if c0 == 0 && wi0 != nil {
+					wiChunk = wi0 // prefetched during the Gram product
+				} else {
+					ps = clk.Start(perf.TaskAllGather)
+					wiChunk = &mat.Dense{Rows: mi, Cols: kc, Data: rowComm.AllGatherV(
+						wij.SubmatrixCols(c0, c1).Data,
+						grid.ScaleCounts(wRowCounts, kc))}
+					clk.Stop(ps)
+				}
 				ps = clk.Start(perf.TaskMM)
 				yijChunk := ws.Get(kc, nj)
 				mulAtBInto(yijChunk, aij, wiChunk, pool) // Yij rows [c0,c1), kc×nj
@@ -333,6 +419,8 @@ func RunHPC(a Matrix, g grid.Grid, opts Options) (*Result, error) {
 	if err := safely(func() { world.Run(body) }); err != nil {
 		return nil, err
 	}
+	res.Grid = g
+	res.GridPredictedSeconds = pred.Seconds(opts.Model.Alpha, opts.Model.Beta, opts.Model.Gamma)
 	res.Breakdown = perf.Aggregate(opts.Model, trackers, traffic).Scale(res.Iterations)
 	res.PerRank = perf.PerRank(opts.Model, trackers, traffic, res.Iterations)
 	rm.ObserveIterations(res.Iterations)

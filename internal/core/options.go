@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"hpcnmf/internal/fault"
+	"hpcnmf/internal/grid"
 	"hpcnmf/internal/mat"
 	"hpcnmf/internal/metrics"
 	"hpcnmf/internal/nnls"
@@ -113,6 +114,16 @@ type Options struct {
 	// expense of greater latency costs"). 0 disables blocking.
 	// Results are identical with or without blocking.
 	CommChunk int
+	// NoCommOverlap disables communication/compute overlap in the HPC
+	// driver. By default (zero value) each factor exchange posts its
+	// first all-gather chunk as a nonblocking collective before the
+	// local Gram product, so the collective's rounds progress behind
+	// the compute and the rank only waits out the remainder (the
+	// PL-NMF overlap optimization). Setting it forces the fully
+	// blocking schedule — the ablation baseline the overlap-efficiency
+	// counters are compared against. Results are bitwise identical
+	// either way.
+	NoCommOverlap bool
 	// InitW and InitH supply explicit initial factors (m×K and K×n)
 	// instead of the default element-addressed random init — e.g. the
 	// output of NNDSVD. The parallel algorithms slice the provided
@@ -334,6 +345,15 @@ type Result struct {
 	// Algorithm and Grid describe how the run was executed, for
 	// reports ("Sequential", "Naive p=16", "HPC-NMF 4x4").
 	Algorithm string
+	// Grid is the processor grid of an HPC run (zero for sequential
+	// and naive runs). GridAuto reports whether the cost-model
+	// autotuner picked it, and GridPredictedSeconds is the modeled
+	// per-iteration forecast the tuner ranks grids by — compare with
+	// Breakdown.MeasuredTotal()/ModeledTotal() for predicted-vs-
+	// measured accounting.
+	Grid                 grid.Grid
+	GridAuto             bool
+	GridPredictedSeconds float64
 }
 
 // relErrFrom computes ‖A−WH‖_F/‖A‖_F from the iteration byproducts:

@@ -1,0 +1,9 @@
+//go:build race
+
+package core
+
+// raceEnabled reports whether the race detector is compiled in; its
+// instrumentation makes channel operations far more expensive than
+// the compute they overlap with, so wall-clock overlap assertions
+// are skipped under -race (normal builds pin them).
+const raceEnabled = true

@@ -58,6 +58,15 @@ type Report struct {
 	Algorithm  string      `json:"algorithm"`
 	Processors int         `json:"processors"`
 
+	// Grid is the processor grid of an HPC run ("2x4"; empty for
+	// sequential and naive runs), GridAuto whether the cost-model
+	// autotuner chose it, and GridPredictedSeconds the tuner's modeled
+	// per-iteration forecast — read next to measured_total_seconds for
+	// the predicted-vs-measured audit.
+	Grid                 string  `json:"grid,omitempty"`
+	GridAuto             bool    `json:"grid_auto,omitempty"`
+	GridPredictedSeconds float64 `json:"grid_predicted_seconds,omitempty"`
+
 	Options    ReportOptions `json:"options"`
 	Iterations int           `json:"iterations"`
 	// RelErr is the per-iteration convergence history (empty unless
@@ -106,12 +115,17 @@ func NewReport(ds DatasetInfo, p int, opts Options, res *Result, tracePath strin
 			L1H:          opts.L1H,
 		},
 		Iterations:           res.Iterations,
+		GridAuto:             res.GridAuto,
+		GridPredictedSeconds: res.GridPredictedSeconds,
 		RelErr:               res.RelErr,
 		Tasks:                res.Breakdown.ByTask(),
 		ModeledTotalSeconds:  res.Breakdown.ModeledTotal(),
 		MeasuredTotalSeconds: res.Breakdown.MeasuredTotal(),
 		PerRank:              res.PerRank,
 		TracePath:            tracePath,
+	}
+	if res.Grid.PR > 0 {
+		rep.Grid = fmt.Sprintf("%dx%d", res.Grid.PR, res.Grid.PC)
 	}
 	if opts.Metrics != nil {
 		rep.Metrics = opts.Metrics.Snapshot()

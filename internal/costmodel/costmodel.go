@@ -146,11 +146,7 @@ type Advice struct {
 // the quantitative form of the paper's qualitative guidance: 2D grids
 // for squarish matrices, 1D for tall-skinny, Naive never.
 func Advise(m, n, k, p int, nnz int64, alpha, beta, gamma float64) []Advice {
-	cost := func(pred Prediction) float64 {
-		return gamma*float64(pred.FlopsMM+pred.FlopsGram) +
-			alpha*float64(pred.TotalMsgs()) +
-			beta*float64(pred.TotalWords())
-	}
+	cost := func(pred Prediction) float64 { return pred.Seconds(alpha, beta, gamma) }
 	naive := NaiveExact(m, n, k, p, 2*nnz/int64(p))
 	oneD := HPCExact(m, n, k, grid.New(p, 1), nnz/int64(p))
 	best := grid.Choose(m, n, p)

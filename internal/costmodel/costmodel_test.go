@@ -1,10 +1,11 @@
-package costmodel
+package costmodel_test
 
 import (
 	"strings"
 	"testing"
 
 	"hpcnmf/internal/core"
+	"hpcnmf/internal/costmodel"
 	"hpcnmf/internal/datasets"
 	"hpcnmf/internal/grid"
 	"hpcnmf/internal/perf"
@@ -22,7 +23,7 @@ func TestNaiveCountsMatchModel(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pred := NaiveExact(m, n, k, p, int64(2*m*n/p))
+	pred := costmodel.NaiveExact(m, n, k, p, int64(2*m*n/p))
 	b := res.Breakdown
 	if got := b.Msgs[perf.TaskAllGather]; got != pred.AllGather.Msgs {
 		t.Errorf("AllGather msgs = %d, model %d", got, pred.AllGather.Msgs)
@@ -55,7 +56,7 @@ func TestHPCCountsMatchModel(t *testing.T) {
 		if err != nil {
 			t.Fatalf("grid %dx%d: %v", g.PR, g.PC, err)
 		}
-		pred := HPCExact(m, n, k, g, int64(m*n/g.Size()))
+		pred := costmodel.HPCExact(m, n, k, g, int64(m*n/g.Size()))
 		b := res.Breakdown
 		type pair struct {
 			name string
@@ -86,8 +87,8 @@ func TestHPCBeatsNaiveOnWords(t *testing.T) {
 	const m, n, k = 1024, 768, 8
 	for _, p := range []int{4, 16, 64} {
 		g := grid.Choose(m, n, p)
-		hpc := HPCExact(m, n, k, g, int64(m*n/p))
-		naive := NaiveExact(m, n, k, p, int64(2*m*n/p))
+		hpc := costmodel.HPCExact(m, n, k, g, int64(m*n/p))
+		naive := costmodel.NaiveExact(m, n, k, p, int64(2*m*n/p))
 		if hpc.TotalWords() >= naive.TotalWords() {
 			t.Errorf("p=%d: HPC words %d ≥ Naive words %d", p, hpc.TotalWords(), naive.TotalWords())
 		}
@@ -98,13 +99,13 @@ func TestHPCBeatsNaiveOnWords(t *testing.T) {
 // with p, while Naive's stays ~(m+n)k.
 func TestHPCWordsShrinkWithP(t *testing.T) {
 	const m, n, k = 1024, 1024, 8
-	w4 := HPCExact(m, n, k, grid.New(2, 2), int64(m*n/4)).TotalWords()
-	w64 := HPCExact(m, n, k, grid.New(8, 8), int64(m*n/64)).TotalWords()
+	w4 := costmodel.HPCExact(m, n, k, grid.New(2, 2), int64(m*n/4)).TotalWords()
+	w64 := costmodel.HPCExact(m, n, k, grid.New(8, 8), int64(m*n/64)).TotalWords()
 	if w64 >= w4 {
 		t.Fatalf("HPC words did not shrink with p: p=4 %d, p=64 %d", w4, w64)
 	}
-	n4 := NaiveExact(m, n, k, 4, int64(2*m*n/4)).TotalWords()
-	n64 := NaiveExact(m, n, k, 64, int64(2*m*n/64)).TotalWords()
+	n4 := costmodel.NaiveExact(m, n, k, 4, int64(2*m*n/4)).TotalWords()
+	n64 := costmodel.NaiveExact(m, n, k, 64, int64(2*m*n/64)).TotalWords()
 	// Naive volume is essentially flat: shrink under 10%.
 	if float64(n64) < float64(n4)*0.9 {
 		t.Fatalf("Naive words unexpectedly scalable: p=4 %d, p=64 %d", n4, n64)
@@ -119,7 +120,7 @@ func TestTallSkinny1DOptimal(t *testing.T) {
 	if g.PC != 1 {
 		t.Fatalf("Choose gave %dx%d for tall-skinny", g.PR, g.PC)
 	}
-	pred := HPCExact(m, n, k, g, int64(m*n/p))
+	pred := costmodel.HPCExact(m, n, k, g, int64(m*n/p))
 	// All-gather + reduce-scatter volume ≈ 2·(n − n/p)·k < 2nk.
 	if pred.AllGather.Words+pred.ReduceScatter.Words > int64(2*n*k) {
 		t.Fatalf("1D volume %d exceeds 2nk", pred.AllGather.Words+pred.ReduceScatter.Words)
@@ -127,7 +128,7 @@ func TestTallSkinny1DOptimal(t *testing.T) {
 }
 
 func TestTable2Render(t *testing.T) {
-	rows := Table2(1728, 1152, 50, 16)
+	rows := costmodel.Table2(1728, 1152, 50, 16)
 	if len(rows) != 3 {
 		t.Fatalf("Table2 returned %d rows", len(rows))
 	}
@@ -137,13 +138,13 @@ func TestTable2Render(t *testing.T) {
 	if rows[0].Words <= rows[1].Words {
 		t.Fatal("paper model: Naive words should exceed HPC-NMF words")
 	}
-	out := FormatTable2(rows)
+	out := costmodel.FormatTable2(rows)
 	for _, want := range []string{"Naive", "HPC-NMF", "Lower bound", "words"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("FormatTable2 missing %q:\n%s", want, out)
 		}
 	}
-	tall := Table2(1_000_000, 100, 10, 16)
+	tall := costmodel.Table2(1_000_000, 100, 10, 16)
 	if tall[1].Algorithm != "HPC-NMF (m/p>n)" {
 		t.Fatalf("tall-skinny case picked %q", tall[1].Algorithm)
 	}
@@ -156,8 +157,8 @@ func TestCeilLog2(t *testing.T) {
 	}{
 		{1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {8, 3}, {9, 4}, {1024, 10},
 	} {
-		if got := ceilLog2(tc.n); got != tc.want {
-			t.Errorf("ceilLog2(%d) = %d, want %d", tc.n, got, tc.want)
+		if got := costmodel.CeilLog2(tc.n); got != tc.want {
+			t.Errorf("costmodel.CeilLog2(%d) = %d, want %d", tc.n, got, tc.want)
 		}
 	}
 }
@@ -166,7 +167,7 @@ func TestAdviseRanksHPCFirst(t *testing.T) {
 	// Squarish dense problem in the bandwidth-bound regime: the 2D
 	// grid must be predicted fastest and Naive slowest.
 	e := perf.Edison()
-	adv := Advise(2048, 2048, 50, 16, int64(2048*2048), e.Alpha, e.Beta, e.Gamma)
+	adv := costmodel.Advise(2048, 2048, 50, 16, int64(2048*2048), e.Alpha, e.Beta, e.Gamma)
 	if len(adv) != 3 {
 		t.Fatalf("got %d rows", len(adv))
 	}
@@ -185,7 +186,7 @@ func TestAdviseRanksHPCFirst(t *testing.T) {
 
 func TestAdviseTallSkinnyPicks1D(t *testing.T) {
 	e := perf.Edison()
-	adv := Advise(1<<20, 64, 10, 16, int64(1<<20*64), e.Alpha, e.Beta, e.Gamma)
+	adv := costmodel.Advise(1<<20, 64, 10, 16, int64(1<<20*64), e.Alpha, e.Beta, e.Gamma)
 	// For m/p > n, Choose gives 16x1, so the "2D" entry coincides with
 	// 1D and both must beat Naive.
 	if adv[len(adv)-1].Algorithm != "Naive" {

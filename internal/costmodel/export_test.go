@@ -1,0 +1,6 @@
+package costmodel
+
+// CeilLog2 exposes ceilLog2 to the external test package, which lives
+// outside this package to break the core→costmodel import cycle that
+// importing core from an internal test would create.
+var CeilLog2 = ceilLog2

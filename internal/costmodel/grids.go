@@ -1,0 +1,70 @@
+package costmodel
+
+import (
+	"fmt"
+	"sort"
+
+	"hpcnmf/internal/grid"
+)
+
+// Seconds prices the prediction under α-β-γ machine constants
+// (seconds per message / word / flop): the per-iteration modeled time
+// γ·flops + α·msgs + β·words, NLS excluded as in Advise.
+func (p Prediction) Seconds(alpha, beta, gamma float64) float64 {
+	return gamma*float64(p.FlopsMM+p.FlopsGram) +
+		alpha*float64(p.TotalMsgs()) +
+		beta*float64(p.TotalWords())
+}
+
+// GridCandidate pairs one feasible pr×pc factorization of p with the
+// model's per-iteration traffic prediction and its α-β-γ price.
+type GridCandidate struct {
+	Grid    grid.Grid
+	Pred    Prediction
+	Seconds float64
+}
+
+// GridCost returns the grid.Auto cost hook that prices HPC-NMF's
+// per-iteration modeled time on each candidate grid. nnz is the total
+// stored-entry count of A (m·n when dense).
+func GridCost(m, n, k int, nnz int64, alpha, beta, gamma float64) grid.CostFunc {
+	return func(pr, pc int) float64 {
+		g := grid.Grid{PR: pr, PC: pc}
+		return HPCExact(m, n, k, g, nnz/int64(pr*pc)).Seconds(alpha, beta, gamma)
+	}
+}
+
+// Grids evaluates the model on every feasible factorization of p,
+// cheapest first (ties keep ascending-pr order, matching Auto's
+// tie-break). It is the table behind AutoGrid, the `-grid auto` CLI
+// path, and the nmfbench `grids` experiment; the error case mirrors
+// grid.Auto's (wraps grid.ErrNoFeasibleGrid).
+func Grids(m, n, k, p int, nnz int64, alpha, beta, gamma float64) ([]GridCandidate, error) {
+	var out []GridCandidate
+	for _, g := range grid.Factorizations(p) {
+		if grid.Feasible(m, n, k, g.PR, g.PC) != nil {
+			continue
+		}
+		pred := HPCExact(m, n, k, g, nnz/int64(p))
+		out = append(out, GridCandidate{Grid: g, Pred: pred, Seconds: pred.Seconds(alpha, beta, gamma)})
+	}
+	if len(out) == 0 {
+		if _, err := grid.Auto(p, m, n, k, grid.AutoOptions{}); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("costmodel: no feasible grid for p=%d on %dx%d at k=%d", p, m, n, k)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Seconds < out[j].Seconds })
+	return out, nil
+}
+
+// AutoGrid picks the minimum-modeled-time grid for p ranks — grid.Auto
+// wired to the full α-β-γ model — and returns the winner with its
+// traffic prediction.
+func AutoGrid(m, n, k, p int, nnz int64, alpha, beta, gamma float64) (grid.Grid, Prediction, error) {
+	g, err := grid.Auto(p, m, n, k, grid.AutoOptions{Cost: GridCost(m, n, k, nnz, alpha, beta, gamma)})
+	if err != nil {
+		return grid.Grid{}, Prediction{}, err
+	}
+	return g, HPCExact(m, n, k, g, nnz/int64(p)), nil
+}

@@ -121,6 +121,12 @@ type Row struct {
 	Alg       string
 	K, P      int
 	Breakdown *perf.Breakdown
+	// Grid and Predicted are set by the grids experiment only: the
+	// pr×pc shape ("4x4") and the cost model's per-iteration forecast
+	// the autotuner ranked it by. Auto marks the tuner's pick.
+	Grid      string
+	Predicted float64
+	Auto      bool
 }
 
 // ModeledSeconds is the per-iteration modeled total.
@@ -226,7 +232,7 @@ func Names() []string {
 		ids = append(ids, id)
 	}
 	sort.Strings(ids)
-	return append(ids, "table2", "table3", "hadoopqual", "partition", "weakscaling", "largep", "solvers")
+	return append(ids, "table2", "table3", "grids", "hadoopqual", "partition", "weakscaling", "largep", "solvers")
 }
 
 // Run executes one experiment by id and writes its report to w.
@@ -262,6 +268,8 @@ func Run(id string, cfg Config, w io.Writer) error {
 		fmt.Fprintf(w, "== table3: Per-iteration running times (k=%d, modeled seconds) ==\n", cfg.FixedK)
 		writeTable3(w, rows, cfg)
 		return nil
+	case "grids":
+		return runGrids(cfg, w)
 	case "hadoopqual":
 		return runHadoopQual(cfg, w)
 	case "partition":
@@ -288,6 +296,12 @@ type BenchRow struct {
 	Tasks                map[string]perf.TaskCost `json:"tasks"`
 	ModeledTotalSeconds  float64                  `json:"modeled_total_seconds"`
 	MeasuredTotalSeconds float64                  `json:"measured_total_seconds"`
+	// Grid, PredictedSeconds and GridAuto appear on grids-experiment
+	// rows only: the pr×pc shape, the autotuner's forecast for it, and
+	// whether it was the tuner's pick.
+	Grid             string  `json:"grid,omitempty"`
+	PredictedSeconds float64 `json:"predicted_seconds,omitempty"`
+	GridAuto         bool    `json:"grid_auto,omitempty"`
 }
 
 // BenchReport is the versioned machine-readable output of a benchmark
@@ -306,14 +320,14 @@ type BenchReport struct {
 const BenchReportVersion = 1
 
 // RowProducingNames lists the experiment ids Collect accepts: the
-// figure sweeps plus table3.
+// figure sweeps plus table3 and grids.
 func RowProducingNames() []string {
-	ids := make([]string, 0, len(figures)+1)
+	ids := make([]string, 0, len(figures)+2)
 	for id := range figures {
 		ids = append(ids, id)
 	}
 	sort.Strings(ids)
-	return append(ids, "table3")
+	return append(ids, "table3", "grids")
 }
 
 // Collect runs the row-producing experiments (the figure sweeps and
@@ -339,8 +353,10 @@ func Collect(ids []string, cfg Config) (*BenchReport, error) {
 			}
 		} else if id == "table3" {
 			rows, err = Table3(cfg)
+		} else if id == "grids" {
+			rows, err = GridSweep(cfg)
 		} else {
-			return nil, fmt.Errorf("experiments: %q has no machine-readable form (figure ids and table3 only)", id)
+			return nil, fmt.Errorf("experiments: %q has no machine-readable form (figure ids, table3, and grids only)", id)
 		}
 		if err != nil {
 			return nil, err
@@ -355,6 +371,9 @@ func Collect(ids []string, cfg Config) (*BenchReport, error) {
 				Tasks:                r.Breakdown.ByTask(),
 				ModeledTotalSeconds:  r.Breakdown.ModeledTotal(),
 				MeasuredTotalSeconds: r.Breakdown.MeasuredTotal(),
+				Grid:                 r.Grid,
+				PredictedSeconds:     r.Predicted,
+				GridAuto:             r.Auto,
 			})
 		}
 	}
@@ -507,6 +526,69 @@ func runTable2(cfg Config, w io.Writer) error {
 	gotN := nres.Breakdown.Words[perf.TaskAllGather]
 	fmt.Fprintf(w, "Measured Naive words/iteration:   %d (model %d) — %s\n",
 		gotN, naive.TotalWords(), matchLabel(gotN == naive.TotalWords()))
+	return nil
+}
+
+// GridSweep runs HPC-NMF on every feasible pr×pc factorization of
+// cfg.FixedP at rank cfg.FixedK and pairs each shape's measured and
+// modeled per-iteration breakdown with the cost model's forecast —
+// the predicted-vs-measured table behind `-grid auto`. Rows come back
+// cheapest-forecast first, so the first row is the autotuner's pick
+// (also flagged via Row.Auto).
+func GridSweep(cfg Config) ([]Row, error) {
+	cfg = cfg.withDefaults()
+	ds, err := datasets.ByName("dsyn", datasets.Scale(cfg.Scale), cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	m, n := ds.Matrix.Dims()
+	k, p := cfg.FixedK, cfg.FixedP
+	e := perf.Edison()
+	cands, err := costmodel.Grids(m, n, k, p, int64(ds.Matrix.NNZ()), e.Alpha, e.Beta, e.Gamma)
+	if err != nil {
+		return nil, err
+	}
+	var rows []Row
+	for i, cand := range cands {
+		opts := core.Options{K: k, MaxIter: cfg.Iters, Seed: cfg.Seed}
+		res, err := core.RunHPC(ds.Matrix, cand.Grid, opts)
+		if err != nil {
+			return nil, fmt.Errorf("%s grid %dx%d: %w", ds.Name, cand.Grid.PR, cand.Grid.PC, err)
+		}
+		rows = append(rows, Row{
+			Dataset:   ds.Name,
+			Alg:       fmt.Sprintf("HPC-NMF-%dx%d", cand.Grid.PR, cand.Grid.PC),
+			K:         k,
+			P:         p,
+			Breakdown: res.Breakdown,
+			Grid:      fmt.Sprintf("%dx%d", cand.Grid.PR, cand.Grid.PC),
+			Predicted: cand.Seconds,
+			Auto:      i == 0,
+		})
+	}
+	return rows, nil
+}
+
+// runGrids prints the GridSweep table: every factorization of p with
+// the model's forecast next to the modeled and measured breakdown
+// totals, the autotuner's pick marked.
+func runGrids(cfg Config, w io.Writer) error {
+	cfg = cfg.withDefaults()
+	rows, err := GridSweep(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "== grids: predicted vs measured per-iteration time by grid (dsyn, k=%d, p=%d) ==\n",
+		cfg.FixedK, cfg.FixedP)
+	fmt.Fprintf(w, "%-8s %14s %14s %14s\n", "grid", "predicted", "modeled", "measured")
+	for _, r := range rows {
+		mark := ""
+		if r.Auto {
+			mark = "  <- auto pick"
+		}
+		fmt.Fprintf(w, "%-8s %14.6f %14.6f %14.6f%s\n",
+			r.Grid, r.Predicted, r.Breakdown.ModeledTotal(), r.Breakdown.MeasuredTotal(), mark)
+	}
 	return nil
 }
 

@@ -303,3 +303,71 @@ func TestRowProducingNamesAreRunnable(t *testing.T) {
 		}
 	}
 }
+
+func TestGridSweepRows(t *testing.T) {
+	cfg := tinyConfig()
+	rows, err := GridSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no grid candidates swept")
+	}
+	autos := 0
+	for i, r := range rows {
+		if r.Grid == "" || r.P != cfg.FixedP || r.K != cfg.FixedK {
+			t.Fatalf("malformed sweep row %+v", r)
+		}
+		if r.Predicted <= 0 {
+			t.Errorf("row %d (%s): predicted %v, want > 0", i, r.Grid, r.Predicted)
+		}
+		if r.Auto {
+			autos++
+			if i != 0 {
+				t.Errorf("auto pick at position %d, want 0 (cheapest-first order)", i)
+			}
+		}
+		if i > 0 && rows[i].Predicted < rows[i-1].Predicted {
+			t.Errorf("sweep out of predicted order at %d: %v then %v",
+				i, rows[i-1].Predicted, rows[i].Predicted)
+		}
+	}
+	if autos != 1 {
+		t.Errorf("%d rows marked as the auto pick, want exactly 1", autos)
+	}
+}
+
+func TestGridsExperimentOutput(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Run("grids", tinyConfig(), &buf); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	for _, want := range []string{"predicted vs measured", "grid", "<- auto pick"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("grids table missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestCollectGridsCarriesForecast(t *testing.T) {
+	rep, err := Collect([]string{"grids"}, tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) == 0 {
+		t.Fatal("no grids rows collected")
+	}
+	autos := 0
+	for _, r := range rep.Rows {
+		if r.Experiment != "grids" || r.Grid == "" || r.PredictedSeconds <= 0 {
+			t.Fatalf("grids row missing forecast fields: %+v", r)
+		}
+		if r.GridAuto {
+			autos++
+		}
+	}
+	if autos != 1 {
+		t.Errorf("%d rows flagged grid_auto, want exactly 1", autos)
+	}
+}

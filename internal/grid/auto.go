@@ -1,0 +1,103 @@
+package grid
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// ErrNoFeasibleGrid is wrapped by Auto's error when no pr×pc
+// factorization of p passes the feasibility rules for the problem
+// shape (match with errors.Is).
+var ErrNoFeasibleGrid = errors.New("no feasible grid")
+
+// CostFunc scores a candidate pr×pc grid; lower is better. Auto calls
+// it only on feasible candidates.
+type CostFunc func(pr, pc int) float64
+
+// AutoOptions configures Auto.
+type AutoOptions struct {
+	// Cost scores each feasible factorization. nil falls back to the
+	// bandwidth heuristic of Choose ((pc−1)·m/p + (pr−1)·n/p); the
+	// costmodel package supplies the full α-β-γ per-iteration model.
+	Cost CostFunc
+}
+
+// Factorizations returns every pr×pc factorization of p (pr·pc = p)
+// in ascending-pr order, including the degenerate 1×p and p×1 shapes.
+func Factorizations(p int) []Grid {
+	var out []Grid
+	for pr := 1; pr <= p; pr++ {
+		if p%pr == 0 {
+			out = append(out, Grid{PR: pr, PC: p / pr})
+		}
+	}
+	return out
+}
+
+// Feasible reports whether a pr×pc grid can host an m×n rank-k
+// factorization with non-degenerate local blocks: every processor row
+// needs at least one matrix row and every processor column at least
+// one matrix column (pr ≤ m, pc ≤ n), and the local factor blocks
+// must not be thinner than the rank (k ≤ min(m/pr, n/pc)) — past that
+// point the all-gathered normal-equations systems are rank-deficient
+// by construction and the grid only adds communication. Returns nil
+// when feasible, a descriptive error otherwise.
+func Feasible(m, n, k, pr, pc int) error {
+	if pr < 1 || pc < 1 {
+		return fmt.Errorf("grid: invalid %dx%d", pr, pc)
+	}
+	if pr > m {
+		return fmt.Errorf("%dx%d: %d processor rows exceed the %d matrix rows", pr, pc, pr, m)
+	}
+	if pc > n {
+		return fmt.Errorf("%dx%d: %d processor columns exceed the %d matrix columns", pr, pc, pc, n)
+	}
+	if k > m/pr || k > n/pc {
+		return fmt.Errorf("%dx%d: local blocks (%d×%d of A) are thinner than rank k=%d",
+			pr, pc, m/pr, n/pc, k)
+	}
+	return nil
+}
+
+// Auto picks the pr×pc factorization of p minimizing opts.Cost over
+// the feasible candidates (ties break toward the smallest pr). It is
+// the grid-selection analysis of §5.2 as a procedure: enumerate the
+// divisor pairs, reject shapes whose local blocks degenerate, score
+// the rest, take the argmin. When no factorization is feasible — a
+// prime p larger than min(m, n), or a matrix too small for the rank —
+// it returns a clear error wrapping ErrNoFeasibleGrid instead of
+// panicking or silently picking a broken shape.
+func Auto(p, m, n, k int, opts AutoOptions) (Grid, error) {
+	if p < 1 {
+		return Grid{}, fmt.Errorf("grid: processor count %d, want ≥ 1", p)
+	}
+	if m < 1 || n < 1 {
+		return Grid{}, fmt.Errorf("grid: matrix dims %dx%d, want ≥ 1x1", m, n)
+	}
+	if k < 1 {
+		return Grid{}, fmt.Errorf("grid: rank k = %d, want ≥ 1", k)
+	}
+	cost := opts.Cost
+	if cost == nil {
+		cost = func(pr, pc int) float64 { return chooseCost(m, n, p, pr, pc) }
+	}
+	var best Grid
+	bestCost := math.Inf(1)
+	var rejected []string
+	for _, g := range Factorizations(p) {
+		if err := Feasible(m, n, k, g.PR, g.PC); err != nil {
+			rejected = append(rejected, err.Error())
+			continue
+		}
+		if c := cost(g.PR, g.PC); c < bestCost {
+			best, bestCost = g, c
+		}
+	}
+	if math.IsInf(bestCost, 1) {
+		return Grid{}, fmt.Errorf("grid: %w: no pr×pc factorization of p=%d fits a %dx%d matrix at rank k=%d (%s)",
+			ErrNoFeasibleGrid, p, m, n, k, strings.Join(rejected, "; "))
+	}
+	return best, nil
+}

@@ -130,8 +130,8 @@ func (c *Comm) AllReduceOp(data []float64, op Op) []float64 {
 	}
 	if op == OpSum && isPow2(p) && len(data) >= p {
 		counts := splitCounts(len(data), p)
-		mine := c.reduceScatterRecursiveHalving(data, counts, CatAllReduce)
-		return c.allGatherRecursiveDoubling(mine, counts, CatAllReduce)
+		mine := c.reduceScatterRecursiveHalving(c.opBase(), data, counts, CatAllReduce)
+		return c.allGatherRecursiveDoubling(c.opBase(), mine, counts, CatAllReduce)
 	}
 	red := c.reduce(0, data, op, CatAllReduce)
 	// Broadcast the result from rank 0; charge to AllReduce.
@@ -172,21 +172,27 @@ func (c *Comm) AllGatherV(data []float64, counts []int) []float64 {
 
 func (c *Comm) allGatherV(data []float64, counts []int, cat Category) []float64 {
 	p := c.Size()
-	if len(counts) != p {
-		panic(fmt.Sprintf("mpi: AllGatherV counts length %d != size %d", len(counts), p))
-	}
-	if len(data) != counts[c.rank] {
-		panic(fmt.Sprintf("mpi: AllGatherV rank %d contributed %d words, counts says %d", c.rank, len(data), counts[c.rank]))
-	}
+	c.validateAllGatherV(data, counts)
 	if p == 1 {
 		out := make([]float64, len(data))
 		copy(out, data)
 		return out
 	}
 	if isPow2(p) {
-		return c.allGatherRecursiveDoubling(data, counts, cat)
+		return c.allGatherRecursiveDoubling(c.opBase(), data, counts, cat)
 	}
-	return c.allGatherBruck(data, counts, cat)
+	return c.allGatherBruck(c.opBase(), data, counts, cat)
+}
+
+// validateAllGatherV checks the counts contract shared by the blocking
+// and nonblocking all-gather variants.
+func (c *Comm) validateAllGatherV(data []float64, counts []int) {
+	if len(counts) != c.Size() {
+		panic(fmt.Sprintf("mpi: AllGatherV counts length %d != size %d", len(counts), c.Size()))
+	}
+	if len(data) != counts[c.rank] {
+		panic(fmt.Sprintf("mpi: AllGatherV rank %d contributed %d words, counts says %d", c.rank, len(data), counts[c.rank]))
+	}
 }
 
 // AllGatherLinear is the naive all-gather — every rank sends its
@@ -215,8 +221,10 @@ func (c *Comm) AllGatherLinear(data []float64, counts []int) []float64 {
 // allGatherRecursiveDoubling handles power-of-two communicators: at
 // distance d, ranks exchange their currently-held d-aligned block
 // group with the partner rank^d. ⌈log p⌉ messages, (p−1)/p·n words.
-func (c *Comm) allGatherRecursiveDoubling(data []float64, counts []int, cat Category) []float64 {
-	base := c.opBase()
+// base is the tag namespace reserved for this call (c.opBase(), taken
+// by the caller so the nonblocking variants can reserve it before
+// handing the schedule to a background goroutine).
+func (c *Comm) allGatherRecursiveDoubling(base int, data []float64, counts []int, cat Category) []float64 {
 	p := c.Size()
 	offsets, total := offsetsOf(counts)
 	buf := make([]float64, total)
@@ -237,8 +245,7 @@ func (c *Comm) allGatherRecursiveDoubling(data []float64, counts []int, cat Cate
 // allGatherBruck handles arbitrary communicator sizes in ⌈log₂ p⌉
 // rounds: at distance d a rank sends its first min(d, p−d) held
 // blocks to rank−d and receives the matching blocks from rank+d.
-func (c *Comm) allGatherBruck(data []float64, counts []int, cat Category) []float64 {
-	base := c.opBase()
+func (c *Comm) allGatherBruck(base int, data []float64, counts []int, cat Category) []float64 {
 	p := c.Size()
 	offsets, total := offsetsOf(counts)
 	held := make([]float64, 0, total)
@@ -276,29 +283,34 @@ func (c *Comm) ReduceScatter(data []float64, counts []int) []float64 {
 	ev := c.beginColl(CatReduceScatter, len(data))
 	defer ev.end()
 	p := c.Size()
-	if len(counts) != p {
-		panic(fmt.Sprintf("mpi: ReduceScatter counts length %d != size %d", len(counts), p))
-	}
-	_, total := offsetsOf(counts)
-	if len(data) != total {
-		panic(fmt.Sprintf("mpi: ReduceScatter data length %d != total counts %d", len(data), total))
-	}
+	c.validateReduceScatter(data, counts)
 	if p == 1 {
 		out := make([]float64, len(data))
 		copy(out, data)
 		return out
 	}
 	if isPow2(p) {
-		return c.reduceScatterRecursiveHalving(data, counts, CatReduceScatter)
+		return c.reduceScatterRecursiveHalving(c.opBase(), data, counts, CatReduceScatter)
 	}
-	return c.reduceScatterPairwise(data, counts, CatReduceScatter)
+	return c.reduceScatterPairwise(c.opBase(), data, counts, CatReduceScatter)
+}
+
+// validateReduceScatter checks the counts contract shared by the
+// blocking and nonblocking reduce-scatter variants.
+func (c *Comm) validateReduceScatter(data []float64, counts []int) {
+	if len(counts) != c.Size() {
+		panic(fmt.Sprintf("mpi: ReduceScatter counts length %d != size %d", len(counts), c.Size()))
+	}
+	_, total := offsetsOf(counts)
+	if len(data) != total {
+		panic(fmt.Sprintf("mpi: ReduceScatter data length %d != total counts %d", len(data), total))
+	}
 }
 
 // reduceScatterRecursiveHalving: at each level the active rank group
 // splits in half; each rank sends the half of its working vector
 // destined for the other side and folds in what it receives.
-func (c *Comm) reduceScatterRecursiveHalving(data []float64, counts []int, cat Category) []float64 {
-	base := c.opBase()
+func (c *Comm) reduceScatterRecursiveHalving(base int, data []float64, counts []int, cat Category) []float64 {
 	p := c.Size()
 	offsets, total := offsetsOf(counts)
 	buf := make([]float64, total)
@@ -329,8 +341,7 @@ func (c *Comm) reduceScatterRecursiveHalving(data []float64, counts []int, cat C
 
 // reduceScatterPairwise: in step s each rank ships the input segment
 // belonging to rank+s and folds the segment arriving from rank−s.
-func (c *Comm) reduceScatterPairwise(data []float64, counts []int, cat Category) []float64 {
-	base := c.opBase()
+func (c *Comm) reduceScatterPairwise(base int, data []float64, counts []int, cat Category) []float64 {
 	p := c.Size()
 	offsets, _ := offsetsOf(counts)
 	out := make([]float64, counts[c.rank])

@@ -101,8 +101,11 @@ type collEvent struct {
 
 // beginColl opens the span/latency sample for a collective and gives
 // the fault injector its shot at the call-site; words is this rank's
-// contribution size, recorded as the span payload.
+// contribution size, recorded as the span payload. It first joins any
+// outstanding nonblocking request, enforcing the one-schedule-per-rank
+// invariant at every collective entry.
 func (c *Comm) beginColl(cat Category, words int) collEvent {
+	c.completeOutstanding()
 	var ev collEvent
 	if c.tracer != nil {
 		ev.sp = c.tracer.BeginArg(trace.CatMPI, cat.String(), "words", int64(words))
@@ -199,6 +202,7 @@ func (c *Comm) Sub(members []int) *Comm {
 // charged to the Setup category, since communicator construction is
 // one-time cost outside the iteration loop).
 func (c *Comm) Split(color, key int) *Comm {
+	c.completeOutstanding() // Split's exchange bypasses beginColl
 	pairs := c.allGatherV([]float64{float64(color), float64(key)}, uniformCounts(c.Size(), 2), CatSetup)
 	type entry struct{ rank, key int }
 	var group []entry

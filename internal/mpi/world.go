@@ -66,6 +66,11 @@ type World struct {
 
 	counters []*Counters // per world rank
 
+	// outstanding holds each rank's in-flight nonblocking collective
+	// request (at most one; see Request). Each slot is touched only by
+	// its rank's goroutine.
+	outstanding []*Request
+
 	// tracers holds one event tracer per rank when tracing is on
 	// (SetTracing); nil otherwise. Each tracer is only touched by its
 	// rank's goroutine, preserving the no-lock hot path.
@@ -85,11 +90,12 @@ func NewWorld(p int) *World {
 		panic(fmt.Sprintf("mpi: world size %d", p))
 	}
 	w := &World{
-		p:        p,
-		links:    make([]chan message, p*p),
-		pending:  make([][]message, p*p),
-		abort:    make(chan struct{}),
-		counters: make([]*Counters, p),
+		p:           p,
+		links:       make([]chan message, p*p),
+		pending:     make([][]message, p*p),
+		abort:       make(chan struct{}),
+		counters:    make([]*Counters, p),
+		outstanding: make([]*Request, p),
 	}
 	for i := range w.links {
 		w.links[i] = make(chan message, 16)
@@ -192,6 +198,11 @@ func (w *World) Run(body func(c *Comm)) {
 				if e := recover(); e != nil {
 					w.recordFailure(rank, e)
 				}
+				// A dropped nonblocking handle must not leave its
+				// schedule goroutine running past Run (it would race
+				// with the caller reading Traffic). Runs after the
+				// recover so an aborting world still drains cleanly.
+				w.joinOutstanding(rank)
 			}()
 			body(w.worldComm(rank))
 		}(r)

@@ -150,6 +150,13 @@ type Model struct {
 	Gamma float64 // seconds per floating point operation
 }
 
+// Seconds prices a workload under the model: γ·flops + α·msgs +
+// β·words. It is the single formula behind the modeled breakdown, the
+// algorithm adviser, and the grid autotuner.
+func (m Model) Seconds(flops, msgs, words int64) float64 {
+	return m.Gamma*float64(flops) + m.Alpha*float64(msgs) + m.Beta*float64(words)
+}
+
 // Edison returns constants approximating a NERSC Edison core (the
 // paper's testbed): 2.4 GHz Ivy Bridge at ~19.2 Gflop/s/core, ~1 µs
 // MPI latency, ~8 GB/s injection bandwidth per node.

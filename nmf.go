@@ -208,12 +208,14 @@ func Run(a Matrix, opts Options) (*Result, error) { return core.RunSequential(a,
 func RunNaive(a Matrix, p int, opts Options) (*Result, error) { return core.RunNaive(a, p, opts) }
 
 // RunParallel factorizes with HPC-NMF (Algorithm 3) on p simulated
-// ranks, choosing the communication-minimizing processor grid
-// automatically (m/pr ≈ n/pc ≈ √(mn/p), degenerating to 1D for
-// tall-skinny matrices).
+// ranks, choosing the processor grid automatically: the α-β-γ cost
+// model prices every pr×pc factorization of p and the run uses the
+// argmin (Result.Grid, Result.GridAuto, Result.GridPredictedSeconds
+// record the choice). When the feasibility rule k ≤ min(m/pr, n/pc)
+// rejects every factorization, it falls back to the bandwidth
+// heuristic ChooseGrid so small problems still run.
 func RunParallel(a Matrix, p int, opts Options) (*Result, error) {
-	m, n := a.Dims()
-	return core.RunHPC(a, grid.Choose(m, n, p), opts)
+	return core.RunParallelAuto(a, p, opts)
 }
 
 // RunOnGrid factorizes with HPC-NMF on an explicit pr×pc grid.
@@ -223,8 +225,38 @@ func RunOnGrid(a Matrix, pr, pc int, opts Options) (*Result, error) {
 }
 
 // ChooseGrid returns the communication-minimizing grid for an m×n
-// matrix on p processors.
+// matrix on p processors by the bandwidth heuristic (m/pr ≈ n/pc).
 func ChooseGrid(m, n, p int) Grid { return grid.Choose(m, n, p) }
+
+// ErrNoFeasibleGrid is wrapped by AutoGrid's and PredictGrids' error
+// when no pr×pc factorization of p passes the feasibility rules
+// pr ≤ m, pc ≤ n, k ≤ min(m/pr, n/pc); match with errors.Is.
+var ErrNoFeasibleGrid = grid.ErrNoFeasibleGrid
+
+// AutoGrid picks the grid with the minimum modeled per-iteration time
+// for factorizing a on p processors at rank k — the §5.2 grid
+// analysis as a procedure, priced under Edison-like machine
+// constants. It returns an error wrapping ErrNoFeasibleGrid when no
+// factorization of p fits the problem shape.
+func AutoGrid(a Matrix, k, p int) (Grid, error) {
+	m, n := a.Dims()
+	e := perf.Edison()
+	g, _, err := costmodel.AutoGrid(m, n, k, p, int64(a.NNZ()), e.Alpha, e.Beta, e.Gamma)
+	return g, err
+}
+
+// GridCandidate pairs one feasible grid with its modeled
+// per-iteration cost in seconds (see PredictGrids).
+type GridCandidate = costmodel.GridCandidate
+
+// PredictGrids prices every feasible pr×pc factorization of p under
+// the cost model and returns them cheapest first — the table behind
+// AutoGrid, useful for auditing why a grid was picked.
+func PredictGrids(a Matrix, k, p int) ([]GridCandidate, error) {
+	m, n := a.Dims()
+	e := perf.Edison()
+	return costmodel.Grids(m, n, k, p, int64(a.NNZ()), e.Alpha, e.Beta, e.Gamma)
+}
 
 // Advice is a per-algorithm cost forecast from the α-β-γ model.
 type Advice = costmodel.Advice
