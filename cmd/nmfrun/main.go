@@ -14,14 +14,20 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+	"sort"
 	"strconv"
 	"strings"
 
 	"hpcnmf"
+	"hpcnmf/internal/metrics"
 )
 
 func main() {
@@ -38,24 +44,27 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("nmfrun", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		data    = fs.String("data", "dsyn", "dataset: dsyn, ssyn, video, webbase, bow (ignored with -mm)")
-		mmPath  = fs.String("mm", "", "read a MatrixMarket file instead of generating a dataset")
-		scale   = fs.Float64("scale", 0.25, "dataset scale factor")
-		alg     = fs.String("alg", "hpc2d", "algorithm: seq, naive, hpc1d, hpc2d, auto (cost-model pick)")
-		solver  = fs.String("solver", "bpp", "local NLS solver: bpp, activeset, mu, hals, pgd")
-		sweeps  = fs.Int("sweeps", 1, "inner sweeps for mu/hals")
-		k       = fs.Int("k", 10, "factorization rank")
-		p       = fs.Int("p", 16, "processor count (parallel algorithms)")
-		gridStr = fs.String("grid", "auto", "hpc2d processor grid: auto (cost-model argmin over factorizations of -p) or explicit PRxPC, e.g. 4x2 (overrides -p)")
-		noOvl   = fs.Bool("no-overlap", false, "disable comm/compute overlap in the HPC driver (blocking baseline)")
-		iters   = fs.Int("iters", 10, "max alternating iterations")
-		tol     = fs.Float64("tol", 0, "early-stop tolerance on relative-error decrease (0 = off)")
-		seed    = fs.Uint64("seed", 42, "random seed")
-		view    = fs.String("view", "both", "breakdown view: modeled, measured, both")
-		out     = fs.String("out", "", "write factors to <out>.W and <out>.H (binary)")
-		trace   = fs.String("trace", "", "write a Chrome trace_event JSON timeline (one track per rank)")
-		report  = fs.String("report", "", "write a machine-readable JSON run report")
-		metrics = fs.Bool("metrics", false, "collect and print the metrics registry snapshot")
+		data     = fs.String("data", "dsyn", "dataset: dsyn, ssyn, video, webbase, bow (ignored with -mm)")
+		mmPath   = fs.String("mm", "", "read a MatrixMarket file instead of generating a dataset")
+		scale    = fs.Float64("scale", 0.25, "dataset scale factor")
+		alg      = fs.String("alg", "hpc2d", "algorithm: seq, naive, hpc1d, hpc2d, auto (cost-model pick)")
+		solver   = fs.String("solver", "bpp", "local NLS solver: bpp, activeset, mu, hals, pgd")
+		sweeps   = fs.Int("sweeps", 1, "inner sweeps for mu/hals")
+		k        = fs.Int("k", 10, "factorization rank")
+		p        = fs.Int("p", 16, "processor count (parallel algorithms)")
+		gridStr  = fs.String("grid", "auto", "hpc2d processor grid: auto (cost-model argmin over factorizations of -p) or explicit PRxPC, e.g. 4x2 (overrides -p)")
+		noOvl    = fs.Bool("no-overlap", false, "disable comm/compute overlap in the HPC driver (blocking baseline)")
+		iters    = fs.Int("iters", 10, "max alternating iterations")
+		tol      = fs.Float64("tol", 0, "early-stop tolerance on relative-error decrease (0 = off)")
+		seed     = fs.Uint64("seed", 42, "random seed")
+		view     = fs.String("view", "both", "breakdown view: modeled, measured, both")
+		out      = fs.String("out", "", "write factors to <out>.W and <out>.H (binary)")
+		trace    = fs.String("trace", "", "write a Chrome trace_event JSON timeline (one track per rank)")
+		report   = fs.String("report", "", "write a machine-readable JSON run report")
+		metrics  = fs.Bool("metrics", false, "collect and print the metrics registry snapshot")
+		progress = fs.Bool("progress", false, "stream per-iteration convergence telemetry to stdout as NDJSON")
+		profile  = fs.String("profile", "", "profile the run: cpu, heap, mutex, or block (written as <kind>.pprof)")
+		profDir  = fs.String("profile-dir", ".", "directory for -profile output")
 
 		faultSpec = fs.String("fault", "", "fault-injection spec, e.g. 'kill:AllReduce:rank=2:call=3' (see internal/fault)")
 		deadline  = fs.Duration("deadline", 0, "per-collective communication deadline (0 = default 2m)")
@@ -108,6 +117,16 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	if *metrics || *report != "" {
 		opts.Metrics = hpcnmf.NewMetricsRegistry()
+	}
+	if *progress {
+		// One JSON object per completed iteration, flushed as the run
+		// goes — tail -f friendly convergence telemetry.
+		enc := json.NewEncoder(stdout)
+		opts.Progress = func(p hpcnmf.Progress) { _ = enc.Encode(p) }
+	} else if *report != "" {
+		// Reports always embed the telemetry series; a non-nil hook is
+		// what arms its collection.
+		opts.Progress = func(hpcnmf.Progress) {}
 	}
 	opts.CommDeadline = *deadline
 	if *faultSpec != "" {
@@ -173,6 +192,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 		fmt.Fprintf(stdout, "selected: %s\n\n", *alg)
 	}
+	stopProfile, err := startProfile(*profile, *profDir)
+	if err != nil {
+		return err
+	}
 	procs := *p
 	switch *alg {
 	case "seq":
@@ -196,8 +219,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 	default:
 		return fmt.Errorf("unknown algorithm %q", *alg)
 	}
+	profErr := stopProfile(stdout)
 	if err != nil {
 		return err
+	}
+	if profErr != nil {
+		return profErr
 	}
 
 	m, n := a.Dims()
@@ -231,6 +258,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 			*trace, len(res.Trace.Events), res.Trace.Ranks)
 	}
 	if *metrics {
+		printOverlap(stdout, opts.Metrics.Snapshot())
 		fmt.Fprintf(stdout, "\nmetrics:\n")
 		opts.Metrics.Snapshot().WriteText(stdout)
 	}
@@ -253,6 +281,101 @@ func run(args []string, stdout, stderr io.Writer) error {
 			*out, res.W.Rows, res.W.Cols, *out, res.H.Rows, res.H.Cols)
 	}
 	return nil
+}
+
+// startProfile arms one runtime/pprof profile kind bracketing the
+// iteration loop. The returned stop function finalizes the profile,
+// writes <kind>.pprof into dir, and notes the path on w. An empty kind
+// is a no-op.
+func startProfile(kind, dir string) (stop func(io.Writer) error, err error) {
+	if kind == "" {
+		return func(io.Writer) error { return nil }, nil
+	}
+	path := filepath.Join(dir, kind+".pprof")
+	// finish snapshots a lookup-style profile into path at stop time.
+	finish := func(w io.Writer, write func(*os.File) error) error {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := write(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "\nwrote %s profile %s (inspect with: go tool pprof %s)\n", kind, path, path)
+		return nil
+	}
+	switch kind {
+	case "cpu":
+		f, err := os.Create(path)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		return func(w io.Writer) error {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "\nwrote %s profile %s (inspect with: go tool pprof %s)\n", kind, path, path)
+			return nil
+		}, nil
+	case "heap":
+		return func(w io.Writer) error {
+			runtime.GC() // settle live-heap accounting before the snapshot
+			return finish(w, func(f *os.File) error { return pprof.WriteHeapProfile(f) })
+		}, nil
+	case "mutex":
+		runtime.SetMutexProfileFraction(5)
+		return func(w io.Writer) error {
+			defer runtime.SetMutexProfileFraction(0)
+			return finish(w, func(f *os.File) error { return pprof.Lookup("mutex").WriteTo(f, 0) })
+		}, nil
+	case "block":
+		runtime.SetBlockProfileRate(10_000) // sample blocking events ≥ 10µs
+		return func(w io.Writer) error {
+			defer runtime.SetBlockProfileRate(0)
+			return finish(w, func(f *os.File) error { return pprof.Lookup("block").WriteTo(f, 0) })
+		}, nil
+	}
+	return nil, fmt.Errorf("unknown -profile %q (want cpu, heap, mutex, or block)", kind)
+}
+
+// printOverlap renders the per-rank comm/compute overlap table from
+// the metrics snapshot: how long each rank's nonblocking collectives
+// had to progress behind compute (window), how long the rank then
+// blocked in Wait, and the hidden fraction window/(window+wait).
+// Silent when the run recorded no nonblocking collectives.
+func printOverlap(w io.Writer, snap *metrics.Snapshot) {
+	if snap == nil || snap.Counters["mpi.overlap.requests"] == 0 {
+		return
+	}
+	ranks := make([]int, 0, 16)
+	for name := range snap.Counters {
+		var r int
+		if _, err := fmt.Sscanf(name, "mpi.rank.%d.overlap.window.ns", &r); err == nil {
+			ranks = append(ranks, r)
+		}
+	}
+	sort.Ints(ranks)
+	if len(ranks) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "\ncomm/compute overlap per rank (%d nonblocking collectives):\n", snap.Counters["mpi.overlap.requests"])
+	fmt.Fprintf(w, "  %4s  %12s  %12s  %10s\n", "rank", "window (s)", "wait (s)", "hidden")
+	for _, r := range ranks {
+		window := float64(snap.Counters[fmt.Sprintf("mpi.rank.%d.overlap.window.ns", r)]) / 1e9
+		wait := float64(snap.Counters[fmt.Sprintf("mpi.rank.%d.overlap.wait.ns", r)]) / 1e9
+		fmt.Fprintf(w, "  %4d  %12.6f  %12.6f  %9.1f%%\n",
+			r, window, wait,
+			100*snap.Gauges[fmt.Sprintf("mpi.rank.%d.overlap.efficiency", r)])
+	}
 }
 
 // parseGrid parses an explicit "PRxPC" grid spec like "4x2".

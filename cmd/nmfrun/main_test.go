@@ -70,6 +70,11 @@ func TestRunReportAndMetrics(t *testing.T) {
 	if rep["version"] == nil {
 		t.Errorf("report has no schema version: %v", rep)
 	}
+	// -report alone (no -progress) must still embed the telemetry
+	// series — schema v2's whole point.
+	if recs, ok := rep["progress"].([]any); !ok || len(recs) == 0 {
+		t.Errorf("report has no progress series: %v", rep["progress"])
+	}
 }
 
 func TestRunResumeRoundTrip(t *testing.T) {
@@ -134,6 +139,78 @@ func TestRunNoOverlapMatchesDefault(t *testing.T) {
 	for i := range a {
 		if a[i] != b[i] {
 			t.Errorf("-no-overlap changed iterate %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+}
+
+// -progress streams one JSON object per iteration, each parseable and
+// in iteration order, interleaved with the human report on stdout.
+func TestRunProgressNDJSON(t *testing.T) {
+	got := runOK(t, fast("-progress")...)
+	var iters []int
+	for _, line := range strings.Split(got, "\n") {
+		if !strings.HasPrefix(line, "{") {
+			continue
+		}
+		var rec struct {
+			Iter    int     `json:"iter"`
+			RelErr  float64 `json:"rel_err"`
+			Elapsed float64 `json:"elapsed_seconds"`
+		}
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", line, err)
+		}
+		if rec.Elapsed <= 0 {
+			t.Fatalf("progress line %q has no elapsed time", line)
+		}
+		iters = append(iters, rec.Iter)
+	}
+	if len(iters) != 2 {
+		t.Fatalf("streamed %d progress lines, want 2: output\n%s", len(iters), got)
+	}
+	for i, it := range iters {
+		if it != i+1 {
+			t.Fatalf("progress iterations out of order: %v", iters)
+		}
+	}
+}
+
+// Each -profile kind writes a non-empty pprof file into -profile-dir.
+func TestRunProfileKinds(t *testing.T) {
+	for _, kind := range []string{"cpu", "heap", "mutex", "block"} {
+		dir := t.TempDir()
+		got := runOK(t, fast("-profile", kind, "-profile-dir", dir)...)
+		path := filepath.Join(dir, kind+".pprof")
+		fi, err := os.Stat(path)
+		if err != nil {
+			t.Fatalf("%s profile not written: %v", kind, err)
+		}
+		if fi.Size() == 0 {
+			t.Fatalf("%s profile is empty", kind)
+		}
+		if !strings.Contains(got, "wrote "+kind+" profile") {
+			t.Errorf("output does not mention the %s profile:\n%s", kind, got)
+		}
+	}
+	var out, errb bytes.Buffer
+	if err := run(fast("-profile", "bogus"), &out, &errb); err == nil {
+		t.Error("unknown -profile kind accepted")
+	}
+}
+
+// A parallel run with -metrics surfaces the per-rank comm/compute
+// overlap table (satellite of the observability issue).
+func TestRunMetricsShowsOverlapTable(t *testing.T) {
+	got := runOK(t, "-data", "dsyn", "-scale", "0.05", "-alg", "hpc2d", "-grid", "2x2", "-k", "3", "-iters", "2", "-metrics")
+	for _, want := range []string{"comm/compute overlap per rank", "window (s)", "hidden"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("output missing %q:\n%s", want, got)
+		}
+	}
+	// One row per rank of the 2x2 grid.
+	for _, rank := range []string{"\n     0  ", "\n     3  "} {
+		if !strings.Contains(got, rank) {
+			t.Errorf("overlap table missing rank row %q:\n%s", rank, got)
 		}
 	}
 }

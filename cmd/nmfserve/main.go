@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"hpcnmf"
+	"hpcnmf/internal/obs"
 	"hpcnmf/internal/serve"
 )
 
@@ -52,8 +53,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 		fitQueue   = fs.Int("fit-queue", 8, "pending fit jobs before 429 + Retry-After")
 		solverName = fs.String("solver", "bpp", "projection NNLS solver: bpp, activeset, mu, hals, pgd")
 		sweeps     = fs.Int("sweeps", 8, "inner sweeps for the inexact projection solvers (mu, hals, pgd)")
-		tracePath  = fs.String("trace", "", "write a Chrome trace_event JSON of batch/solve spans on shutdown")
+		tracePath  = fs.String("trace", "", "write a Chrome trace_event JSON of request/batch/solve/kernel spans on shutdown")
 		drainSecs  = fs.Int("drain-timeout", 30, "seconds to wait for in-flight HTTP requests on shutdown")
+		pprofOn    = fs.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ for continuous profiling")
+		logSpec    = fs.String("log", "info", "log level spec: a default level plus per-component overrides, e.g. 'info,serve=debug'")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -90,6 +93,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 		delay = -1
 	}
 
+	logger, err := obs.New(stderr, *logSpec)
+	if err != nil {
+		return err
+	}
+
 	srv := serve.New(serve.Options{
 		MaxBatch:      *maxBatch,
 		MaxDelay:      delay,
@@ -100,6 +108,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		ProjectSolver: kind,
 		ProjectSweeps: *sweeps,
 		TraceEvents:   *tracePath != "",
+		Pprof:         *pprofOn,
+		Logger:        logger,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

@@ -4,11 +4,15 @@ import (
 	"bytes"
 	"encoding/json"
 	"net/http"
+	"path/filepath"
 	"strings"
 	"sync"
 	"syscall"
 	"testing"
 	"time"
+
+	"hpcnmf/internal/metrics"
+	"hpcnmf/internal/trace"
 )
 
 // syncBuffer is a goroutine-safe bytes.Buffer: run writes to it from
@@ -52,9 +56,13 @@ func TestServeFlagValidation(t *testing.T) {
 func TestServeEndToEnd(t *testing.T) {
 	var out syncBuffer
 	var errb syncBuffer
+	tracePath := filepath.Join(t.TempDir(), "serve.trace.json")
 	done := make(chan error, 1)
 	go func() {
-		done <- run([]string{"-addr", "127.0.0.1:0", "-fit-workers", "1"}, &out, &errb)
+		done <- run([]string{
+			"-addr", "127.0.0.1:0", "-fit-workers", "1",
+			"-pprof", "-log", "info,serve=debug", "-trace", tracePath,
+		}, &out, &errb)
 	}()
 
 	// Parse the advertised address from the listen line.
@@ -135,7 +143,8 @@ func TestServeEndToEnd(t *testing.T) {
 		t.Fatalf("project: status %d, body %+v", resp.StatusCode, proj)
 	}
 
-	// Metrics counters must have moved.
+	// Metrics counters must have moved; the default exposition is
+	// Prometheus text, so names arrive sanitized with counter suffixes.
 	r, err := http.Get(base + "/metrics")
 	if err != nil {
 		t.Fatalf("metrics: %v", err)
@@ -143,10 +152,23 @@ func TestServeEndToEnd(t *testing.T) {
 	var mbuf bytes.Buffer
 	mbuf.ReadFrom(r.Body)
 	r.Body.Close()
-	for _, want := range []string{"serve.project.requests", "serve.fit.completed"} {
+	for _, want := range []string{"serve_project_requests_total", "serve_fit_completed_total"} {
 		if !strings.Contains(mbuf.String(), want) {
 			t.Errorf("metrics missing %q:\n%s", want, mbuf.String())
 		}
+	}
+	if err := metrics.LintPrometheus(strings.NewReader(mbuf.String())); err != nil {
+		t.Errorf("/metrics failed Prometheus lint: %v", err)
+	}
+
+	// -pprof exposed the profiling index.
+	r, err = http.Get(base + "/debug/pprof/")
+	if err != nil {
+		t.Fatalf("pprof index: %v", err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		t.Errorf("/debug/pprof/ status %d, want 200", r.StatusCode)
 	}
 
 	// Graceful shutdown on SIGINT.
@@ -163,5 +185,25 @@ func TestServeEndToEnd(t *testing.T) {
 	}
 	if got := out.String(); !strings.Contains(got, "drained, shutting down") {
 		t.Errorf("shutdown did not report draining:\n%s", got)
+	}
+
+	// -trace wrote a parseable Chrome trace with the request span chain.
+	tr, err := trace.ParseChromeFile(tracePath)
+	if err != nil {
+		t.Fatalf("parsing trace export: %v", err)
+	}
+	found := false
+	for _, ev := range tr.Events {
+		if ev.Cat == trace.CatRequest && ev.Name == "http.project" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("trace export has no http.project request span (%d events)", len(tr.Events))
+	}
+
+	// -log "serve=debug" routed component-tagged debug lines to stderr.
+	if got := errb.String(); !strings.Contains(got, "component=serve") {
+		t.Errorf("stderr has no serve-component log lines:\n%s", got)
 	}
 }

@@ -1,0 +1,122 @@
+// Command obscheck validates observability artifacts so CI can assert
+// them without external tooling: Prometheus text exposition (the
+// promtool-style lint in internal/metrics) and Chrome trace_event JSON
+// (the parser behind internal/trace exports).
+//
+//	obscheck -prom metrics.txt
+//	curl -s :7600/metrics | obscheck -prom -
+//	obscheck -trace run.trace.json -span http.project
+//
+// A path of "-" reads the artifact from stdin. Exit status is nonzero
+// if any requested check fails.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"hpcnmf/internal/metrics"
+	"hpcnmf/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr, os.Stdin); err != nil {
+		fmt.Fprintf(os.Stderr, "obscheck: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run is the whole command behind a testable seam; stdin backs the "-"
+// pseudo-path.
+func run(args []string, stdout, stderr io.Writer, stdin io.Reader) error {
+	fs := flag.NewFlagSet("obscheck", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		promPath  = fs.String("prom", "", "Prometheus text exposition file to lint (\"-\" for stdin)")
+		tracePath = fs.String("trace", "", "Chrome trace_event JSON file to validate (\"-\" for stdin)")
+		spanName  = fs.String("span", "", "with -trace: require at least one span with this name")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	if *promPath == "" && *tracePath == "" {
+		return fmt.Errorf("nothing to check: pass -prom and/or -trace")
+	}
+	if *promPath == "-" && *tracePath == "-" {
+		return fmt.Errorf("only one artifact may come from stdin")
+	}
+	if *spanName != "" && *tracePath == "" {
+		return fmt.Errorf("-span requires -trace")
+	}
+
+	if *promPath != "" {
+		if err := checkProm(*promPath, stdin); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "prom ok: %s\n", *promPath)
+	}
+	if *tracePath != "" {
+		tr, err := parseTrace(*tracePath, stdin)
+		if err != nil {
+			return err
+		}
+		if *spanName != "" && !hasSpan(tr, *spanName) {
+			return fmt.Errorf("%s: no span named %q among %d events", *tracePath, *spanName, len(tr.Events))
+		}
+		fmt.Fprintf(stdout, "trace ok: %s (%d events, %d ranks, %d dropped)\n",
+			*tracePath, len(tr.Events), tr.Ranks, tr.Dropped)
+	}
+	return nil
+}
+
+// open resolves a path, mapping "-" to stdin. The returned closer is a
+// no-op for stdin.
+func open(path string, stdin io.Reader) (io.Reader, func() error, error) {
+	if path == "-" {
+		return stdin, func() error { return nil }, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, f.Close, nil
+}
+
+func checkProm(path string, stdin io.Reader) error {
+	r, done, err := open(path, stdin)
+	if err != nil {
+		return err
+	}
+	defer done()
+	if err := metrics.LintPrometheus(r); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	return nil
+}
+
+func parseTrace(path string, stdin io.Reader) (*trace.Trace, error) {
+	r, done, err := open(path, stdin)
+	if err != nil {
+		return nil, err
+	}
+	defer done()
+	tr, err := trace.ParseChrome(r)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return tr, nil
+}
+
+func hasSpan(tr *trace.Trace, name string) bool {
+	for _, ev := range tr.Events {
+		if ev.Name == name {
+			return true
+		}
+	}
+	return false
+}

@@ -201,6 +201,10 @@ func RunHPC(a Matrix, g grid.Grid, opts Options) (*Result, error) {
 		iters := 0
 		setupTr := tr.Snapshot()
 		setupTraffic := c.Counters().Snapshot()
+		var pe *progressEmitter
+		if rank == 0 {
+			pe = newProgressEmitter(opts.Progress, tr)
+		}
 		// First-chunk width of the blocked all-gather pipelines: with
 		// overlap on, the chunk for columns [0, kc0) is posted as a
 		// nonblocking collective before the Gram product it does not
@@ -387,10 +391,12 @@ func RunHPC(a Matrix, g grid.Grid, opts Options) (*Result, error) {
 				}
 				if shouldStop(relErr, opts.Tol) || gradConverged(opts.TolGrad, pg, pgRef) {
 					itSpan.End()
+					pe.emit(iters, relErr)
 					break
 				}
 			}
 			itSpan.End()
+			pe.emit(iters, relErr)
 
 			// --- Periodic checkpoint (collective; schedule is uniform
 			// across ranks because iters advances in lockstep) ---
@@ -411,6 +417,7 @@ func RunHPC(a Matrix, g grid.Grid, opts Options) (*Result, error) {
 				W:          w,
 				H:          hT.T(),
 				RelErr:     relErr,
+				Progress:   pe.collected(),
 				Iterations: iters,
 				Algorithm:  algName,
 			}

@@ -111,6 +111,10 @@ func RunNaive(a Matrix, p int, opts Options) (*Result, error) {
 		iters := 0
 		setupTr := tr.Snapshot()
 		setupTraffic := c.Counters().Snapshot()
+		var pe *progressEmitter
+		if rank == 0 {
+			pe = newProgressEmitter(opts.Progress, tr)
+		}
 		for it := 0; it < opts.MaxIter; it++ {
 			iters++
 			itSpan := c.Tracer().BeginArg(trace.CatIter, "iteration", "iter", int64(it))
@@ -209,10 +213,12 @@ func RunNaive(a Matrix, p int, opts Options) (*Result, error) {
 				}
 				if shouldStop(relErr, opts.Tol) || gradConverged(opts.TolGrad, pg, pgRef) {
 					itSpan.End()
+					pe.emit(iters, relErr)
 					break
 				}
 			}
 			itSpan.End()
+			pe.emit(iters, relErr)
 
 			// --- Periodic checkpoint (collective; schedule is uniform
 			// across ranks because iters advances in lockstep) ---
@@ -235,6 +241,7 @@ func RunNaive(a Matrix, p int, opts Options) (*Result, error) {
 				W:          w,
 				H:          hT.T(),
 				RelErr:     relErr,
+				Progress:   pe.collected(),
 				Iterations: iters,
 				Algorithm:  algName,
 			}

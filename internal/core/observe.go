@@ -86,10 +86,87 @@ func (m runMetrics) ObserveIterations(iters int) {
 }
 
 // newTraceSession creates the run's trace session when enabled, or
-// returns nil.
+// returns nil. When the options carry a request span context every
+// rank tracer is rooted under it, so the run's iteration and
+// collective spans join the caller's causal chain.
 func newTraceSession(opts Options, ranks int) *trace.Session {
 	if !opts.TraceEvents {
 		return nil
 	}
-	return trace.NewSession(ranks, opts.TraceCapacity)
+	s := trace.NewSession(ranks, opts.TraceCapacity)
+	if opts.Span.Valid() {
+		s.SetRoot(opts.Span)
+	}
+	return s
+}
+
+// Progress is one iteration's convergence-telemetry record: how far
+// the run is, how good the factorization is, and where the iteration's
+// time went. Drivers emit one per alternating iteration through
+// Options.Progress and collect the series into Result.Progress.
+type Progress struct {
+	// Iter is the 1-based iteration count after this iteration.
+	Iter int `json:"iter"`
+	// RelErr is ‖A−WH‖_F/‖A‖_F after the iteration; omitted when the
+	// run does not compute the objective.
+	RelErr float64 `json:"rel_err,omitempty"`
+	// ElapsedSeconds is wall time since the iteration loop started.
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+	// PhaseSeconds is this iteration's wall time by task (MM, Gram,
+	// NLS, collectives) as measured on the reporting rank (rank 0 for
+	// the parallel drivers). Zero-time tasks are omitted.
+	PhaseSeconds map[string]float64 `json:"phase_seconds,omitempty"`
+}
+
+// progressEmitter turns the reporting rank's cumulative perf.Tracker
+// into per-iteration Progress records. A nil emitter (progress off) is
+// a no-op, so driver loops pay one nil check per iteration and the
+// zero-allocation steady state is untouched when disabled.
+type progressEmitter struct {
+	fn      func(Progress)
+	tr      *perf.Tracker
+	start   time.Time
+	prev    map[perf.Task]time.Duration
+	history []Progress
+}
+
+// newProgressEmitter returns nil when fn is nil.
+func newProgressEmitter(fn func(Progress), tr *perf.Tracker) *progressEmitter {
+	if fn == nil {
+		return nil
+	}
+	return &progressEmitter{fn: fn, tr: tr, start: time.Now(), prev: map[perf.Task]time.Duration{}}
+}
+
+// emit publishes the record for the iteration that just finished.
+// iters is the 1-based count; relErr the history so far (possibly
+// empty).
+func (p *progressEmitter) emit(iters int, relErr []float64) {
+	if p == nil {
+		return
+	}
+	pr := Progress{Iter: iters, ElapsedSeconds: time.Since(p.start).Seconds()}
+	if len(relErr) > 0 {
+		pr.RelErr = relErr[len(relErr)-1]
+	}
+	for _, task := range perf.Tasks() {
+		w := p.tr.Wall(task)
+		if d := w - p.prev[task]; d > 0 {
+			if pr.PhaseSeconds == nil {
+				pr.PhaseSeconds = make(map[string]float64, 4)
+			}
+			pr.PhaseSeconds[task.String()] = d.Seconds()
+		}
+		p.prev[task] = w
+	}
+	p.history = append(p.history, pr)
+	p.fn(pr)
+}
+
+// collected returns the full series (nil for a nil emitter).
+func (p *progressEmitter) collected() []Progress {
+	if p == nil {
+		return nil
+	}
+	return p.history
 }

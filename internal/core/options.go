@@ -152,6 +152,20 @@ type Options struct {
 	// events are overwritten past it); ≤ 0 selects
 	// trace.DefaultCapacity.
 	TraceCapacity int
+	// Progress, when non-nil, receives one Progress record per
+	// alternating iteration: iteration count, freshest relative error
+	// (when ComputeError is set), elapsed wall time, and the reporting
+	// rank's per-phase time. The callback runs synchronously on the
+	// driver's reporting goroutine (rank 0 for the parallel drivers),
+	// so it must be fast and must not call back into the run. The full
+	// series is also collected into Result.Progress.
+	Progress func(Progress)
+	// Span parents the run's trace spans under an external
+	// request-scoped span (e.g. an HTTP request): every rank tracer is
+	// rooted at it, so a Perfetto export shows the run inside the
+	// caller's causal chain. Zero value means no external parent.
+	// Only meaningful with TraceEvents.
+	Span trace.SpanContext
 	// Metrics, when non-nil, receives run instrumentation: collective
 	// latency histograms and per-rank traffic from the mpi runtime,
 	// NLS inner-iteration counts, and the per-iteration relative
@@ -332,6 +346,9 @@ type Result struct {
 	RelErr []float64
 	// Iterations is the number of alternating iterations performed.
 	Iterations int
+	// Progress is the per-iteration telemetry series when
+	// Options.Progress was set (nil otherwise).
+	Progress []Progress
 	// Breakdown is the per-iteration task breakdown (averaged over
 	// iterations, max over ranks; excludes setup and final gathering).
 	Breakdown *perf.Breakdown

@@ -6,6 +6,7 @@ import (
 	"hpcnmf/internal/mat"
 	"hpcnmf/internal/nnls"
 	"hpcnmf/internal/par"
+	"hpcnmf/internal/trace"
 )
 
 // Projector projects new data columns onto a fixed basis: given W
@@ -30,7 +31,16 @@ type Projector struct {
 	gram *mat.Dense // k×k cached WᵀW
 	s    nnls.Solver
 	ctx  *nnls.Context
+	tc   *trace.Tracer // nil = kernel tracing off
 }
+
+// SetTracer attaches an event tracer: each ProjectInto records its
+// compute kernels (WᵀC multiply, NNLS solve) as trace.CatKernel spans,
+// nested under whatever span the caller has open on the same tracer —
+// the innermost level of a request's causal chain. The projector is
+// single-goroutine, so the tracer must be owned by the same goroutine.
+// nil detaches.
+func (p *Projector) SetTracer(tc *trace.Tracer) { p.tc = tc }
 
 // NewProjector caches the Gram of basis w (m×k) and prepares reusable
 // solver resources. solver defaults to BPP when nil; pool may be nil
@@ -124,8 +134,12 @@ func (p *Projector) ProjectInto(dst, cols *mat.Dense, resid []float64) (nnls.Sta
 	}
 	ws := p.ctx.WS
 	f := ws.Get(k, c)
+	sp := p.tc.BeginArg(trace.CatKernel, "MulAtB", "cols", int64(c))
 	mat.ParMulAtBTo(f, p.w, cols, p.ctx.Pool) // f = WᵀC
+	sp.End()
+	sp = p.tc.BeginArg(trace.CatKernel, "NNLS", "cols", int64(c))
 	st, err := solveDamped(p.s, p.ctx, p.gram, f, nil, dst)
+	sp.End()
 	if err != nil {
 		ws.Put(f)
 		return st, err

@@ -12,8 +12,15 @@ import (
 
 // ReportVersion identifies the run-report JSON schema. Bump on any
 // incompatible change so downstream diff tooling can refuse mixed
-// comparisons.
-const ReportVersion = 1
+// comparisons. Version history:
+//
+//	1 — initial schema
+//	2 — adds the per-iteration "progress" telemetry series (pure
+//	    addition; v1 reports remain readable)
+const ReportVersion = 2
+
+// minReportVersion is the oldest schema this build still reads.
+const minReportVersion = 1
 
 // DatasetInfo describes the factorized matrix in a run report.
 type DatasetInfo struct {
@@ -72,6 +79,10 @@ type Report struct {
 	// RelErr is the per-iteration convergence history (empty unless
 	// the run computed the objective).
 	RelErr []float64 `json:"rel_err,omitempty"`
+	// Progress is the per-iteration convergence-telemetry series
+	// (iteration, relative error, elapsed and per-phase seconds) when
+	// the run collected it (schema v2+).
+	Progress []Progress `json:"progress,omitempty"`
 
 	// Tasks is the per-iteration aggregate task breakdown, keyed by
 	// the paper-legend task names; the totals restate
@@ -118,6 +129,7 @@ func NewReport(ds DatasetInfo, p int, opts Options, res *Result, tracePath strin
 		GridAuto:             res.GridAuto,
 		GridPredictedSeconds: res.GridPredictedSeconds,
 		RelErr:               res.RelErr,
+		Progress:             res.Progress,
 		Tasks:                res.Breakdown.ByTask(),
 		ModeledTotalSeconds:  res.Breakdown.ModeledTotal(),
 		MeasuredTotalSeconds: res.Breakdown.MeasuredTotal(),
@@ -161,8 +173,9 @@ func ParseReport(rd io.Reader) (*Report, error) {
 	if err := json.NewDecoder(rd).Decode(&rep); err != nil {
 		return nil, fmt.Errorf("core: parsing run report: %w", err)
 	}
-	if rep.Version != ReportVersion {
-		return nil, fmt.Errorf("core: run report version %d, this build reads %d", rep.Version, ReportVersion)
+	if rep.Version < minReportVersion || rep.Version > ReportVersion {
+		return nil, fmt.Errorf("core: run report version %d, this build reads %d through %d",
+			rep.Version, minReportVersion, ReportVersion)
 	}
 	return &rep, nil
 }

@@ -88,8 +88,69 @@ func TestParseReportRejectsWrongVersion(t *testing.T) {
 	if _, err := ParseReport(strings.NewReader(`{"version": 99}`)); err == nil {
 		t.Fatal("accepted future schema version")
 	}
+	if _, err := ParseReport(strings.NewReader(`{"version": 0}`)); err == nil {
+		t.Fatal("accepted pre-v1 schema version")
+	}
 	if _, err := ParseReport(strings.NewReader(`{`)); err == nil {
 		t.Fatal("accepted truncated JSON")
+	}
+}
+
+// Reports written before the progress series existed (schema v1) must
+// stay readable.
+func TestParseReportAcceptsV1(t *testing.T) {
+	v1 := `{"version": 1, "algorithm": "Sequential", "iterations": 3, "rel_err": [0.5, 0.4, 0.3]}`
+	rep, err := ParseReport(strings.NewReader(v1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Version != 1 || rep.Iterations != 3 || len(rep.RelErr) != 3 {
+		t.Fatalf("v1 fields lost: %+v", rep)
+	}
+	if rep.Progress != nil {
+		t.Fatal("v1 report grew a progress series from nowhere")
+	}
+}
+
+// The progress series survives a JSON round trip with its field names.
+func TestReportProgressRoundTrip(t *testing.T) {
+	a := lowRankDense(24, 18, 3, 0.02, 5)
+	opts := testOpts(3)
+	var streamed []Progress
+	opts.Progress = func(p Progress) { streamed = append(streamed, p) }
+	res, err := RunSequential(WrapDense(a), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(streamed) != res.Iterations || len(res.Progress) != res.Iterations {
+		t.Fatalf("progress: streamed %d, collected %d, iterations %d",
+			len(streamed), len(res.Progress), res.Iterations)
+	}
+	for i, p := range res.Progress {
+		if p.Iter != i+1 {
+			t.Fatalf("record %d has iter %d", i, p.Iter)
+		}
+		if p.RelErr != res.RelErr[i] {
+			t.Fatalf("record %d rel_err %g, history %g", i, p.RelErr, res.RelErr[i])
+		}
+		if p.ElapsedSeconds <= 0 || len(p.PhaseSeconds) == 0 {
+			t.Fatalf("record %d missing timing: %+v", i, p)
+		}
+	}
+	rep := NewReport(DescribeMatrix("x", WrapDense(a)), 1, opts, res, "")
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"progress"`) || !strings.Contains(buf.String(), `"phase_seconds"`) {
+		t.Fatalf("progress fields missing from JSON:\n%s", buf.String())
+	}
+	back, err := ParseReport(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Progress) != len(res.Progress) || back.Progress[0].Iter != 1 {
+		t.Fatal("progress series lost in round trip")
 	}
 }
 

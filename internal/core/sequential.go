@@ -203,10 +203,12 @@ func RunSequential(a Matrix, opts Options) (*Result, error) {
 
 	ckpt := newCheckpointer(s.opts, "Sequential", s.m, s.n)
 	setup := s.tr.Snapshot()
+	pe := newProgressEmitter(s.opts.Progress, s.tr)
 	for it := 0; it < s.opts.MaxIter && !s.done; it++ {
 		if err := s.step(it); err != nil {
 			return nil, err
 		}
+		pe.emit(s.iters, s.relErr)
 		if ckpt.due(s.iters) && !s.done {
 			if err := ckpt.writeErr(s.iters, s.relErr, s.w, s.h); err != nil {
 				return nil, err
@@ -220,6 +222,7 @@ func RunSequential(a Matrix, opts Options) (*Result, error) {
 		W:          s.w,
 		H:          s.h,
 		RelErr:     s.relErr,
+		Progress:   pe.collected(),
 		Iterations: s.iters,
 		Breakdown:  breakdown,
 		PerRank:    perf.PerRank(s.opts.Model, []*perf.Tracker{iterTracker}, nil, s.iters),

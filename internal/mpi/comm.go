@@ -108,7 +108,10 @@ func (c *Comm) beginColl(cat Category, words int) collEvent {
 	c.completeOutstanding()
 	var ev collEvent
 	if c.tracer != nil {
-		ev.sp = c.tracer.BeginArg(trace.CatMPI, cat.String(), "words", int64(words))
+		// Leaf spans: a nonblocking collective's span ends at Wait,
+		// possibly after later phase spans have begun, so collective
+		// spans never join the tracer's open-span stack.
+		ev.sp = c.tracer.BeginLeafArg(trace.CatMPI, cat.String(), "words", int64(words))
 	}
 	if h := c.world.collLatency[cat]; h != nil {
 		ev.hist = h

@@ -1,0 +1,159 @@
+// Package obs is the structured-logging seam shared by the drivers and
+// the serving layer: log/slog loggers with per-component levels, parsed
+// from a compact spec like "info,serve=debug,mpi=warn". Components tag
+// themselves with a "component" attribute (logger.With(obs.KeyComponent,
+// "serve")); the handler filters each record against that component's
+// configured level, so one -log flag tunes the whole process without
+// per-package plumbing.
+//
+// The package depends only on the standard library, matching the repo's
+// zero-dependency constraint.
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// KeyComponent is the attribute key the leveled handler inspects to
+// decide which component's level applies to a record.
+const KeyComponent = "component"
+
+// Levels maps components to minimum log levels, with a default for
+// components not named explicitly.
+type Levels struct {
+	def slog.Level
+	per map[string]slog.Level
+}
+
+// ParseLevels parses a level spec: comma-separated entries where a bare
+// level ("info") sets the default and "component=level" overrides one
+// component. Later entries win. The empty spec means "info".
+func ParseLevels(spec string) (Levels, error) {
+	l := Levels{def: slog.LevelInfo}
+	for _, tok := range strings.Split(spec, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		name, levelStr, scoped := strings.Cut(tok, "=")
+		if !scoped {
+			lvl, err := parseLevel(tok)
+			if err != nil {
+				return Levels{}, err
+			}
+			l.def = lvl
+			continue
+		}
+		if name == "" {
+			return Levels{}, fmt.Errorf("obs: level entry %q has an empty component", tok)
+		}
+		lvl, err := parseLevel(levelStr)
+		if err != nil {
+			return Levels{}, err
+		}
+		if l.per == nil {
+			l.per = map[string]slog.Level{}
+		}
+		l.per[name] = lvl
+	}
+	return l, nil
+}
+
+func parseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(s) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("obs: unknown log level %q (want debug, info, warn, or error)", s)
+}
+
+// For returns the minimum level for a component ("" selects the
+// default).
+func (l Levels) For(component string) slog.Level {
+	if lvl, ok := l.per[component]; ok {
+		return lvl
+	}
+	return l.def
+}
+
+// New builds a text-format logger on w honoring the level spec. The
+// returned logger filters at the default level; derivatives created
+// with logger.With(obs.KeyComponent, name) filter at that component's
+// level.
+func New(w io.Writer, spec string) (*slog.Logger, error) {
+	levels, err := ParseLevels(spec)
+	if err != nil {
+		return nil, err
+	}
+	// The inner handler formats only; the wrapper's Enabled does all
+	// filtering, so the inner level is pinned wide open.
+	open := slog.LevelDebug
+	inner := slog.NewTextHandler(w, &slog.HandlerOptions{Level: &leveler{open}})
+	return slog.New(&leveledHandler{inner: inner, levels: levels}), nil
+}
+
+type leveler struct{ l slog.Level }
+
+func (v *leveler) Level() slog.Level { return v.l }
+
+// Nop returns a logger that discards everything without formatting it
+// (Go 1.22 has no slog.DiscardHandler). Use it as the default for
+// optional Logger knobs so call sites need no nil checks.
+func Nop() *slog.Logger { return slog.New(nopHandler{}) }
+
+type nopHandler struct{}
+
+func (nopHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (nopHandler) Handle(context.Context, slog.Record) error { return nil }
+func (nopHandler) WithAttrs([]slog.Attr) slog.Handler        { return nopHandler{} }
+func (nopHandler) WithGroup(string) slog.Handler             { return nopHandler{} }
+
+// leveledHandler wraps a formatting handler with per-component level
+// filtering. The component is latched from WithAttrs (slog.Logger.With
+// funnels through it), so the common pattern
+// logger.With("component", "serve") selects the serve level for every
+// record on that derivative logger.
+type leveledHandler struct {
+	inner     slog.Handler
+	levels    Levels
+	component string
+	grouped   bool // inside a WithGroup: "component" attrs no longer select levels
+}
+
+func (h *leveledHandler) Enabled(_ context.Context, lvl slog.Level) bool {
+	return lvl >= h.levels.For(h.component)
+}
+
+func (h *leveledHandler) Handle(ctx context.Context, r slog.Record) error {
+	return h.inner.Handle(ctx, r)
+}
+
+func (h *leveledHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	nh := *h
+	if !h.grouped {
+		for _, a := range attrs {
+			if a.Key == KeyComponent {
+				nh.component = a.Value.String()
+			}
+		}
+	}
+	nh.inner = h.inner.WithAttrs(attrs)
+	return &nh
+}
+
+func (h *leveledHandler) WithGroup(name string) slog.Handler {
+	nh := *h
+	nh.grouped = true
+	nh.inner = h.inner.WithGroup(name)
+	return &nh
+}

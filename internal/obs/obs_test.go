@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"bytes"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+func TestParseLevels(t *testing.T) {
+	l, err := ParseLevels("warn,serve=debug,mpi=error")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := l.For(""); got != slog.LevelWarn {
+		t.Fatalf("default level = %v, want warn", got)
+	}
+	if got := l.For("serve"); got != slog.LevelDebug {
+		t.Fatalf("serve level = %v, want debug", got)
+	}
+	if got := l.For("mpi"); got != slog.LevelError {
+		t.Fatalf("mpi level = %v, want error", got)
+	}
+	if got := l.For("core"); got != slog.LevelWarn {
+		t.Fatalf("unnamed component level = %v, want the warn default", got)
+	}
+
+	if def, err := ParseLevels(""); err != nil || def.For("x") != slog.LevelInfo {
+		t.Fatalf("empty spec: %v, level %v (want info)", err, def.For("x"))
+	}
+	for _, bad := range []string{"verbose", "serve=loud", "=debug"} {
+		if _, err := ParseLevels(bad); err == nil {
+			t.Errorf("spec %q accepted, want error", bad)
+		}
+	}
+}
+
+func TestPerComponentFiltering(t *testing.T) {
+	var buf bytes.Buffer
+	log, err := New(&buf, "info,serve=debug")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	log.Debug("root debug dropped")
+	log.Info("root info kept")
+
+	serveLog := log.With(KeyComponent, "serve")
+	serveLog.Debug("serve debug kept")
+
+	coreLog := log.With(KeyComponent, "core")
+	coreLog.Debug("core debug dropped")
+	coreLog.Warn("core warn kept")
+
+	out := buf.String()
+	for _, want := range []string{"root info kept", "serve debug kept", "core warn kept"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	for _, drop := range []string{"root debug dropped", "core debug dropped"} {
+		if strings.Contains(out, drop) {
+			t.Errorf("output contains %q, want it filtered:\n%s", drop, out)
+		}
+	}
+	if !strings.Contains(out, "component=serve") {
+		t.Errorf("component attribute not rendered:\n%s", out)
+	}
+}
+
+// A component attribute added inside a group is payload, not routing —
+// it must not change the active level.
+func TestGroupedComponentDoesNotSelectLevel(t *testing.T) {
+	var buf bytes.Buffer
+	log, err := New(&buf, "info,serve=debug")
+	if err != nil {
+		t.Fatal(err)
+	}
+	grouped := log.WithGroup("req").With(KeyComponent, "serve")
+	grouped.Debug("grouped debug dropped")
+	if strings.Contains(buf.String(), "grouped debug dropped") {
+		t.Fatalf("grouped component attr selected a level:\n%s", buf.String())
+	}
+}
+
+func TestNopDiscardsEverything(t *testing.T) {
+	log := Nop()
+	if log.Enabled(nil, slog.LevelError) {
+		t.Fatal("nop logger claims to be enabled")
+	}
+	// Must not panic through any derivation path.
+	log.With("k", "v").WithGroup("g").Error("discarded", "a", 1)
+}

@@ -30,6 +30,10 @@ type projReq struct {
 	resid float64   // relative residual ‖c − W·h‖/‖c‖
 	err   error
 	done  chan struct{}
+	// sc is the requesting span's identity (zero when tracing is off):
+	// the batcher parents its batch span under it, linking the HTTP
+	// request track to the batcher track.
+	sc trace.SpanContext
 }
 
 var reqPool = sync.Pool{New: func() any { return &projReq{done: make(chan struct{}, 1)} }}
@@ -39,6 +43,7 @@ func getReq(col []float64) *projReq {
 	r := reqPool.Get().(*projReq)
 	r.err = nil
 	r.resid = 0
+	r.sc = trace.SpanContext{}
 	if cap(r.col) < len(col) {
 		r.col = make([]float64, len(col))
 	}
@@ -202,14 +207,23 @@ func (b *batcher) loop() {
 
 // flush runs one stacked NNLS solve over the batch and answers every
 // request. One trace span covers the batch (column count as payload),
-// a nested one the solve itself.
+// a nested one the solve itself; the projector adds kernel spans under
+// the solve. When the batch carries request span contexts, the batch
+// span is parented under the first request's span — a coalesced batch
+// has many requesters but one causal chain, and the trace shows the
+// others' requests overlapping it on the request track.
 func (b *batcher) flush(batch []*projReq) {
 	n := len(batch)
 	if n == 0 {
 		return
 	}
 	start := time.Now()
-	sp := b.tc.BeginArg(trace.CatPhase, "serve.batch", "cols", int64(n))
+	var sp trace.Span
+	if sc := batch[0].sc; sc.Valid() {
+		sp = b.tc.BeginChildArg(sc, trace.CatPhase, "serve.batch", "cols", int64(n))
+	} else {
+		sp = b.tc.BeginArg(trace.CatPhase, "serve.batch", "cols", int64(n))
+	}
 	m, k := b.proj.Dims()
 
 	cmat := b.ws.Get(m, n)

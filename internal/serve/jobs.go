@@ -3,8 +3,12 @@ package serve
 import (
 	"errors"
 	"fmt"
+	"log/slog"
 	"sync"
 	"time"
+
+	"hpcnmf/internal/core"
+	"hpcnmf/internal/obs"
 )
 
 // errQueueFull is the fit backpressure signal: the bounded job queue
@@ -47,6 +51,30 @@ type fitJob struct {
 	created    time.Time
 	started    time.Time
 	finished   time.Time
+	// progress accumulates per-iteration convergence telemetry while
+	// the fit runs; the progress endpoint streams it incrementally.
+	progress []core.Progress
+}
+
+// addProgress appends one iteration's telemetry (the driver's Progress
+// callback, called from the fit worker goroutine).
+func (j *fitJob) addProgress(p core.Progress) {
+	j.mu.Lock()
+	j.progress = append(j.progress, p)
+	j.mu.Unlock()
+}
+
+// progressSince returns the telemetry records from index n on (copied,
+// so the caller can encode without holding the lock) together with the
+// job's current state — one consistent read, so a terminal state never
+// hides records that arrived before it.
+func (j *fitJob) progressSince(n int) ([]core.Progress, JobState) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if n >= len(j.progress) {
+		return nil, j.state
+	}
+	return append([]core.Progress(nil), j.progress[n:]...), j.state
 }
 
 func (j *fitJob) info() JobInfo {
@@ -82,17 +110,22 @@ type jobs struct {
 	wg     sync.WaitGroup
 	run    func(*fitJob) (relErr float64, iterations int, err error)
 	met    *serveMetrics
+	log    *slog.Logger
 }
 
 // newJobs starts workers goroutines draining a queue of the given
 // capacity; run executes one job (fitting the model and installing it
 // in the store).
-func newJobs(workers, queueCap int, met *serveMetrics, run func(*fitJob) (float64, int, error)) *jobs {
+func newJobs(workers, queueCap int, met *serveMetrics, log *slog.Logger, run func(*fitJob) (float64, int, error)) *jobs {
+	if log == nil {
+		log = obs.Nop()
+	}
 	q := &jobs{
 		byID:  map[string]*fitJob{},
 		queue: make(chan *fitJob, queueCap),
 		run:   run,
 		met:   met,
+		log:   log,
 	}
 	for i := 0; i < workers; i++ {
 		q.wg.Add(1)
@@ -142,6 +175,15 @@ func (q *jobs) get(id string) (JobInfo, bool) {
 	return j.info(), true
 }
 
+// lookup returns the job itself (for the progress stream, which reads
+// incrementally under the job's own lock).
+func (q *jobs) lookup(id string) (*fitJob, bool) {
+	q.mu.Lock()
+	j, ok := q.byID[id]
+	q.mu.Unlock()
+	return j, ok
+}
+
 // retryAfter estimates how long a rejected client should wait before
 // resubmitting: one second per queued job, at least one.
 func (q *jobs) retryAfter() int {
@@ -160,15 +202,18 @@ func (q *jobs) worker() {
 		j.started = time.Now()
 		j.mu.Unlock()
 
+		q.log.Debug("fit started", "job", j.id, "model", j.spec.Model, "k", j.spec.K)
 		relErr, iters, err := q.run(j)
 
 		j.mu.Lock()
 		j.finished = time.Now()
+		elapsed := j.finished.Sub(j.started)
 		if err != nil {
 			j.state = JobFailed
 			j.err = err
 			j.mu.Unlock()
 			q.met.fitFailed.Inc()
+			q.log.Warn("fit failed", "job", j.id, "model", j.spec.Model, "err", err)
 			continue
 		}
 		j.state = JobDone
@@ -176,6 +221,8 @@ func (q *jobs) worker() {
 		j.iterations = iters
 		j.mu.Unlock()
 		q.met.fitCompleted.Inc()
+		q.log.Info("fit complete", "job", j.id, "model", j.spec.Model,
+			"iterations", iters, "rel_err", relErr, "elapsed", elapsed)
 	}
 }
 

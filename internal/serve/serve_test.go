@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"math/rand"
@@ -70,7 +71,7 @@ func TestProjectBatchesConcurrentRequests(t *testing.T) {
 			go func(c int) {
 				defer wg.Done()
 				<-start
-				r, err := s.project("m1", cols[c])
+				r, err := s.project(context.Background(), "m1", cols[c])
 				if err != nil {
 					t.Errorf("project: %v", err)
 					return
@@ -142,7 +143,7 @@ func TestCloseDrainsInflight(t *testing.T) {
 func TestSubmitAfterCloseRejected(t *testing.T) {
 	s := newTestServer(t, Options{})
 	s.Close()
-	if _, err := s.project("m1", testColumn(24, 3)); err == nil {
+	if _, err := s.project(context.Background(), "m1", testColumn(24, 3)); err == nil {
 		t.Fatal("project after Close succeeded, want error")
 	}
 }
@@ -154,7 +155,7 @@ func TestProjectMatchesDirectSolve(t *testing.T) {
 	s := newTestServer(t, Options{MaxDelay: -1})
 	col := testColumn(24, 7)
 
-	r, err := s.project("m1", col)
+	r, err := s.project(context.Background(), "m1", col)
 	if err != nil {
 		t.Fatalf("project: %v", err)
 	}
@@ -184,12 +185,12 @@ func TestProjectMatchesDirectSolve(t *testing.T) {
 
 func TestProjectErrors(t *testing.T) {
 	s := newTestServer(t, Options{})
-	if _, err := s.project("nope", testColumn(24, 3)); err == nil {
+	if _, err := s.project(context.Background(), "nope", testColumn(24, 3)); err == nil {
 		t.Fatal("unknown model accepted")
 	} else if _, ok := err.(notFoundError); !ok {
 		t.Fatalf("unknown model: got %T, want notFoundError", err)
 	}
-	if _, err := s.project("m1", testColumn(7, 3)); err == nil {
+	if _, err := s.project(context.Background(), "m1", testColumn(7, 3)); err == nil {
 		t.Fatal("wrong-shape column accepted")
 	} else if _, ok := err.(*shapeError); !ok {
 		t.Fatalf("wrong shape: got %T, want *shapeError", err)
@@ -243,7 +244,7 @@ func TestStoreEvictsLRU(t *testing.T) {
 		}
 	}
 	// Touch "a" so "b" is the LRU victim.
-	r, err := s.project("a", testColumn(24, 5))
+	r, err := s.project(context.Background(), "a", testColumn(24, 5))
 	if err != nil {
 		t.Fatalf("project(a): %v", err)
 	}
@@ -254,7 +255,7 @@ func TestStoreEvictsLRU(t *testing.T) {
 	if got := s.met.storeEvictions.Value(); got != 1 {
 		t.Fatalf("evictions = %d, want 1", got)
 	}
-	if _, err := s.project("b", testColumn(24, 5)); err == nil {
+	if _, err := s.project(context.Background(), "b", testColumn(24, 5)); err == nil {
 		t.Fatal("evicted model still serves")
 	}
 	ids := []string{}
@@ -273,7 +274,7 @@ func TestStoreReplaceClosesOldBatcher(t *testing.T) {
 	if err := s.AddModel("m1", testBasis(24, 4, 9)); err != nil {
 		t.Fatalf("replace: %v", err)
 	}
-	r, err := s.project("m1", testColumn(24, 5))
+	r, err := s.project(context.Background(), "m1", testColumn(24, 5))
 	if err != nil {
 		t.Fatalf("project after replace: %v", err)
 	}
@@ -290,7 +291,7 @@ func TestJobsBackpressure(t *testing.T) {
 	met := newServeMetrics(metrics.NewRegistry())
 	release := make(chan struct{})
 	var ran atomic32
-	q := newJobs(1, 1, met, func(j *fitJob) (float64, int, error) {
+	q := newJobs(1, 1, met, nil, func(j *fitJob) (float64, int, error) {
 		<-release
 		ran.inc()
 		return 0.5, 3, nil
@@ -420,13 +421,19 @@ func TestHTTPEndToEnd(t *testing.T) {
 	if err != nil || r.StatusCode != http.StatusOK {
 		t.Fatalf("metrics: %v %v", err, r)
 	}
+	if got := r.Header.Get("Content-Type"); got != ctPrometheus {
+		t.Errorf("metrics Content-Type = %q, want %q", got, ctPrometheus)
+	}
 	var buf bytes.Buffer
 	buf.ReadFrom(r.Body)
 	r.Body.Close()
-	for _, want := range []string{"serve.project.requests", "serve.project.solves", "serve.fit.completed"} {
+	for _, want := range []string{"serve_project_requests_total", "serve_project_solves_total", "serve_fit_completed_total"} {
 		if !strings.Contains(buf.String(), want) {
 			t.Errorf("metrics output missing %q", want)
 		}
+	}
+	if err := metrics.LintPrometheus(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Errorf("default /metrics output fails Prometheus lint: %v", err)
 	}
 
 	// Delete, then project against the gone model.
@@ -472,7 +479,7 @@ func TestProjectSteadyStateZeroAlloc(t *testing.T) {
 	})
 	col := testColumn(24, 5)
 	work := func() {
-		r, err := s.project("m1", col)
+		r, err := s.project(context.Background(), "m1", col)
 		if err != nil {
 			t.Fatalf("project: %v", err)
 		}
@@ -494,7 +501,7 @@ func BenchmarkProjectSteadyState(b *testing.B) {
 	}
 	col := testColumn(256, 5)
 	for i := 0; i < 20; i++ {
-		r, err := s.project("m1", col)
+		r, err := s.project(context.Background(), "m1", col)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -503,7 +510,7 @@ func BenchmarkProjectSteadyState(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		r, err := s.project("m1", col)
+		r, err := s.project(context.Background(), "m1", col)
 		if err != nil {
 			b.Fatal(err)
 		}

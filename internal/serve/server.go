@@ -1,17 +1,22 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
 	"hpcnmf/internal/core"
 	"hpcnmf/internal/mat"
 	"hpcnmf/internal/metrics"
+	"hpcnmf/internal/obs"
 	"hpcnmf/internal/trace"
 )
 
@@ -48,12 +53,22 @@ type Options struct {
 	// Metrics receives serving instrumentation; nil creates a private
 	// registry (exposed at /metrics either way).
 	Metrics *metrics.Registry
-	// TraceEvents arms a per-batcher event tracer (one span per batch,
-	// one per solve); read the merged timeline with Trace after Close.
+	// TraceEvents arms request-scoped tracing: every HTTP projection
+	// request opens a span that parents its batch, stacked solve, and
+	// compute kernels across the per-model batcher tracks, honoring an
+	// incoming X-Trace-Id header and echoing the request's span context
+	// back in the response. Read the merged timeline with Trace after
+	// Close.
 	TraceEvents bool
-	// TraceCapacity bounds each batcher's event ring (≤ 0 selects
+	// TraceCapacity bounds each tracer's event ring (≤ 0 selects
 	// trace.DefaultCapacity).
 	TraceCapacity int
+	// Pprof mounts net/http/pprof under /debug/pprof/ for continuous
+	// profiling of a live serving process.
+	Pprof bool
+	// Logger receives structured operational logs (fits, failures,
+	// shutdown); nil discards them.
+	Logger *slog.Logger
 }
 
 func (o Options) withDefaults() Options {
@@ -136,9 +151,17 @@ type Server struct {
 	st   *store
 	jobs *jobs
 	mux  *http.ServeMux
+	log  *slog.Logger
 
 	traceMu  sync.Mutex
 	sessions []*trace.Session
+
+	// reqTC records request-root spans. HTTP handler goroutines are
+	// concurrent, and a Tracer is single-owner, so every touch takes
+	// reqMu — two short critical sections per request, only when
+	// tracing is armed.
+	reqMu sync.Mutex
+	reqTC *trace.Tracer
 
 	closeOnce sync.Once
 }
@@ -150,17 +173,37 @@ func New(opts Options) *Server {
 	if reg == nil {
 		reg = metrics.NewRegistry()
 	}
-	s := &Server{opts: opts, reg: reg, met: newServeMetrics(reg)}
+	log := opts.Logger
+	if log == nil {
+		log = obs.Nop()
+	}
+	s := &Server{opts: opts, reg: reg, met: newServeMetrics(reg), log: log.With(obs.KeyComponent, "serve")}
+	if opts.TraceEvents {
+		sess := trace.NewSession(1, opts.TraceCapacity)
+		s.reqTC = sess.Tracer(0)
+		s.sessions = append(s.sessions, sess)
+	}
 	s.st = newStore(opts.StoreBudget, s.met)
-	s.jobs = newJobs(opts.FitWorkers, opts.FitQueue, s.met, s.runFit)
+	s.jobs = newJobs(opts.FitWorkers, opts.FitQueue, s.met, s.log, s.runFit)
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/fit", s.handleFit)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/progress", s.handleJobProgress)
 	s.mux.HandleFunc("POST /v1/project", s.handleProject)
 	s.mux.HandleFunc("GET /v1/models", s.handleModels)
 	s.mux.HandleFunc("DELETE /v1/models/{id}", s.handleDeleteModel)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if opts.Pprof {
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
+	s.log.Debug("serving layer ready",
+		"max_batch", opts.MaxBatch, "fit_workers", opts.FitWorkers,
+		"tracing", opts.TraceEvents, "pprof", opts.Pprof)
 	return s
 }
 
@@ -179,11 +222,15 @@ func (s *Server) Close() {
 	s.closeOnce.Do(func() {
 		s.jobs.close()
 		s.st.closeAll()
+		s.log.Debug("serving layer drained and closed")
 	})
 }
 
-// Trace merges every batcher's recorded spans (one per batch, one per
-// solve). Call after Close; nil when TraceEvents was off.
+// Trace merges every recorded track — the request-root track plus one
+// per model batcher — onto distinct ranks of one timeline. Request
+// spans parent batch spans across tracks via explicit span contexts,
+// so the merged trace shows each request's full causal chain. Call
+// after Close; nil when TraceEvents was off.
 func (s *Server) Trace() *trace.Trace {
 	s.traceMu.Lock()
 	defer s.traceMu.Unlock()
@@ -193,6 +240,11 @@ func (s *Server) Trace() *trace.Trace {
 	merged := &trace.Trace{}
 	for _, sess := range s.sessions {
 		t := sess.Merge()
+		// Offset onto the next free track; Merge copies, so this stays
+		// idempotent across repeated Trace calls.
+		for i := range t.Events {
+			t.Events[i].Rank += merged.Ranks
+		}
 		merged.Ranks += t.Ranks
 		merged.Dropped += t.Dropped
 		merged.Events = append(merged.Events, t.Events...)
@@ -224,6 +276,10 @@ func (s *Server) newModel(id string, w *mat.Dense) (*model, error) {
 	if s.opts.TraceEvents {
 		sess := trace.NewSession(1, s.opts.TraceCapacity)
 		tc = sess.Tracer(0)
+		// The batcher goroutine owns both the tracer and the projector,
+		// so the projector's kernel spans (WᵀC multiply, NNLS) nest
+		// under the batcher's solve span on the same track.
+		proj.SetTracer(tc)
 		s.traceMu.Lock()
 		s.sessions = append(s.sessions, sess)
 		s.traceMu.Unlock()
@@ -239,13 +295,15 @@ func (s *Server) newModel(id string, w *mat.Dense) (*model, error) {
 // project runs one column through the model's batching loop and
 // returns the request carrier (coefficients in r.h, relative residual
 // in r.resid). The caller must putReq it after copying the outputs.
-// This is the whole per-request steady-state path — carrier from the
-// pool, one atomic submit, one channel round trip — and it allocates
-// nothing once warm.
-func (s *Server) project(modelID string, col []float64) (*projReq, error) {
+// A span context on ctx (trace.ContextWith) rides the carrier into the
+// batcher, which parents its batch span under it. This is the whole
+// per-request steady-state path — carrier from the pool, one atomic
+// submit, one channel round trip — and it allocates nothing once warm.
+func (s *Server) project(ctx context.Context, modelID string, col []float64) (*projReq, error) {
 	start := time.Now()
 	s.met.requests.Inc()
 	r := getReq(col)
+	r.sc = trace.FromContext(ctx)
 	err := s.st.withModel(modelID, func(m *model) error {
 		if len(col) != m.w.Rows {
 			return &shapeError{got: len(col), want: m.w.Rows}
@@ -272,11 +330,13 @@ func (s *Server) project(modelID string, col []float64) (*projReq, error) {
 // projectMany submits every column of a request atomically (all
 // coalesce into the same batch window, and a full queue rejects the
 // whole request rather than half of it), then waits for all.
-func (s *Server) projectMany(modelID string, cols [][]float64) ([]*projReq, error) {
+func (s *Server) projectMany(ctx context.Context, modelID string, cols [][]float64) ([]*projReq, error) {
 	s.met.requests.Add(int64(len(cols)))
+	sc := trace.FromContext(ctx)
 	reqs := make([]*projReq, len(cols))
 	for i, c := range cols {
 		reqs[i] = getReq(c)
+		reqs[i].sc = sc
 	}
 	err := s.st.withModel(modelID, func(m *model) error {
 		for _, c := range cols {
@@ -337,6 +397,9 @@ func (s *Server) runFit(j *fitJob) (float64, int, error) {
 		Seed:         spec.Seed,
 		Tol:          spec.Tol,
 		ComputeError: true,
+		// Stream per-iteration telemetry into the job record so
+		// GET /v1/jobs/{id}/progress can serve it live.
+		Progress: j.addProgress,
 	}
 	res, err := core.RunSequential(core.WrapDense(a), opts)
 	if err != nil {
@@ -460,6 +523,76 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, info)
 }
 
+// handleJobProgress streams a fit job's per-iteration convergence
+// telemetry as NDJSON: one core.Progress object per line as iterations
+// complete, then one final JobInfo line when the job reaches a
+// terminal state. Clients get live convergence curves without polling
+// the whole job object.
+func (s *Server) handleJobProgress(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.lookup(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("serve: job %q not found", r.PathValue("id")))
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-cache")
+	fl, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	sent := 0
+	for {
+		recs, state := j.progressSince(sent)
+		for _, p := range recs {
+			_ = enc.Encode(p)
+		}
+		sent += len(recs)
+		if len(recs) > 0 && fl != nil {
+			fl.Flush()
+		}
+		if state == JobDone || state == JobFailed {
+			break
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-time.After(25 * time.Millisecond):
+		}
+	}
+	_ = enc.Encode(j.info())
+	if fl != nil {
+		fl.Flush()
+	}
+}
+
+// beginRequest opens the request-root span when tracing is armed: the
+// parent comes from an X-Trace-Id header (format traceID-spanID, both
+// hex) so the serving layer joins a caller's existing trace, else a
+// fresh trace ID is minted. The returned context carries the span's
+// identity down the projection path.
+func (s *Server) beginRequest(r *http.Request, name string, cols int64) (trace.Span, trace.SpanContext) {
+	if s.reqTC == nil {
+		return trace.Span{}, trace.SpanContext{}
+	}
+	parent, err := trace.ParseSpanContext(r.Header.Get("X-Trace-Id"))
+	if err != nil || !parent.Valid() {
+		parent = trace.SpanContext{TraceID: trace.NewTraceID()}
+	}
+	s.reqMu.Lock()
+	// Explicit parenting keeps concurrent requests from nesting under
+	// each other on the shared request track.
+	sp := s.reqTC.BeginChildArg(parent, trace.CatRequest, name, "cols", cols)
+	s.reqMu.Unlock()
+	return sp, sp.Context()
+}
+
+func (s *Server) endRequest(sp trace.Span) {
+	if s.reqTC == nil {
+		return
+	}
+	s.reqMu.Lock()
+	sp.End()
+	s.reqMu.Unlock()
+}
+
 func (s *Server) handleProject(w http.ResponseWriter, r *http.Request) {
 	var req ProjectRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
@@ -478,8 +611,18 @@ func (s *Server) handleProject(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("no columns to project"))
 		return
 	}
-	reqs, err := s.projectMany(req.Model, cols)
+	sp, sc := s.beginRequest(r, "http.project", int64(len(cols)))
+	ctx := r.Context()
+	if sc.Valid() {
+		// Echo the request's own span context so the caller can locate
+		// its spans in the exported timeline.
+		w.Header().Set("X-Trace-Id", sc.String())
+		ctx = trace.ContextWith(ctx, sc)
+	}
+	reqs, err := s.projectMany(ctx, req.Model, cols)
+	s.endRequest(sp)
 	if err != nil {
+		s.log.Debug("project failed", "model", req.Model, "cols", len(cols), "err", err)
 		switch {
 		case errors.Is(err, errBusy):
 			w.Header().Set("Retry-After", "1")
@@ -533,9 +676,38 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "ok")
 }
 
+// Exposition content types served by /metrics.
+const (
+	ctPrometheus  = "text/plain; version=0.0.4; charset=utf-8"
+	ctOpenMetrics = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+)
+
+// handleMetrics negotiates the exposition format: Prometheus text
+// 0.0.4 by default (what a Prometheus scraper expects), OpenMetrics
+// when the Accept header asks for it (adds the # EOF terminator), the
+// structured JSON snapshot via ?format=json or Accept:
+// application/json, and the legacy human-oriented dump via
+// ?format=text. Output order is deterministic (families sorted by
+// name) in every format.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	s.reg.Snapshot().WriteText(w)
+	format := r.URL.Query().Get("format")
+	accept := r.Header.Get("Accept")
+	switch {
+	case format == "json" || (format == "" && strings.Contains(accept, "application/json")):
+		writeJSON(w, s.reg.Snapshot())
+	case format == "text":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		s.reg.Snapshot().WriteText(w)
+	case format == "openmetrics" || (format == "" && strings.Contains(accept, "application/openmetrics-text")):
+		w.Header().Set("Content-Type", ctOpenMetrics)
+		_ = s.reg.WritePrometheus(w)
+		_ = metrics.WriteGoRuntime(w)
+		fmt.Fprintln(w, "# EOF")
+	default:
+		w.Header().Set("Content-Type", ctPrometheus)
+		_ = s.reg.WritePrometheus(w)
+		_ = metrics.WriteGoRuntime(w)
+	}
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

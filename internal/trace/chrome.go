@@ -15,6 +15,13 @@ import (
 // naming one thread per rank. Perfetto and chrome://tracing open
 // these files directly and nest overlapping spans on each track.
 
+// Reserved arg keys carrying span identity through the Chrome export.
+const (
+	argSpanID     = "span_id"
+	argSpanParent = "span_parent"
+	argTraceID    = "trace_id"
+)
+
 type chromeEvent struct {
 	Name string         `json:"name"`
 	Cat  string         `json:"cat,omitempty"`
@@ -62,8 +69,23 @@ func (t *Trace) WriteChrome(w io.Writer) error {
 			Dur:  usOf(e.Dur),
 			Tid:  e.Rank,
 		}
-		if e.ArgName != "" {
-			ce.Args = map[string]any{e.ArgName: e.Arg}
+		if e.ArgName != "" || e.ID != 0 || e.Parent != 0 || e.TraceID != 0 {
+			ce.Args = map[string]any{}
+			if e.ArgName != "" {
+				ce.Args[e.ArgName] = e.Arg
+			}
+			// Span identity rides along as hex-string args (JSON
+			// numbers lose precision above 2^53) so Perfetto shows the
+			// causal chain and ParseChrome can restore it.
+			if e.ID != 0 {
+				ce.Args[argSpanID] = fmt.Sprintf("%016x", e.ID)
+			}
+			if e.Parent != 0 {
+				ce.Args[argSpanParent] = fmt.Sprintf("%016x", e.Parent)
+			}
+			if e.TraceID != 0 {
+				ce.Args[argTraceID] = fmt.Sprintf("%016x", e.TraceID)
+			}
 		}
 		f.TraceEvents = append(f.TraceEvents, ce)
 	}
@@ -83,6 +105,16 @@ func (t *Trace) WriteChromeFile(path string) error {
 		return err
 	}
 	return out.Close()
+}
+
+// ParseChromeFile reads a Chrome trace_event JSON file from path.
+func ParseChromeFile(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ParseChrome(f)
 }
 
 // ParseChrome reads a trace written by WriteChrome back into a Trace.
@@ -110,11 +142,31 @@ func ParseChrome(r io.Reader) (*Trace, error) {
 			Dur:   durOf(ce.Dur),
 		}
 		for k, v := range ce.Args {
-			n, ok := v.(float64)
-			if !ok {
-				return nil, fmt.Errorf("trace: event %q arg %q is %T, want number", ce.Name, k, v)
+			switch k {
+			case argSpanID, argSpanParent, argTraceID:
+				s, ok := v.(string)
+				if !ok {
+					return nil, fmt.Errorf("trace: event %q arg %q is %T, want hex string", ce.Name, k, v)
+				}
+				var id uint64
+				if _, err := fmt.Sscanf(s, "%16x", &id); err != nil {
+					return nil, fmt.Errorf("trace: event %q arg %q: %w", ce.Name, k, err)
+				}
+				switch k {
+				case argSpanID:
+					e.ID = id
+				case argSpanParent:
+					e.Parent = id
+				case argTraceID:
+					e.TraceID = id
+				}
+			default:
+				n, ok := v.(float64)
+				if !ok {
+					return nil, fmt.Errorf("trace: event %q arg %q is %T, want number", ce.Name, k, v)
+				}
+				e.ArgName, e.Arg = k, int64(n)
 			}
-			e.ArgName, e.Arg = k, int64(n)
 		}
 		t.Events = append(t.Events, e)
 	}

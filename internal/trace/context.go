@@ -1,0 +1,64 @@
+package trace
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/binary"
+	"fmt"
+)
+
+// SpanContext is the portable identity of one span: enough to parent
+// further work in another goroutine, another rank, or another process.
+// The zero value means "no active span".
+type SpanContext struct {
+	TraceID uint64
+	SpanID  uint64
+}
+
+// Valid reports whether the context names a real trace.
+func (sc SpanContext) Valid() bool { return sc.TraceID != 0 }
+
+// String renders the context as traceID-spanID in hex, the wire form
+// accepted by ParseSpanContext (used in the X-Trace-Id HTTP header).
+func (sc SpanContext) String() string {
+	return fmt.Sprintf("%016x-%016x", sc.TraceID, sc.SpanID)
+}
+
+// ParseSpanContext parses the String form. Unparseable input yields
+// the zero context and an error.
+func ParseSpanContext(s string) (SpanContext, error) {
+	var sc SpanContext
+	if _, err := fmt.Sscanf(s, "%16x-%16x", &sc.TraceID, &sc.SpanID); err != nil {
+		return SpanContext{}, fmt.Errorf("trace: parsing span context %q: %w", s, err)
+	}
+	return sc, nil
+}
+
+// NewTraceID returns a random nonzero trace identifier.
+func NewTraceID() uint64 {
+	var b [8]byte
+	for {
+		if _, err := rand.Read(b[:]); err != nil {
+			// crypto/rand never fails on supported platforms; fall back
+			// to the span sequence so tracing still works if it does.
+			return nextSpanID() | 1<<63
+		}
+		if id := binary.BigEndian.Uint64(b[:]); id != 0 {
+			return id
+		}
+	}
+}
+
+type ctxKey struct{}
+
+// ContextWith returns a context carrying the span context.
+func ContextWith(ctx context.Context, sc SpanContext) context.Context {
+	return context.WithValue(ctx, ctxKey{}, sc)
+}
+
+// FromContext extracts the span context stored by ContextWith, or the
+// zero SpanContext if none is present.
+func FromContext(ctx context.Context) SpanContext {
+	sc, _ := ctx.Value(ctxKey{}).(SpanContext)
+	return sc
+}

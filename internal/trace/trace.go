@@ -16,6 +16,7 @@ package trace
 
 import (
 	"sort"
+	"sync/atomic"
 	"time"
 )
 
@@ -28,7 +29,23 @@ const (
 	CatPhase = "phase"
 	// CatIter marks whole alternating iterations.
 	CatIter = "iter"
+	// CatRequest marks request-scoped root spans (one HTTP request,
+	// one fit job) that parent the work they trigger across tracks.
+	CatRequest = "request"
+	// CatKernel marks compute-kernel spans (the innermost level of the
+	// request → batch → solve → kernel causal chain).
+	CatKernel = "kernel"
 )
+
+// spanSeq hands out process-unique span identifiers. A single shared
+// counter (one uncontended atomic add per Begin — noise next to the
+// two clock reads a span already costs) keeps IDs unique across every
+// tracer and session in the process, so spans recorded on different
+// tracks can reference each other as parents without coordination.
+var spanSeq atomic.Uint64
+
+// nextSpanID returns a fresh nonzero span ID.
+func nextSpanID() uint64 { return spanSeq.Add(1) }
 
 // DefaultCapacity is the per-rank ring-buffer size used when a
 // session is created with capacity ≤ 0.
@@ -45,6 +62,13 @@ type Event struct {
 	Arg     int64
 	Start   time.Duration
 	Dur     time.Duration
+	// Span identity: ID is this span's process-unique identifier,
+	// Parent the span it is causally nested under (0 = none), and
+	// TraceID the request-scoped trace it belongs to (0 = untraced
+	// background work). Parents may live on other ranks' tracks.
+	TraceID uint64
+	ID      uint64
+	Parent  uint64
 }
 
 // Tracer records events for a single rank. It must only be used from
@@ -55,6 +79,25 @@ type Tracer struct {
 	buf   []Event
 	next  int   // next ring slot to overwrite
 	total int64 // events ever recorded (total - min(total, len(buf)) were dropped)
+	root  SpanContext
+	stack []openSpan // open (pushed) spans, innermost last
+}
+
+// openSpan is one stack entry: the span's ID plus the trace it belongs
+// to, so implicit children inherit the trace ID even when their parent
+// was begun under an explicit cross-track span context.
+type openSpan struct{ id, traceID uint64 }
+
+// SetRoot stamps the tracer with a request-scoped root: spans begun
+// while no pushed span is open become children of root, and every
+// span records root's trace ID. A zero SpanContext clears the root.
+// Like all Tracer methods it must be called from the owning
+// goroutine; no-op on a nil tracer.
+func (t *Tracer) SetRoot(sc SpanContext) {
+	if t == nil {
+		return
+	}
+	t.root = sc
 }
 
 // Span is an in-flight event; call End to record it. The zero Span is
@@ -66,23 +109,77 @@ type Span struct {
 	argName string
 	arg     int64
 	start   time.Duration
+	id      uint64 // 0 for leaf spans recorded without a stack entry
+	parent  uint64
+	traceID uint64
+	leaf    bool
+}
+
+// Context returns the span's identity for cross-goroutine or
+// cross-rank propagation (e.g. via ContextWith). Zero for spans from
+// a nil tracer and for leaf spans.
+func (s Span) Context() SpanContext {
+	if s.leaf {
+		return SpanContext{}
+	}
+	return SpanContext{TraceID: s.traceID, SpanID: s.id}
+}
+
+// begin is the common span constructor: parent defaults to the
+// innermost open span, else the tracer root; push controls whether
+// the new span joins the open stack (leaf spans do not, so spans that
+// outlive later-begun siblings — nonblocking collectives — cannot
+// corrupt the nesting).
+func (t *Tracer) begin(cat, name, argName string, arg int64, parent SpanContext, explicit, push bool) Span {
+	if t == nil {
+		return Span{}
+	}
+	s := Span{t: t, cat: cat, name: name, argName: argName, arg: arg, start: time.Since(t.epoch)}
+	if explicit {
+		s.parent, s.traceID = parent.SpanID, parent.TraceID
+	} else if n := len(t.stack); n > 0 {
+		s.parent, s.traceID = t.stack[n-1].id, t.stack[n-1].traceID
+	} else {
+		s.parent, s.traceID = t.root.SpanID, t.root.TraceID
+	}
+	if push {
+		s.id = nextSpanID()
+		t.stack = append(t.stack, openSpan{id: s.id, traceID: s.traceID})
+	} else {
+		s.leaf = true
+	}
+	return s
 }
 
 // Begin opens a span with the given category and name.
 func (t *Tracer) Begin(cat, name string) Span {
-	if t == nil {
-		return Span{}
-	}
-	return Span{t: t, cat: cat, name: name, start: time.Since(t.epoch)}
+	return t.begin(cat, name, "", 0, SpanContext{}, false, true)
 }
 
 // BeginArg opens a span carrying one named integer payload, e.g.
 // ("mpi", "AllGather", "words", 4096).
 func (t *Tracer) BeginArg(cat, name, argName string, arg int64) Span {
-	if t == nil {
-		return Span{}
-	}
-	return Span{t: t, cat: cat, name: name, argName: argName, arg: arg, start: time.Since(t.epoch)}
+	return t.begin(cat, name, argName, arg, SpanContext{}, false, true)
+}
+
+// BeginChild opens a span under an explicit parent (typically a span
+// context carried across goroutines or ranks) instead of the
+// tracer's own open stack.
+func (t *Tracer) BeginChild(parent SpanContext, cat, name string) Span {
+	return t.begin(cat, name, "", 0, parent, true, true)
+}
+
+// BeginChildArg is BeginChild with one named integer payload.
+func (t *Tracer) BeginChildArg(parent SpanContext, cat, name, argName string, arg int64) Span {
+	return t.begin(cat, name, argName, arg, parent, true, true)
+}
+
+// BeginLeafArg opens a span that is parented like BeginArg but never
+// joins the open-span stack, so it may end after later-begun spans
+// without disturbing their nesting. Used for nonblocking collectives
+// whose Wait happens deep inside a later phase.
+func (t *Tracer) BeginLeafArg(cat, name, argName string, arg int64) Span {
+	return t.begin(cat, name, argName, arg, SpanContext{}, false, false)
 }
 
 // End records the span into its tracer's ring buffer. Safe on the
@@ -92,6 +189,16 @@ func (s Span) End() {
 	if t == nil {
 		return
 	}
+	if s.id != 0 {
+		// Pop this span from the open stack. It is almost always the
+		// top; the search handles mismatched End ordering gracefully.
+		for i := len(t.stack) - 1; i >= 0; i-- {
+			if t.stack[i].id == s.id {
+				t.stack = append(t.stack[:i], t.stack[i+1:]...)
+				break
+			}
+		}
+	}
 	t.buf[t.next] = Event{
 		Rank:    t.rank,
 		Cat:     s.cat,
@@ -100,6 +207,9 @@ func (s Span) End() {
 		Arg:     s.arg,
 		Start:   s.start,
 		Dur:     time.Since(t.epoch) - s.start,
+		TraceID: s.traceID,
+		ID:      s.id,
+		Parent:  s.parent,
 	}
 	t.next++
 	if t.next == len(t.buf) {
@@ -158,6 +268,28 @@ func NewSession(ranks, capacity int) *Session {
 
 // Ranks returns the number of rank tracks in the session.
 func (s *Session) Ranks() int { return len(s.tracers) }
+
+// SetRoot stamps every rank tracer with the same request-scoped root
+// span context. Call before handing tracers to rank goroutines.
+func (s *Session) SetRoot(sc SpanContext) {
+	for _, t := range s.tracers {
+		t.SetRoot(sc)
+	}
+}
+
+// Rerank renumbers every tracer's rank (and its retained events) by
+// adding base, so multiple sessions can merge onto distinct tracks.
+// Call only while no rank goroutine is recording.
+func (s *Session) Rerank(base int) {
+	for _, t := range s.tracers {
+		t.rank += base
+		for i := range t.buf {
+			if t.buf[i].Name != "" {
+				t.buf[i].Rank = t.rank
+			}
+		}
+	}
+}
 
 // Tracer returns the tracer owned by the given rank.
 func (s *Session) Tracer(rank int) *Tracer { return s.tracers[rank] }

@@ -82,11 +82,20 @@ type Trace = trace.Trace
 
 // MetricsRegistry collects counters, gauges, and latency histograms
 // from a run; it is safe for concurrent use across rank goroutines.
+// WritePrometheus renders it in the Prometheus text exposition format.
 type MetricsRegistry = metrics.Registry
 
 // NewMetricsRegistry returns an empty metrics registry for
 // Options.Metrics.
 func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }
+
+// Progress is one iteration's convergence-telemetry record, delivered
+// through Options.Progress and collected into Result.Progress.
+type Progress = core.Progress
+
+// SpanContext is the portable identity of a trace span; set
+// Options.Span to parent a run's spans under an external request.
+type SpanContext = trace.SpanContext
 
 // Report is the versioned machine-readable record of one run.
 type Report = core.Report
