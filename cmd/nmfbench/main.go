@@ -75,6 +75,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if *scale != 1.0 {
 			kcfg.M = int(10000 * *scale)
 			kcfg.N = int(400 * *scale)
+			kcfg.HPCNodes = int(3000 * *scale)
 		}
 		rep := experiments.CollectKernels(kcfg)
 		if *jsonP != "" {

@@ -80,7 +80,7 @@ func TestComputePathZeroAllocs(t *testing.T) {
 			steady := func() {
 				mulHtInto(aht, tc.a, h, ws, nil)
 				mulBtInto(aht, tc.a, bt, nil)
-				mulAtBInto(wta, tc.a, w, nil)
+				mulAtBInto(wta, tc.a, w, ws, nil)
 				_ = projGradSq(wtw, wta, h, ws, nil)
 				g, f, gTmp, fTmp := applyRegInto(ws, wtw, wta, 0.1, 0.05)
 				_, _ = g, f

@@ -10,6 +10,7 @@ import (
 	"hpcnmf/internal/mpi"
 	"hpcnmf/internal/nnls"
 	"hpcnmf/internal/par"
+	"hpcnmf/internal/partition"
 	"hpcnmf/internal/perf"
 	"hpcnmf/internal/trace"
 )
@@ -43,8 +44,26 @@ func RunHPCAuto(a Matrix, p int, opts Options) (*Result, error) {
 		return nil, err
 	}
 	model := o.Model
-	g, _, err := costmodel.AutoGrid(m, n, o.K, p, int64(a.NNZ()),
-		model.Alpha, model.Beta, model.Gamma)
+	nnzPerRank := func(grid.Grid) int64 { return int64(a.NNZ()) / int64(p) }
+	if s, ok := UnwrapSparse(a); ok {
+		// Price each candidate at its heaviest 2D block: under skewed
+		// sparsity the critical-path rank does max-block work, not the
+		// average, and which grid concentrates the heavy rows differs
+		// by candidate. O(nnz) per candidate, a handful of candidates.
+		nnzPerRank = func(g grid.Grid) int64 {
+			maxBlock := 0
+			for _, row := range partition.BlockNNZ(s, g) {
+				for _, b := range row {
+					if b > maxBlock {
+						maxBlock = b
+					}
+				}
+			}
+			return int64(maxBlock)
+		}
+	}
+	g, _, err := costmodel.AutoGridWith(m, n, o.K, p,
+		model.Alpha, model.Beta, model.Gamma, nnzPerRank)
 	if err != nil {
 		return nil, err
 	}
@@ -326,7 +345,7 @@ func RunHPC(a Matrix, g grid.Grid, opts Options) (*Result, error) {
 				}
 				ps = clk.Start(perf.TaskMM)
 				yijChunk := ws.Get(kc, nj)
-				mulAtBInto(yijChunk, aij, wiChunk, pool) // Yij rows [c0,c1), kc×nj
+				mulAtBInto(yijChunk, aij, wiChunk, ws, pool) // Yij rows [c0,c1), kc×nj
 				clk.Stop(ps)
 				tr.AddFlops(perf.TaskMM, 2*int64(aij.NNZ())*int64(kc))
 				yijT := ws.Get(nj, kc)

@@ -45,14 +45,16 @@ func mulBtInto(dst *mat.Dense, a Matrix, bt *mat.Dense, pool *par.Pool) {
 	dst.CopyFrom(a.MulBt(bt))
 }
 
-// mulAtBInto computes dst = Wᵀ·A (k×n) for W of shape m×k.
-func mulAtBInto(dst *mat.Dense, a Matrix, w *mat.Dense, pool *par.Pool) {
+// mulAtBInto computes dst = Wᵀ·A (k×n) for W of shape m×k. The
+// sparse kernel needs an n×k accumulator; it is drawn from ws when
+// one is supplied (pass nil to let the kernel allocate).
+func mulAtBInto(dst *mat.Dense, a Matrix, w *mat.Dense, ws *mat.Workspace, pool *par.Pool) {
 	if d, ok := UnwrapDense(a); ok {
 		mat.ParMulAtBTo(dst, w, d, pool)
 		return
 	}
 	if s, ok := UnwrapSparse(a); ok {
-		s.MulWtATo(dst, w, pool)
+		s.MulWtAToWS(dst, w, pool, ws)
 		return
 	}
 	dst.CopyFrom(a.MulAtB(w))

@@ -160,7 +160,7 @@ func RunNaive(a Matrix, p int, opts Options) (*Result, error) {
 			tr.AddFlops(perf.TaskGram, gramFlops(m, k))
 
 			ps = clk.Start(perf.TaskMM)
-			mulAtBInto(wtai, aCol, w, pool) // Wᵀ·Aⁱ, k×ni
+			mulAtBInto(wtai, aCol, w, ws, pool) // Wᵀ·Aⁱ, k×ni
 			clk.Stop(ps)
 			tr.AddFlops(perf.TaskMM, 2*int64(aCol.NNZ())*int64(k))
 

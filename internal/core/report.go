@@ -6,6 +6,7 @@ import (
 	"io"
 	"os"
 
+	"hpcnmf/internal/mat"
 	"hpcnmf/internal/metrics"
 	"hpcnmf/internal/perf"
 )
@@ -16,7 +17,8 @@ import (
 //
 //	1 — initial schema
 //	2 — adds the per-iteration "progress" telemetry series (pure
-//	    addition; v1 reports remain readable)
+//	    addition; v1 reports remain readable); later also gains
+//	    dataset.storage and kernel_isa (again pure additions)
 const ReportVersion = 2
 
 // minReportVersion is the oldest schema this build still reads.
@@ -28,12 +30,20 @@ type DatasetInfo struct {
 	Rows int    `json:"rows"`
 	Cols int    `json:"cols"`
 	NNZ  int64  `json:"nnz"`
+	// Storage records which compute path the run took: "sparse" (CSR
+	// kernels) or "dense" (blocked dense kernels). Recorded since the
+	// drivers choose per storage kind and nmfrun now auto-detects it.
+	Storage string `json:"storage,omitempty"`
 }
 
 // DescribeMatrix builds the DatasetInfo for a data matrix.
 func DescribeMatrix(name string, a Matrix) DatasetInfo {
 	m, n := a.Dims()
-	return DatasetInfo{Name: name, Rows: m, Cols: n, NNZ: int64(a.NNZ())}
+	storage := "dense"
+	if a.IsSparse() {
+		storage = "sparse"
+	}
+	return DatasetInfo{Name: name, Rows: m, Cols: n, NNZ: int64(a.NNZ()), Storage: storage}
 }
 
 // ReportOptions is the subset of Options recorded in reports (the
@@ -73,6 +83,12 @@ type Report struct {
 	Grid                 string  `json:"grid,omitempty"`
 	GridAuto             bool    `json:"grid_auto,omitempty"`
 	GridPredictedSeconds float64 `json:"grid_predicted_seconds,omitempty"`
+
+	// KernelISA records the kernel dispatch level the run executed
+	// under ("generic", "sse2", "avx2", "avx2+fma") — results are
+	// bitwise identical across all but the FMA level, so this mostly
+	// matters for auditing performance numbers and AllowFMA runs.
+	KernelISA string `json:"kernel_isa,omitempty"`
 
 	Options    ReportOptions `json:"options"`
 	Iterations int           `json:"iterations"`
@@ -126,6 +142,7 @@ func NewReport(ds DatasetInfo, p int, opts Options, res *Result, tracePath strin
 			L1H:          opts.L1H,
 		},
 		Iterations:           res.Iterations,
+		KernelISA:            mat.ISA(),
 		GridAuto:             res.GridAuto,
 		GridPredictedSeconds: res.GridPredictedSeconds,
 		RelErr:               res.RelErr,

@@ -133,7 +133,7 @@ func (s *seqState) step(it int) error {
 	s.tr.AddFlops(perf.TaskGram, gramFlops(s.m, s.k))
 
 	ps = s.clk.Start(perf.TaskMM)
-	mulAtBInto(s.wta, s.a, s.w, s.pool) // k×n
+	mulAtBInto(s.wta, s.a, s.w, s.ws, s.pool) // k×n
 	s.clk.Stop(ps)
 	s.tr.AddFlops(perf.TaskMM, 2*int64(s.a.NNZ())*int64(s.k))
 

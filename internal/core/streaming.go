@@ -186,7 +186,7 @@ func (s *Streaming) Push(cols *mat.Dense) error {
 		}
 		s.wt.TTo(s.w)
 		s.proj.RefreshGram()
-		mulAtBInto(s.wta, s.a, s.w, nil)
+		mulAtBInto(s.wta, s.a, s.w, s.ws, nil)
 		if _, err := solveDamped(s.solver, s.ctx, s.proj.Gram(), s.wta, s.h, s.h); err != nil {
 			return fmt.Errorf("core: streaming H refinement failed: %w", err)
 		}
@@ -229,7 +229,7 @@ func (s *Streaming) RelErr() float64 {
 	if normA2 == 0 {
 		return 0
 	}
-	mulAtBInto(s.wta, s.a, s.w, nil)
+	mulAtBInto(s.wta, s.a, s.w, s.ws, nil)
 	mat.ParGramTTo(s.hGram, s.h, nil)
 	return relErrFrom(normA2, mat.Dot(s.wta, s.h), mat.Dot(s.proj.Gram(), s.hGram))
 }

@@ -60,11 +60,30 @@ func Grids(m, n, k, p int, nnz int64, alpha, beta, gamma float64) ([]GridCandida
 
 // AutoGrid picks the minimum-modeled-time grid for p ranks — grid.Auto
 // wired to the full α-β-γ model — and returns the winner with its
-// traffic prediction.
+// traffic prediction. The per-rank flop term assumes an even nnz
+// split; use AutoGridWith to price skewed sparsity.
 func AutoGrid(m, n, k, p int, nnz int64, alpha, beta, gamma float64) (grid.Grid, Prediction, error) {
-	g, err := grid.Auto(p, m, n, k, grid.AutoOptions{Cost: GridCost(m, n, k, nnz, alpha, beta, gamma)})
+	return AutoGridWith(m, n, k, p, alpha, beta, gamma, func(grid.Grid) int64 {
+		return nnz / int64(p)
+	})
+}
+
+// AutoGridWith is AutoGrid with a caller-supplied per-rank nnz term:
+// nnzPerRank prices the sparse-multiply flops of one rank under each
+// candidate grid. An even split nnz/p reproduces AutoGrid; a sparse
+// caller can instead return the heaviest block of the candidate's 2D
+// tiling, pricing the critical-path rank — on skewed matrices
+// (power-law graphs) the heaviest tile of a bad grid carries several
+// times the average, and that multiple differs by candidate, which
+// the even split cannot see.
+func AutoGridWith(m, n, k, p int, alpha, beta, gamma float64, nnzPerRank func(grid.Grid) int64) (grid.Grid, Prediction, error) {
+	cost := func(pr, pc int) float64 {
+		g := grid.Grid{PR: pr, PC: pc}
+		return HPCExact(m, n, k, g, nnzPerRank(g)).Seconds(alpha, beta, gamma)
+	}
+	g, err := grid.Auto(p, m, n, k, grid.AutoOptions{Cost: cost})
 	if err != nil {
 		return grid.Grid{}, Prediction{}, err
 	}
-	return g, HPCExact(m, n, k, g, nnz/int64(p)), nil
+	return g, HPCExact(m, n, k, g, nnzPerRank(g)), nil
 }

@@ -6,6 +6,8 @@ import (
 	"io"
 	"time"
 
+	"hpcnmf/internal/core"
+	"hpcnmf/internal/grid"
 	"hpcnmf/internal/mat"
 	"hpcnmf/internal/par"
 	"hpcnmf/internal/rng"
@@ -22,7 +24,8 @@ import (
 // KernelRow is one timed (kernel, implementation, threads) point.
 type KernelRow struct {
 	// Kernel names the operation (MulAtB, Gram, MulABt, MulAdd, GramT,
-	// SpMulBt, SpMulWtA).
+	// SpMulBt, SpMulWtA, their Skew/Small sparse variants, or the
+	// HPC2Dwebbase driver rows).
 	Kernel string `json:"kernel"`
 	// M, N, K give the operand shape; the output is k×n (MulAtB), k×k
 	// (Gram/GramT), or m-rowed otherwise.
@@ -78,6 +81,12 @@ type KernelConfig struct {
 	Reps int
 	// Seed drives operand generation.
 	Seed uint64
+	// HPCNodes sizes the webbase-shaped synthetic (a square power-law
+	// graph of this many nodes) behind the HPC2Dwebbase driver rows,
+	// which time a full 2D HPC-NMF iteration dense-vs-sparse at the
+	// same shape (default 3000). ≤ 0 after explicit zeroing disables
+	// the driver rows entirely (set to -1).
+	HPCNodes int
 }
 
 func (c KernelConfig) withDefaults() KernelConfig {
@@ -98,6 +107,9 @@ func (c KernelConfig) withDefaults() KernelConfig {
 	}
 	if c.Seed == 0 {
 		c.Seed = 42
+	}
+	if c.HPCNodes == 0 {
+		c.HPCNodes = 3000
 	}
 	return c
 }
@@ -151,6 +163,31 @@ func CollectKernels(cfg KernelConfig) *KernelReport {
 	cMul := mat.NewDense(m, n)   // W·H
 	cSpWta := mat.NewDense(k, n) // sparse Wᵀ·A
 
+	// Skewed (webbase-shaped) and small (below the serial-fallback
+	// threshold) sparse operands for the locality-kernel rows.
+	spSkew := sparse.RandomPowerLaw(m, 8, s)
+	htSkew := mat.NewDense(spSkew.Cols, k)
+	htSkew.RandomUniform(s)
+	wSkew := mat.NewDense(spSkew.Rows, k)
+	wSkew.RandomUniform(s)
+	cSkewBt := mat.NewDense(spSkew.Rows, k)
+	cSkewWta := mat.NewDense(k, spSkew.Cols)
+
+	spSmall := sparse.RandomER(max(m/10, 1), n, 0.01, s)
+	htSmall := mat.NewDense(spSmall.Cols, k)
+	htSmall.RandomUniform(s)
+	wSmall := mat.NewDense(spSmall.Rows, k)
+	wSmall.RandomUniform(s)
+	cSmallBt := mat.NewDense(spSmall.Rows, k)
+	cSmallWta := mat.NewDense(k, spSmall.Cols)
+
+	// The drivers call the Wᵀ·A kernel through a workspace arena, so
+	// the bench does too: without it every call allocates (and
+	// page-faults) a fresh n×k accumulator, and the measured time
+	// swings with whatever heap state earlier cases left behind —
+	// enough to trip the regression gate on the microsecond-scale rows.
+	ws := mat.NewWorkspace()
+
 	cases := []kernelCase{
 		{
 			name: "MulAtB", m: m, n: n, k: k,
@@ -183,19 +220,51 @@ func CollectKernels(cfg KernelConfig) *KernelReport {
 			blocked: func(p *par.Pool) { mat.ParGramTTo(cGram, h, p) },
 		},
 		{
-			// The sparse kernels had no blocked rewrite — the seed loops
-			// are already nnz-bound — so "blocked" here measures the
-			// row/column-partitioned pool path against the serial one.
+			// Sparse rows: "naive" is the retained scalar reference loop
+			// (the seed's kernel), "blocked" the locality-partitioned
+			// SIMD kernel — nnz-balanced ranges, k-strip blocking, and
+			// the Axpy4 primitives (see internal/sparse/spmm.go).
 			name: "SpMulBt", m: m, n: n, k: k,
 			flops:   2 * float64(sp.NNZ()) * float64(k),
-			naive:   func() { sp.MulBtTo(cAht, ht, nil) },
+			naive:   func() { sparse.RefMulBtTo(cAht, sp, ht) },
 			blocked: func(p *par.Pool) { sp.MulBtTo(cAht, ht, p) },
 		},
 		{
 			name: "SpMulWtA", m: m, n: n, k: k,
 			flops:   2 * float64(sp.NNZ()) * float64(k),
-			naive:   func() { sp.MulWtATo(cSpWta, w, nil) },
-			blocked: func(p *par.Pool) { sp.MulWtATo(cSpWta, w, p) },
+			naive:   func() { sparse.RefMulWtATo(cSpWta, sp, w) },
+			blocked: func(p *par.Pool) { sp.MulWtAToWS(cSpWta, w, p, ws) },
+		},
+		{
+			// Webbase-shaped skew: a square power-law graph, where
+			// nnz-balanced ranges matter (row-count splits strand the
+			// heavy rows on one worker) and the n×k panel exceeds the
+			// k-strip budget.
+			name: "SpMulBtSkew", m: spSkew.Rows, n: spSkew.Cols, k: k,
+			flops:   2 * float64(spSkew.NNZ()) * float64(k),
+			naive:   func() { sparse.RefMulBtTo(cSkewBt, spSkew, htSkew) },
+			blocked: func(p *par.Pool) { spSkew.MulBtTo(cSkewBt, htSkew, p) },
+		},
+		{
+			name: "SpMulWtASkew", m: spSkew.Rows, n: spSkew.Cols, k: k,
+			flops:   2 * float64(spSkew.NNZ()) * float64(k),
+			naive:   func() { sparse.RefMulWtATo(cSkewWta, spSkew, wSkew) },
+			blocked: func(p *par.Pool) { spSkew.MulWtAToWS(cSkewWta, wSkew, p, ws) },
+		},
+		{
+			// Below the serial-fallback threshold: the pooled call must
+			// bypass the pool, so speedup-vs-naive stays ≥ 1 at every
+			// thread count (the seed's pooled path measured 0.85× here).
+			name: "SpMulBtSmall", m: spSmall.Rows, n: spSmall.Cols, k: k,
+			flops:   2 * float64(spSmall.NNZ()) * float64(k),
+			naive:   func() { sparse.RefMulBtTo(cSmallBt, spSmall, htSmall) },
+			blocked: func(p *par.Pool) { spSmall.MulBtTo(cSmallBt, htSmall, p) },
+		},
+		{
+			name: "SpMulWtASmall", m: spSmall.Rows, n: spSmall.Cols, k: k,
+			flops:   2 * float64(spSmall.NNZ()) * float64(k),
+			naive:   func() { sparse.RefMulWtATo(cSmallWta, spSmall, wSmall) },
+			blocked: func(p *par.Pool) { spSmall.MulWtAToWS(cSmallWta, wSmall, p, ws) },
 		},
 	}
 
@@ -220,6 +289,54 @@ func CollectKernels(cfg KernelConfig) *KernelReport {
 				Seconds: sec, GFlops: kc.flops / sec / 1e9, SpeedupVsNaive: naiveSec / sec,
 			})
 		}
+	}
+
+	// Driver-level rows: per-iteration wall time of the full 2D
+	// HPC-NMF driver on a webbase-shaped synthetic (≥99% sparse,
+	// power-law skew), dense vs sparse storage of the same matrix.
+	// Impl "dense" is the baseline (speedup 1); the sparse row's
+	// speedup-vs-naive is the storage win at this shape, and its
+	// baseline row arms the regression gate on it. GFlops counts only
+	// the useful (nonzero) multiply work, so the dense row's low
+	// number is the point: it spends its time multiplying zeros.
+	if cfg.HPCNodes > 0 {
+		web := sparse.RandomPowerLaw(cfg.HPCNodes, 8, s)
+		const webK, webIters = 16, 3
+		g := grid.Grid{PR: 2, PC: 2}
+		reps := cfg.Reps
+		if reps > 3 {
+			reps = 3 // each rep is a full multi-iteration dense run
+		}
+		runIter := func(a core.Matrix) float64 {
+			best := 0.0
+			for r := 0; r < reps; r++ {
+				res, err := core.RunHPC(a, g, core.Options{
+					K: webK, MaxIter: webIters, Seed: cfg.Seed, Solver: core.SolverHALS,
+				})
+				if err != nil {
+					panic(fmt.Sprintf("experiments: HPC2Dwebbase run: %v", err))
+				}
+				// Breakdown is already the per-iteration aggregate.
+				if sec := res.Breakdown.MeasuredTotal(); r == 0 || sec < best {
+					best = sec
+				}
+			}
+			return best
+		}
+		webFlops := 4 * float64(web.NNZ()) * float64(webK) // two SpMM per iteration
+		denseSec := runIter(core.WrapDense(web.ToDense()))
+		spSec := runIter(core.WrapSparse(web))
+		rep.Rows = append(rep.Rows,
+			KernelRow{
+				Kernel: "HPC2Dwebbase", M: web.Rows, N: web.Cols, K: webK,
+				Impl: "dense", Threads: 1,
+				Seconds: denseSec, GFlops: webFlops / denseSec / 1e9, SpeedupVsNaive: 1,
+			},
+			KernelRow{
+				Kernel: "HPC2Dwebbase", M: web.Rows, N: web.Cols, K: webK,
+				Impl: "sparse", Threads: 1,
+				Seconds: spSec, GFlops: webFlops / spSec / 1e9, SpeedupVsNaive: denseSec / spSec,
+			})
 	}
 	return rep
 }
@@ -291,9 +408,9 @@ func CompareKernelReports(cur, base *KernelReport, tol float64) []KernelRegressi
 // -kernels prints.
 func WriteKernelTable(rep *KernelReport, w io.Writer) {
 	fmt.Fprintf(w, "Kernel micro-benchmarks (best of %d reps)\n", rep.Reps)
-	fmt.Fprintf(w, "%-9s %-8s %8s %12s %10s %10s\n", "kernel", "impl", "threads", "seconds", "GFlop/s", "speedup")
+	fmt.Fprintf(w, "%-13s %-8s %8s %12s %10s %10s\n", "kernel", "impl", "threads", "seconds", "GFlop/s", "speedup")
 	for _, r := range rep.Rows {
-		fmt.Fprintf(w, "%-9s %-8s %8d %12.6f %10.2f %9.2fx\n",
+		fmt.Fprintf(w, "%-13s %-8s %8d %12.6f %10.2f %9.2fx\n",
 			r.Kernel, r.Impl, r.Threads, r.Seconds, r.GFlops, r.SpeedupVsNaive)
 	}
 }

@@ -2,29 +2,103 @@
 
 package mat
 
-// axpy42Asm is the SSE2 inner kernel in axpy_amd64.s: it updates two
-// output rows from four shared input rows,
-//
-//	c0[j] = c0[j] + vw[0]·b0[j] + vw[1]·b1[j] + vw[2]·b2[j] + vw[3]·b3[j]
-//	c1[j] = c1[j] + vw[4]·b0[j] + vw[5]·b1[j] + vw[6]·b2[j] + vw[7]·b3[j]
-//
-// for j in [0,n), two elements per step with packed MULPD/ADDPD. The
-// packed lanes hold adjacent j, which are distinct output elements, so
-// the per-element accumulation order is exactly the left-associated
-// scalar sum and results stay bitwise identical to the reference
-// kernels. SSE2 is part of the amd64 baseline, so no feature detection
-// is needed.
-//
-//go:noescape
-func axpy42Asm(c0, c1, b0, b1, b2, b3 *float64, vw *[8]float64, n int)
+// SIMD variants of the axpy primitives (axpy_amd64.s). All levels of
+// one primitive execute the identical per-element operation sequence —
+// the packed lanes hold adjacent output elements, never partial sums
+// of one element — so sse2 and avx2 results are bitwise identical to
+// the generic loops. The fma variants contract each mul+add pair into
+// one rounding step and are only reachable through the opt-in FMA
+// toggle (see isa.go). SSE2 is part of the amd64 baseline; AVX2/FMA
+// are guarded by the CPUID probe in cpu_amd64.go.
 
-// axpy42 is the blocked kernels' shared inner primitive (see
-// axpy_generic.go for the portable definition). All slices must have
-// length ≥ len(c0).
+//go:noescape
+func axpy42SSE2(c0, c1, b0, b1, b2, b3 *float64, vw *[8]float64, n int)
+
+//go:noescape
+func axpy42AVX2(c0, c1, b0, b1, b2, b3 *float64, vw *[8]float64, n int)
+
+//go:noescape
+func axpy42FMA(c0, c1, b0, b1, b2, b3 *float64, vw *[8]float64, n int)
+
+//go:noescape
+func axpy4SSE2(c, b0, b1, b2, b3 *float64, v *[4]float64, n int)
+
+//go:noescape
+func axpy4AVX2(c, b0, b1, b2, b3 *float64, v *[4]float64, n int)
+
+//go:noescape
+func axpy4FMA(c, b0, b1, b2, b3 *float64, v *[4]float64, n int)
+
+//go:noescape
+func axpy1SSE2(c, b *float64, v float64, n int)
+
+//go:noescape
+func axpy1AVX2(c, b *float64, v float64, n int)
+
+//go:noescape
+func axpy1FMA(c, b *float64, v float64, n int)
+
+// axpy42 is the blocked dense kernels' shared inner primitive (see
+// axpy42Generic for the definition), dispatched on the active ISA
+// level. All slices must have length ≥ len(c0).
 func axpy42(c0, c1, b0, b1, b2, b3 []float64, vw *[8]float64) {
 	n := len(c0)
 	if n == 0 {
 		return
 	}
-	axpy42Asm(&c0[0], &c1[0], &b0[0], &b1[0], &b2[0], &b3[0], vw, n)
+	switch isaLevel.Load() {
+	case isaAVX2:
+		if fmaOn.Load() {
+			axpy42FMA(&c0[0], &c1[0], &b0[0], &b1[0], &b2[0], &b3[0], vw, n)
+		} else {
+			axpy42AVX2(&c0[0], &c1[0], &b0[0], &b1[0], &b2[0], &b3[0], vw, n)
+		}
+	case isaSSE2:
+		axpy42SSE2(&c0[0], &c1[0], &b0[0], &b1[0], &b2[0], &b3[0], vw, n)
+	default:
+		axpy42Generic(c0, c1, b0, b1, b2, b3, vw)
+	}
+}
+
+// Axpy4 computes c[j] += v[0]·b0[j] + v[1]·b1[j] + v[2]·b2[j] + v[3]·b3[j],
+// the sparse kernels' four-entry inner step, dispatched on the active
+// ISA level. All slices must have length ≥ len(c).
+func Axpy4(c, b0, b1, b2, b3 []float64, v *[4]float64) {
+	n := len(c)
+	if n == 0 {
+		return
+	}
+	switch isaLevel.Load() {
+	case isaAVX2:
+		if fmaOn.Load() {
+			axpy4FMA(&c[0], &b0[0], &b1[0], &b2[0], &b3[0], v, n)
+		} else {
+			axpy4AVX2(&c[0], &b0[0], &b1[0], &b2[0], &b3[0], v, n)
+		}
+	case isaSSE2:
+		axpy4SSE2(&c[0], &b0[0], &b1[0], &b2[0], &b3[0], v, n)
+	default:
+		axpy4Generic(c, b0, b1, b2, b3, v)
+	}
+}
+
+// Axpy computes c[j] += v·b[j], dispatched on the active ISA level.
+// b must have length ≥ len(c).
+func Axpy(c, b []float64, v float64) {
+	n := len(c)
+	if n == 0 {
+		return
+	}
+	switch isaLevel.Load() {
+	case isaAVX2:
+		if fmaOn.Load() {
+			axpy1FMA(&c[0], &b[0], v, n)
+		} else {
+			axpy1AVX2(&c[0], &b[0], v, n)
+		}
+	case isaSSE2:
+		axpy1SSE2(&c[0], &b[0], v, n)
+	default:
+		axpyGeneric(c, b, v)
+	}
 }

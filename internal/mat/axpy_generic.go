@@ -2,27 +2,26 @@
 
 package mat
 
-// axpy42 updates two output rows from four shared input rows:
-//
-//	c0[j] = c0[j] + vw[0]·b0[j] + vw[1]·b1[j] + vw[2]·b2[j] + vw[3]·b3[j]
-//	c1[j] = c1[j] + vw[4]·b0[j] + vw[5]·b1[j] + vw[6]·b2[j] + vw[7]·b3[j]
-//
-// for j in [0,len(c0)). Pairing the output rows halves the streamed
-// loads per flop versus a single-row update, and the left-associated
-// sums preserve the reference accumulation order per element, so the
-// result is bitwise identical to the naive kernels. On amd64 this is
-// replaced by a packed SSE2 implementation with the same element
-// order (axpy_amd64.s). All slices must have length ≥ len(c0).
+// Non-amd64 builds have a single dispatch level: the portable loops of
+// axpy_impl.go. The ISA registry still exists (reporting "generic") so
+// callers need no build tags.
+
+func bestISA() (level int32, fma bool) { return isaGeneric, false }
+
+// axpy42 is the blocked dense kernels' shared inner primitive; see
+// axpy42Generic for the definition.
 func axpy42(c0, c1, b0, b1, b2, b3 []float64, vw *[8]float64) {
-	v0, v1, v2, v3 := vw[0], vw[1], vw[2], vw[3]
-	w0, w1, w2, w3 := vw[4], vw[5], vw[6], vw[7]
-	c1 = c1[:len(c0)]
-	b1 = b1[:len(c0)]
-	b2 = b2[:len(c0)]
-	b3 = b3[:len(c0)]
-	for j, p0 := range b0[:len(c0)] {
-		p1, p2, p3 := b1[j], b2[j], b3[j]
-		c0[j] = c0[j] + v0*p0 + v1*p1 + v2*p2 + v3*p3
-		c1[j] = c1[j] + w0*p0 + w1*p1 + w2*p2 + w3*p3
-	}
+	axpy42Generic(c0, c1, b0, b1, b2, b3, vw)
+}
+
+// Axpy4 computes c[j] += v[0]·b0[j] + v[1]·b1[j] + v[2]·b2[j] + v[3]·b3[j],
+// the sparse kernels' four-entry inner step. All slices must have
+// length ≥ len(c).
+func Axpy4(c, b0, b1, b2, b3 []float64, v *[4]float64) {
+	axpy4Generic(c, b0, b1, b2, b3, v)
+}
+
+// Axpy computes c[j] += v·b[j]. b must have length ≥ len(c).
+func Axpy(c, b []float64, v float64) {
+	axpyGeneric(c, b, v)
 }

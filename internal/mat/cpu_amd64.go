@@ -1,0 +1,45 @@
+//go:build amd64
+
+package mat
+
+// cpuidAsm executes CPUID with the given leaf/subleaf; xgetbv0 reads
+// extended control register 0 (the OS-enabled SIMD state mask). Both
+// are in cpu_amd64.s — the module has no dependencies, so feature
+// detection is done by hand.
+//
+//go:noescape
+func cpuidAsm(leaf, subleaf uint32) (eax, ebx, ecx, edx uint32)
+
+//go:noescape
+func xgetbv0() (eax, edx uint32)
+
+// bestISA probes CPUID for the strongest dispatch level this machine
+// can run. SSE2 is architecturally guaranteed on amd64; AVX2 requires
+// the CPU flag (leaf 7 EBX bit 5), AVX and OSXSAVE (leaf 1 ECX bits
+// 28/27), and the OS to have enabled XMM+YMM state saving (XCR0 bits
+// 1 and 2 via XGETBV). FMA is leaf 1 ECX bit 12 and rides on the same
+// YMM state requirement.
+func bestISA() (level int32, fma bool) {
+	maxLeaf, _, _, _ := cpuidAsm(0, 0)
+	if maxLeaf < 7 {
+		return isaSSE2, false
+	}
+	_, _, ecx1, _ := cpuidAsm(1, 0)
+	const (
+		fmaBit     = 1 << 12
+		osxsaveBit = 1 << 27
+		avxBit     = 1 << 28
+	)
+	if ecx1&osxsaveBit == 0 || ecx1&avxBit == 0 {
+		return isaSSE2, false
+	}
+	if xcr0, _ := xgetbv0(); xcr0&0x6 != 0x6 { // XMM and YMM state
+		return isaSSE2, false
+	}
+	_, ebx7, _, _ := cpuidAsm(7, 0)
+	const avx2Bit = 1 << 5
+	if ebx7&avx2Bit == 0 {
+		return isaSSE2, false
+	}
+	return isaAVX2, ecx1&fmaBit != 0
+}

@@ -9,12 +9,17 @@ package sparse
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"hpcnmf/internal/mat"
-	"hpcnmf/internal/par"
 )
 
 // CSR is a sparse matrix in compressed sparse row format.
+//
+// The multiply kernels treat a CSR as immutable once it is first used
+// in a product: the Wᵀ·A kernel lazily caches a column-major index of
+// the entries (see spmm.go), so mutate RowPtr/ColIdx/Val only during
+// construction, before the first multiply.
 type CSR struct {
 	Rows, Cols int
 	// RowPtr has length Rows+1; row i's entries live at indices
@@ -24,6 +29,12 @@ type CSR struct {
 	ColIdx []int
 	// Val holds the value of each stored entry.
 	Val []float64
+
+	// cscOnce/cscIdx cache the column-major traversal order built on
+	// first use by the Wᵀ·A kernel (amortized across the iterations of
+	// a factorization run, which multiply by the same tile every time).
+	cscOnce sync.Once
+	cscIdx  *cscIndex
 }
 
 // NNZ returns the number of stored entries.
@@ -220,47 +231,6 @@ func (a *CSR) MulBt(b *mat.Dense) *mat.Dense {
 	return c
 }
 
-// MulBtTo computes C = A·B into an existing a.Rows×b.Cols matrix,
-// splitting rows of A (and hence of C) across the pool: workers own
-// disjoint output rows, so the result is identical to the serial
-// kernel for any pool size. The To form lets iteration loops reuse a
-// workspace buffer instead of allocating the result.
-func (a *CSR) MulBtTo(c, b *mat.Dense, p *par.Pool) {
-	if a.Cols != b.Rows {
-		panic(fmt.Sprintf("sparse: MulBt dimension mismatch %dx%d · (%dx%d)ᵀ... B must be Cols×k", a.Rows, a.Cols, b.Rows, b.Cols))
-	}
-	if c.Rows != a.Rows || c.Cols != b.Cols {
-		panic(fmt.Sprintf("sparse: MulBtTo output is %dx%d, want %dx%d", c.Rows, c.Cols, a.Rows, b.Cols))
-	}
-	if p == nil {
-		a.mulBtRange(c, b, 0, a.Rows)
-		return
-	}
-	p.For(a.Rows, spGrain, func(i0, i1 int) {
-		a.mulBtRange(c, b, i0, i1)
-	})
-}
-
-// spGrain is the minimum number of sparse rows (or columns) worth
-// shipping to a pool worker.
-const spGrain = 64
-
-func (a *CSR) mulBtRange(c, b *mat.Dense, i0, i1 int) {
-	for i := i0; i < i1; i++ {
-		crow := c.Row(i)
-		for t := range crow {
-			crow[t] = 0
-		}
-		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
-			v := a.Val[p]
-			brow := b.Row(a.ColIdx[p])
-			for t, bv := range brow {
-				crow[t] += v * bv
-			}
-		}
-	}
-}
-
 // MulHt returns C = A·Hᵀ where H is dense k×n (row-major, so column j
 // of H is strided). To keep the inner loop contiguous this transposes
 // H once (k·n copies) and calls MulBt. Cost: 2·nnz(A)·k flops.
@@ -278,61 +248,6 @@ func (a *CSR) MulWtA(w *mat.Dense) *mat.Dense {
 	c := mat.NewDense(w.Cols, a.Cols)
 	a.MulWtATo(c, w, nil)
 	return c
-}
-
-// MulWtATo computes C = Wᵀ·A into an existing w.Cols×a.Cols matrix.
-//
-// Parallelizing this product cannot partition by rows of A — every row
-// scatters into all k rows of C — so workers own disjoint *column
-// windows* of C instead: each worker scans every sparse row but binary
-// searches to its window [c0,c1) and touches only those output
-// columns. Contributions to each output element still arrive in
-// increasing row order, so the result is bitwise identical to the
-// serial kernel for any pool size, with no reduction buffers.
-func (a *CSR) MulWtATo(c, w *mat.Dense, p *par.Pool) {
-	if a.Rows != w.Rows {
-		panic(fmt.Sprintf("sparse: MulWtA dimension mismatch W %dx%d, A %dx%d", w.Rows, w.Cols, a.Rows, a.Cols))
-	}
-	if c.Rows != w.Cols || c.Cols != a.Cols {
-		panic(fmt.Sprintf("sparse: MulWtATo output is %dx%d, want %dx%d", c.Rows, c.Cols, w.Cols, a.Cols))
-	}
-	c.Zero()
-	if p == nil {
-		for i := 0; i < a.Rows; i++ {
-			wrow := w.Row(i)
-			for q := a.RowPtr[i]; q < a.RowPtr[i+1]; q++ {
-				j := a.ColIdx[q]
-				v := a.Val[q]
-				for t, wv := range wrow {
-					c.Data[t*a.Cols+j] += v * wv
-				}
-			}
-		}
-		return
-	}
-	p.For(a.Cols, spGrain, func(c0, c1 int) {
-		a.mulWtAWindow(c, w, c0, c1)
-	})
-}
-
-// mulWtAWindow accumulates the columns [c0,c1) of C = Wᵀ·A.
-func (a *CSR) mulWtAWindow(c, w *mat.Dense, c0, c1 int) {
-	for i := 0; i < a.Rows; i++ {
-		lo, hi := a.RowPtr[i], a.RowPtr[i+1]
-		s := lo + sort.SearchInts(a.ColIdx[lo:hi], c0)
-		e := lo + sort.SearchInts(a.ColIdx[lo:hi], c1)
-		if s == e {
-			continue
-		}
-		wrow := w.Row(i)
-		for p := s; p < e; p++ {
-			j := a.ColIdx[p]
-			v := a.Val[p]
-			for t, wv := range wrow {
-				c.Data[t*a.Cols+j] += v * wv
-			}
-		}
-	}
 }
 
 // SquaredFrobeniusNorm returns ‖A‖_F².

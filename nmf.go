@@ -169,6 +169,10 @@ func WrapDense(d *Dense) Matrix { return core.WrapDense(d) }
 // WrapSparse adapts a CSR matrix as the data-matrix input.
 func WrapSparse(s *CSR) Matrix { return core.WrapSparse(s) }
 
+// UnwrapSparse returns the CSR matrix behind a WrapSparse value
+// (nil, false for dense-backed inputs).
+func UnwrapSparse(a Matrix) (*CSR, bool) { return core.UnwrapSparse(a) }
+
 // SparseFromCoords builds a CSR matrix from coordinate entries.
 func SparseFromCoords(rows, cols int, entries []sparse.Coord) *CSR {
 	return sparse.FromCoords(rows, cols, entries)
