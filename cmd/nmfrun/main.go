@@ -8,6 +8,8 @@
 //
 //	nmfrun -data ssyn -k 16 -alg hpc2d -p 16 -iters 10   # -grid auto picks the grid
 //	nmfrun -data ssyn -k 16 -alg hpc2d -grid 4x2         # explicit grid
+//	nmfrun -data ssyn -k 16 -alg bpp -p 16               # HPC 2D skeleton + BPP updater
+//	nmfrun -data ssyn -k 16 -alg auto -p 16              # joint algorithm x grid pick
 //	nmfrun -data video -alg hpc1d -p 8
 //	nmfrun -mm matrix.mtx -alg naive -p 4        # MatrixMarket input
 //	nmfrun -data ssyn -alg hpc2d -p 16 -trace t.json -report r.json -metrics
@@ -48,7 +50,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		mmPath   = fs.String("mm", "", "read a MatrixMarket file instead of generating a dataset")
 		dense    = fs.Bool("dense", false, "force the dense kernel path: densify a sparse input instead of auto-detecting storage by density")
 		scale    = fs.Float64("scale", 0.25, "dataset scale factor")
-		alg      = fs.String("alg", "hpc2d", "algorithm: seq, naive, hpc1d, hpc2d, auto (cost-model pick)")
+		alg      = fs.String("alg", "hpc2d", "algorithm: seq, naive, hpc1d, hpc2d, auto (joint algorithm x grid cost-model pick), or an update rule mu|hals|pgd|bpp (HPC 2D skeleton with that updater)")
 		solver   = fs.String("solver", "bpp", "local NLS solver: bpp, activeset, mu, hals, pgd")
 		sweeps   = fs.Int("sweeps", 1, "inner sweeps for mu/hals")
 		k        = fs.Int("k", 10, "factorization rank")
@@ -78,6 +80,24 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	if fs.NArg() > 0 {
 		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	solverSet := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "solver" {
+			solverSet = true
+		}
+	})
+
+	// -alg can name an update rule directly: the framework's headline
+	// spelling, running the HPC 2D skeleton with that updater plugged
+	// in. It is sugar for -alg hpc2d -solver <rule>.
+	switch *alg {
+	case "mu", "hals", "pgd", "bpp":
+		if solverSet && *solver != *alg {
+			return fmt.Errorf("-alg %s names an updater but -solver %s asks for a different one", *alg, *solver)
+		}
+		*solver = *alg
+		*alg = "hpc2d"
 	}
 
 	switch *view {
@@ -169,6 +189,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	opts.CheckpointDir = *ckptDir
 	opts.CheckpointEvery = *ckptEvery
+	// The solver must be applied before Resume: checkpoints record the
+	// updater name and resuming validates it against the options.
+	solverOpt, err := solverKind(*solver)
+	if err != nil {
+		return err
+	}
+	opts.Solver = solverOpt
 	var resumedFrom int
 	if *resume != "" {
 		ck, err := hpcnmf.LoadCheckpoint(*resume)
@@ -185,23 +212,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		fmt.Fprintf(stdout, "resuming %s from iteration %d (%d iterations remain)\n\n",
 			*resume, resumedFrom, opts.MaxIter)
 	}
-	switch *solver {
-	case "bpp":
-		opts.Solver = hpcnmf.SolverBPP
-	case "activeset":
-		opts.Solver = hpcnmf.SolverActiveSet
-	case "mu":
-		opts.Solver = hpcnmf.SolverMU
-	case "hals":
-		opts.Solver = hpcnmf.SolverHALS
-	case "pgd":
-		opts.Solver = hpcnmf.SolverPGD
-	default:
-		return fmt.Errorf("unknown solver %q", *solver)
-	}
-
 	var res *hpcnmf.Result
-	var err error
 	if *alg == "auto" {
 		adv := hpcnmf.Advise(a, *k, *p)
 		if len(adv) == 0 {
@@ -218,7 +229,29 @@ func run(args []string, stdout, stderr io.Writer) error {
 		} else {
 			*alg = "hpc2d"
 		}
-		fmt.Fprintf(stdout, "selected: %s\n\n", *alg)
+		fmt.Fprintf(stdout, "selected: %s\n", *alg)
+		// With the skeleton chosen, price algorithm x grid jointly and
+		// pick the updater too — unless the user pinned one with
+		// -solver, or the run resumes a checkpoint (whose updater is
+		// fixed). The joint model covers the four update rules; the
+		// skeleton rows above stay the naive/1d/2d tie-breaker.
+		if !solverSet && *resume == "" {
+			choices, jerr := hpcnmf.AdviseAlgorithmGrid(a, *k, *p)
+			if jerr != nil {
+				return fmt.Errorf("joint algorithm x grid advice: %w", jerr)
+			}
+			fmt.Fprintln(stdout, "joint algorithm x grid forecast (fastest first):")
+			for _, ch := range choices {
+				fmt.Fprintf(stdout, "  %-5s on %dx%d  %.6f s/iter x %.1f iters -> %.6f s\n",
+					ch.Updater.Name, ch.Grid.PR, ch.Grid.PC, ch.IterSeconds, ch.Updater.IterFactor, ch.Seconds)
+			}
+			*solver = strings.ToLower(choices[0].Updater.Name)
+			if opts.Solver, err = solverKind(*solver); err != nil {
+				return err
+			}
+			fmt.Fprintf(stdout, "selected updater: %s\n", *solver)
+		}
+		fmt.Fprintln(stdout)
 	}
 	stopProfile, err := startProfile(*profile, *profDir)
 	if err != nil {
@@ -404,6 +437,24 @@ func printOverlap(w io.Writer, snap *metrics.Snapshot) {
 			r, window, wait,
 			100*snap.Gauges[fmt.Sprintf("mpi.rank.%d.overlap.efficiency", r)])
 	}
+}
+
+// solverKind maps a -solver flag value (or a lowercased updater name
+// from the joint cost model) to its SolverKind.
+func solverKind(name string) (hpcnmf.SolverKind, error) {
+	switch name {
+	case "bpp":
+		return hpcnmf.SolverBPP, nil
+	case "activeset":
+		return hpcnmf.SolverActiveSet, nil
+	case "mu":
+		return hpcnmf.SolverMU, nil
+	case "hals":
+		return hpcnmf.SolverHALS, nil
+	case "pgd":
+		return hpcnmf.SolverPGD, nil
+	}
+	return 0, fmt.Errorf("unknown solver %q", name)
 }
 
 // parseGrid parses an explicit "PRxPC" grid spec like "4x2".

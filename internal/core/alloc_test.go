@@ -8,12 +8,13 @@ import (
 	"hpcnmf/internal/sparse"
 )
 
-// TestSequentialStepZeroAllocs is the PR's headline acceptance
-// criterion: after warm-up, a steady-state iteration of the sequential
-// driver performs zero heap allocations at the default KernelThreads=1
-// with an inexact (workspace-aware) solver — for dense and sparse A,
-// with and without the objective computation, and with regularization
-// (whose Gram/RHS copies come from the arena too).
+// TestSequentialStepZeroAllocs is a headline acceptance criterion:
+// after warm-up, a steady-state iteration of the sequential driver
+// performs zero heap allocations at the default KernelThreads=1 with
+// any built-in updater — the workspace-aware sweeps and BPP, whose
+// pivoting state lives on the solver instance — for dense and sparse
+// A, with and without the objective computation, and with
+// regularization (whose Gram/RHS copies come from the arena too).
 func TestSequentialStepZeroAllocs(t *testing.T) {
 	dense := WrapDense(lowRankDense(60, 45, 5, 0.01, 11))
 	sp := WrapSparse(sparse.RandomER(60, 45, 0.2, rng.New(12)))
@@ -25,8 +26,11 @@ func TestSequentialStepZeroAllocs(t *testing.T) {
 		{"dense/MU", dense, Options{K: 5, MaxIter: 200, Solver: SolverMU, Sweeps: 2, ComputeError: true}},
 		{"dense/HALS/noErr", dense, Options{K: 5, MaxIter: 200, Solver: SolverHALS}},
 		{"dense/PGD/reg", dense, Options{K: 5, MaxIter: 200, Solver: SolverPGD, L2W: 0.1, L1H: 0.05}},
+		{"dense/BPP", dense, Options{K: 5, MaxIter: 200, Solver: SolverBPP, ComputeError: true}},
+		{"dense/BPP/reg", dense, Options{K: 5, MaxIter: 200, Solver: SolverBPP, L2W: 0.1, L1H: 0.05}},
 		{"sparse/MU", sp, Options{K: 5, MaxIter: 200, Solver: SolverMU, ComputeError: true}},
 		{"sparse/HALS", sp, Options{K: 5, MaxIter: 200, Solver: SolverHALS, ComputeError: true}},
+		{"sparse/BPP", sp, Options{K: 5, MaxIter: 200, Solver: SolverBPP, ComputeError: true}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -189,7 +189,7 @@ func (ck *Checkpoint) Resume(opts Options) (Options, error) {
 	if opts.Seed != ck.Meta.Seed {
 		return opts, fmt.Errorf("core: checkpoint seed %d, options seed %d", ck.Meta.Seed, opts.Seed)
 	}
-	if got := opts.Solver.String(); got != ck.Meta.Solver {
+	if got := opts.updaterName(); got != ck.Meta.Solver {
 		return opts, fmt.Errorf("core: checkpoint solver %s, options solver %s", ck.Meta.Solver, got)
 	}
 	if ck.W.Rows != m || ck.W.Cols != ck.Meta.K || ck.H.Rows != ck.Meta.K || ck.H.Cols != n {
@@ -237,7 +237,7 @@ func newCheckpointer(opts Options, algorithm string, m, n int) *checkpointer {
 			Algorithm: algorithm,
 			M:         m, N: n, K: opts.K,
 			Seed:   opts.Seed,
-			Solver: opts.Solver.String(),
+			Solver: opts.updaterName(),
 		},
 	}
 }

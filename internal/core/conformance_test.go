@@ -7,77 +7,88 @@ import (
 	"hpcnmf/internal/grid"
 )
 
+// conformanceSolvers is the algorithm roster of the differential
+// conformance suites: every update rule the skeleton can run — the
+// inexact sweeps (MU, HALS, PGD) and the exact ANLS/BPP plug-in.
+var conformanceSolvers = []SolverKind{SolverMU, SolverHALS, SolverPGD, SolverBPP}
+
 // TestConformanceAllGridsMatchSequential is the differential grid
 // conformance suite: every pr×pc factorization of every p in
 // {1, 2, 3, 4, 6, 8} — including the degenerate 1×p and p×1 shapes —
 // must produce the same factors as the sequential driver from the
-// same seed, for each of the inexact solvers (MU, HALS, PGD). The
-// dims are chosen so every shape is feasible (m/8 = 6 ≥ k, n/8 = 5 ≥
-// k) and exercise uneven block splits (40/3, 48/6, …). CI runs this
-// under -race as the `conformance` job.
+// same seed, for each update rule (MU, HALS, PGD, BPP). The dims are
+// chosen so every shape is feasible (m/8 = 6 ≥ k, n/8 = 5 ≥ k) and
+// exercise uneven block splits (40/3, 48/6, …). Each algorithm is a
+// named subtest so CI's per-algorithm matrix legs can -run filter
+// them individually; CI runs every leg under -race as the
+// `conformance` job.
 func TestConformanceAllGridsMatchSequential(t *testing.T) {
 	const m, n, k = 48, 40, 4
 	a := WrapDense(lowRankDense(m, n, k, 0.02, 3))
-	for _, solver := range []SolverKind{SolverMU, SolverHALS, SolverPGD} {
-		opts := Options{K: k, MaxIter: 5, Seed: 11, Solver: solver, ComputeError: true}
-		seq, err := RunSequential(a, opts)
-		if err != nil {
-			t.Fatalf("%v sequential: %v", solver, err)
-		}
-		for _, p := range []int{1, 2, 3, 4, 6, 8} {
-			for _, g := range grid.Factorizations(p) {
-				par, err := RunHPC(a, g, opts)
-				if err != nil {
-					t.Fatalf("%v grid %dx%d: %v", solver, g.PR, g.PC, err)
-				}
-				if d := par.W.MaxDiff(seq.W); d > 1e-6 {
-					t.Errorf("%v grid %dx%d: W diverges from sequential by %g", solver, g.PR, g.PC, d)
-				}
-				if d := par.H.MaxDiff(seq.H); d > 1e-6 {
-					t.Errorf("%v grid %dx%d: H diverges from sequential by %g", solver, g.PR, g.PC, d)
-				}
-				if len(par.RelErr) != len(seq.RelErr) {
-					t.Errorf("%v grid %dx%d: %d error samples, sequential %d",
-						solver, g.PR, g.PC, len(par.RelErr), len(seq.RelErr))
-					continue
-				}
-				for i := range par.RelErr {
-					if math.Abs(par.RelErr[i]-seq.RelErr[i]) > 1e-8 {
-						t.Errorf("%v grid %dx%d: RelErr[%d] = %v, sequential %v",
-							solver, g.PR, g.PC, i, par.RelErr[i], seq.RelErr[i])
-						break
+	for _, solver := range conformanceSolvers {
+		t.Run(solver.String(), func(t *testing.T) {
+			opts := Options{K: k, MaxIter: 5, Seed: 11, Solver: solver, ComputeError: true}
+			seq, err := RunSequential(a, opts)
+			if err != nil {
+				t.Fatalf("sequential: %v", err)
+			}
+			for _, p := range []int{1, 2, 3, 4, 6, 8} {
+				for _, g := range grid.Factorizations(p) {
+					par, err := RunHPC(a, g, opts)
+					if err != nil {
+						t.Fatalf("grid %dx%d: %v", g.PR, g.PC, err)
+					}
+					if d := par.W.MaxDiff(seq.W); d > 1e-6 {
+						t.Errorf("grid %dx%d: W diverges from sequential by %g", g.PR, g.PC, d)
+					}
+					if d := par.H.MaxDiff(seq.H); d > 1e-6 {
+						t.Errorf("grid %dx%d: H diverges from sequential by %g", g.PR, g.PC, d)
+					}
+					if len(par.RelErr) != len(seq.RelErr) {
+						t.Errorf("grid %dx%d: %d error samples, sequential %d",
+							g.PR, g.PC, len(par.RelErr), len(seq.RelErr))
+						continue
+					}
+					for i := range par.RelErr {
+						if math.Abs(par.RelErr[i]-seq.RelErr[i]) > 1e-8 {
+							t.Errorf("grid %dx%d: RelErr[%d] = %v, sequential %v",
+								g.PR, g.PC, i, par.RelErr[i], seq.RelErr[i])
+							break
+						}
 					}
 				}
 			}
-		}
+		})
 	}
 }
 
 // TestConformanceGridsAgreeAcrossOverlapModes re-runs a ragged grid
-// per solver with overlap disabled: the blocking schedule must be
-// bitwise identical to the overlapped default, grid by grid.
+// per update rule with overlap disabled: the blocking schedule must
+// be bitwise identical to the overlapped default, grid by grid.
 func TestConformanceGridsAgreeAcrossOverlapModes(t *testing.T) {
 	const m, n, k = 48, 40, 4
 	a := WrapDense(lowRankDense(m, n, k, 0.02, 3))
-	for _, solver := range []SolverKind{SolverMU, SolverHALS, SolverPGD} {
-		for _, g := range []grid.Grid{{PR: 2, PC: 3}, {PR: 3, PC: 2}, {PR: 2, PC: 2}} {
-			opts := Options{K: k, MaxIter: 4, Seed: 11, Solver: solver}
-			ovl, err := RunHPC(a, g, opts)
-			if err != nil {
-				t.Fatalf("%v overlap %dx%d: %v", solver, g.PR, g.PC, err)
+	for _, solver := range conformanceSolvers {
+		t.Run(solver.String(), func(t *testing.T) {
+			for _, g := range []grid.Grid{{PR: 2, PC: 3}, {PR: 3, PC: 2}, {PR: 2, PC: 2}} {
+				opts := Options{K: k, MaxIter: 4, Seed: 11, Solver: solver}
+				ovl, err := RunHPC(a, g, opts)
+				if err != nil {
+					t.Fatalf("overlap %dx%d: %v", g.PR, g.PC, err)
+				}
+				opts.NoCommOverlap = true
+				blk, err := RunHPC(a, g, opts)
+				if err != nil {
+					t.Fatalf("blocking %dx%d: %v", g.PR, g.PC, err)
+				}
+				if d := ovl.W.MaxDiff(blk.W); d != 0 {
+					t.Errorf("grid %dx%d: overlap changed W by %g (want bitwise equal)", g.PR, g.PC, d)
+				}
+				if d := ovl.H.MaxDiff(blk.H); d != 0 {
+					t.Errorf("grid %dx%d: overlap changed H by %g (want bitwise equal)", g.PR, g.PC, d)
+				}
 			}
-			opts.NoCommOverlap = true
-			blk, err := RunHPC(a, g, opts)
-			if err != nil {
-				t.Fatalf("%v blocking %dx%d: %v", solver, g.PR, g.PC, err)
-			}
-			if d := ovl.W.MaxDiff(blk.W); d != 0 {
-				t.Errorf("%v grid %dx%d: overlap changed W by %g (want bitwise equal)", solver, g.PR, g.PC, d)
-			}
-			if d := ovl.H.MaxDiff(blk.H); d != 0 {
-				t.Errorf("%v grid %dx%d: overlap changed H by %g (want bitwise equal)", solver, g.PR, g.PC, d)
-			}
-		}
+		})
 	}
 }
 

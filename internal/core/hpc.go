@@ -8,7 +8,6 @@ import (
 	"hpcnmf/internal/grid"
 	"hpcnmf/internal/mat"
 	"hpcnmf/internal/mpi"
-	"hpcnmf/internal/nnls"
 	"hpcnmf/internal/par"
 	"hpcnmf/internal/partition"
 	"hpcnmf/internal/perf"
@@ -74,6 +73,99 @@ func RunHPCAuto(a Matrix, p int, opts Options) (*Result, error) {
 	return res, err
 }
 
+// factorSide is one half-step's geometry in the HPC skeleton: the two
+// halves of Algorithm 3 are mirror images that differ only in which
+// communicator assembles the factor panel, which one reduce-scatters
+// the local product, and which kernel multiplies A against the panel.
+// Capturing that as data is what makes the skeleton algorithm- and
+// side-agnostic — halfStep below is the single communication schedule
+// every updater runs under.
+type factorSide struct {
+	gatherComm   *mpi.Comm  // panel all-gathers run here
+	reduceComm   *mpi.Comm  // product reduce-scatters run here
+	gatherCounts []int      // per-member factor rows in the panel
+	reduceCounts []int      // per-member product rows after the scatter
+	panelRows    int        // rows of the assembled panel
+	gramRows     int        // local vectors feeding the Gram (flop accounting)
+	localGram    *mat.Dense // k×k local Gram contribution
+	outRows      int        // rows of this rank's scattered product
+	out          *mat.Dense // outRows×k product accumulator
+
+	// gram fills localGram from the local factor block.
+	gram func()
+	// sendChunk returns factor columns [c0,c1) in the gather layout.
+	sendChunk func(c0, c1 int) []float64
+	// multiply returns the local A·panel product chunk in the reduce
+	// layout, drawn from the rank workspace (halfStep puts it back),
+	// timing its kernel under TaskMM.
+	multiply func(panel *mat.Dense, kc int) *mat.Dense
+}
+
+// hpcRank is one rank's view of the shared skeleton: the instruments,
+// arena, and pipeline chunking both factorSides run under.
+type hpcRank struct {
+	c       *mpi.Comm
+	clk     phaseClock
+	tr      *perf.Tracker
+	ws      *mat.Workspace
+	k       int
+	chunk   int
+	overlap bool
+}
+
+// halfStep executes one half of Algorithm 3 over a side's geometry and
+// returns the all-reduced k×k Gram (lines 3-7 / 9-13): post the first
+// panel chunk as a nonblocking all-gather so its rounds progress
+// behind the local Gram product (overlap on), wait out the remainder,
+// all-reduce the Gram, then pipeline the panel chunks through
+// all-gather → local multiply → reduce-scatter into side.out —
+// optionally blocked into column chunks (§5 memory/latency trade;
+// Options.CommChunk). The payloads and schedule are identical with
+// overlap on or off and for any chunking, so results are bitwise
+// equal either way.
+func (r *hpcRank) halfStep(s *factorSide) *mat.Dense {
+	kc0 := min(r.chunk, r.k)
+	var ag *mpi.Request
+	if r.overlap {
+		ag = s.gatherComm.IAllGatherV(s.sendChunk(0, kc0), grid.ScaleCounts(s.gatherCounts, kc0))
+	}
+	ps := r.clk.Start(perf.TaskGram)
+	s.gram()
+	r.clk.Stop(ps)
+	r.tr.AddFlops(perf.TaskGram, gramFlops(s.gramRows, r.k))
+
+	var panel0 *mat.Dense
+	if ag != nil {
+		ps = r.clk.Start(perf.TaskAllGather)
+		panel0 = &mat.Dense{Rows: s.panelRows, Cols: kc0, Data: ag.Wait()}
+		r.clk.Stop(ps)
+	}
+
+	ps = r.clk.Start(perf.TaskAllReduce)
+	gram := &mat.Dense{Rows: r.k, Cols: r.k, Data: r.c.AllReduce(s.localGram.Data)}
+	r.clk.Stop(ps)
+
+	for c0 := 0; c0 < r.k; c0 += r.chunk {
+		c1 := min(c0+r.chunk, r.k)
+		kc := c1 - c0
+		panel := panel0 // prefetched during the Gram product
+		if c0 > 0 || panel == nil {
+			ps = r.clk.Start(perf.TaskAllGather)
+			panel = &mat.Dense{Rows: s.panelRows, Cols: kc, Data: s.gatherComm.AllGatherV(
+				s.sendChunk(c0, c1), grid.ScaleCounts(s.gatherCounts, kc))}
+			r.clk.Stop(ps)
+		}
+		prod := s.multiply(panel, kc)
+		ps = r.clk.Start(perf.TaskReduceScatter)
+		got := &mat.Dense{Rows: s.outRows, Cols: kc, Data: s.reduceComm.ReduceScatter(
+			prod.Data, grid.ScaleCounts(s.reduceCounts, kc))}
+		r.clk.Stop(ps)
+		r.ws.Put(prod)
+		s.out.SetSubmatrix(0, c0, got)
+	}
+	return gram
+}
+
 // RunHPC executes HPC-NMF (Algorithm 3) on a pr×pc processor grid.
 // The data matrix is distributed as 2D blocks Aij (m/pr × n/pc); W is
 // distributed row-wise with (Wi)j (m/p × k) on processor (i,j), and H
@@ -137,9 +229,8 @@ func RunHPC(a Matrix, g grid.Grid, opts Options) (*Result, error) {
 		aij := a.Block(r0, r1, c0, c1)
 		wij := localInitW(opts, wHi-wLo, r0+wLo) // (Wi)j: m/p × k
 		hij := localInitH(opts, hHi-hLo, c0+hLo) // (Hj)i: k × n/p
-		solver := opts.Solver.New(opts.Sweeps)
 		ws := mat.NewWorkspace()
-		ctx := &nnls.Context{WS: ws, Pool: pool}
+		env := newUpdateEnv(opts, ws, pool, clk, tr, rm)
 
 		// Row and column communicators (the "proc row"/"proc column"
 		// collectives of lines 5, 7, 11, 13).
@@ -212,6 +303,59 @@ func RunHPC(a Matrix, g grid.Grid, opts Options) (*Result, error) {
 		wta := mat.NewDense(k, hHi-hLo)   // Wᵀ·A columns, H-solve RHS
 		wij.TTo(wijt)
 
+		// The W half gathers Hᵀ panels down the processor column and
+		// scatters A·Hᵀ rows across the processor row (lines 3-8); the
+		// H half mirrors it (lines 9-14). Everything else about the
+		// schedule is shared — see halfStep.
+		rk := &hpcRank{c: c, clk: clk, tr: tr, ws: ws, k: k, chunk: chunk, overlap: !opts.NoCommOverlap}
+		wSide := &factorSide{
+			gatherComm:   colComm,
+			reduceComm:   rowComm,
+			gatherCounts: hRowCounts,
+			reduceCounts: wRowCounts,
+			panelRows:    nj,
+			gramRows:     hHi - hLo,
+			localGram:    uij,
+			outRows:      wHi - wLo,
+			out:          ahtij,
+			gram:         func() { mat.ParGramTTo(uij, hij, pool) }, // line 3: Uij = (Hj)i·(Hj)iᵀ
+			sendChunk: func(c0, c1 int) []float64 {
+				return hij.Submatrix(c0, c1, 0, hHi-hLo).T().Data
+			},
+			multiply: func(panel *mat.Dense, kc int) *mat.Dense {
+				ps := clk.Start(perf.TaskMM)
+				vij := ws.Get(mi, kc)
+				mulBtInto(vij, aij, panel, pool) // Vij columns, mi×kc
+				clk.Stop(ps)
+				tr.AddFlops(perf.TaskMM, 2*int64(aij.NNZ())*int64(kc))
+				return vij
+			},
+		}
+		hSide := &factorSide{
+			gatherComm:   rowComm,
+			reduceComm:   colComm,
+			gatherCounts: wRowCounts,
+			reduceCounts: hRowCounts,
+			panelRows:    mi,
+			gramRows:     wHi - wLo,
+			localGram:    xij,
+			outRows:      hHi - hLo,
+			out:          wtaT,
+			gram:         func() { mat.ParGramTo(xij, wij, pool) }, // line 9: Xij = (Wi)jᵀ·(Wi)j
+			sendChunk:    func(c0, c1 int) []float64 { return wij.SubmatrixCols(c0, c1).Data },
+			multiply: func(panel *mat.Dense, kc int) *mat.Dense {
+				ps := clk.Start(perf.TaskMM)
+				yij := ws.Get(kc, nj)
+				mulAtBInto(yij, aij, panel, ws, pool) // Yij rows, kc×nj
+				clk.Stop(ps)
+				tr.AddFlops(perf.TaskMM, 2*int64(aij.NNZ())*int64(kc))
+				yijT := ws.Get(nj, kc)
+				yij.TTo(yijT) // reduce layout; transpose outside the MM clock
+				ws.Put(yij)
+				return yijT
+			},
+		}
+
 		if rank == 0 {
 			c.Tracer().Begin(trace.CatPhase, fmt.Sprintf("grid %dx%d", g.PR, g.PC)).End()
 		}
@@ -224,140 +368,19 @@ func RunHPC(a Matrix, g grid.Grid, opts Options) (*Result, error) {
 		if rank == 0 {
 			pe = newProgressEmitter(opts.Progress, tr)
 		}
-		// First-chunk width of the blocked all-gather pipelines: with
-		// overlap on, the chunk for columns [0, kc0) is posted as a
-		// nonblocking collective before the Gram product it does not
-		// depend on, so its rounds progress while this rank computes.
-		// The remaining wait is charged to TaskAllGather, shrinking
-		// the measured all-gather critical path; the payload and
-		// schedule are identical to the blocking path, so results are
-		// bitwise equal either way.
-		kc0 := min(chunk, k)
 		for it := 0; it < opts.MaxIter; it++ {
 			iters++
 			itSpan := c.Tracer().BeginArg(trace.CatIter, "iteration", "iter", int64(it))
 			// --- Compute W given H (lines 3-8) ---
-			var agH *mpi.Request
-			if !opts.NoCommOverlap {
-				agH = colComm.IAllGatherV(
-					hij.Submatrix(0, kc0, 0, hHi-hLo).T().Data,
-					grid.ScaleCounts(hRowCounts, kc0))
-			}
-			ps := clk.Start(perf.TaskGram)
-			mat.ParGramTTo(uij, hij, pool) // line 3: Uij = (Hj)i·(Hj)iᵀ
-			clk.Stop(ps)
-			tr.AddFlops(perf.TaskGram, gramFlops(hHi-hLo, k))
-
-			var hjT0 *mat.Dense
-			if agH != nil {
-				ps = clk.Start(perf.TaskAllGather)
-				hjT0 = &mat.Dense{Rows: nj, Cols: kc0, Data: agH.Wait()}
-				clk.Stop(ps)
-			}
-
-			ps = clk.Start(perf.TaskAllReduce)
-			hht := &mat.Dense{Rows: k, Cols: k, Data: c.AllReduce(uij.Data)} // line 4
-			clk.Stop(ps)
-
-			// Lines 5-7: assemble Hj (as Hjᵀ) across the processor
-			// column, multiply locally, reduce-scatter the result by
-			// row blocks of Wi — optionally blocked into column
-			// chunks (§5 memory/latency trade; opts.CommChunk).
-			for c0 := 0; c0 < k; c0 += chunk {
-				c1 := min(c0+chunk, k)
-				kc := c1 - c0
-				var hjTChunk *mat.Dense
-				if c0 == 0 && hjT0 != nil {
-					hjTChunk = hjT0 // prefetched during the Gram product
-				} else {
-					ps = clk.Start(perf.TaskAllGather)
-					hjTChunk = &mat.Dense{Rows: nj, Cols: kc, Data: colComm.AllGatherV(
-						hij.Submatrix(c0, c1, 0, hHi-hLo).T().Data,
-						grid.ScaleCounts(hRowCounts, kc))}
-					clk.Stop(ps)
-				}
-				ps = clk.Start(perf.TaskMM)
-				vijChunk := ws.Get(mi, kc)
-				mulBtInto(vijChunk, aij, hjTChunk, pool) // Vij columns [c0,c1)
-				clk.Stop(ps)
-				tr.AddFlops(perf.TaskMM, 2*int64(aij.NNZ())*int64(kc))
-				ps = clk.Start(perf.TaskReduceScatter)
-				got := &mat.Dense{Rows: wHi - wLo, Cols: kc, Data: rowComm.ReduceScatter(
-					vijChunk.Data, grid.ScaleCounts(wRowCounts, kc))}
-				clk.Stop(ps)
-				ws.Put(vijChunk)
-				ahtij.SetSubmatrix(0, c0, got)
-			}
-
+			hht := rk.halfStep(wSide) // lines 3-7: HHᵀ and this rank's A·Hᵀ rows
 			ahtij.TTo(fw)
-			gw, fwReg, gTmp, fTmp := applyRegInto(ws, hht, fw, opts.L2W, opts.L1W)
-			ps = clk.Start(perf.TaskNLS)
-			st, serr := nnls.SolveWith(solver, ctx, gw, fwReg, wijt, wijt) // line 8
-			clk.Stop(ps)
-			ws.Put(gTmp)
-			ws.Put(fTmp)
-			if serr != nil {
+			if serr := env.updateFactor("W", hht, fw, wijt, opts.L2W, opts.L1W); serr != nil { // line 8
 				panic(fmt.Sprintf("core: HPC W update failed at iteration %d: %v", it, serr))
 			}
-			tr.AddFlops(perf.TaskNLS, st.Flops)
-			rm.ObserveNLS(st.Iterations)
 			wijt.TTo(wij)
-			checkFactorSanity("W", wij)
 
 			// --- Compute H given W (lines 9-14) ---
-			var agW *mpi.Request
-			if !opts.NoCommOverlap {
-				agW = rowComm.IAllGatherV(
-					wij.SubmatrixCols(0, kc0).Data,
-					grid.ScaleCounts(wRowCounts, kc0))
-			}
-			ps = clk.Start(perf.TaskGram)
-			mat.ParGramTo(xij, wij, pool) // line 9: Xij = (Wi)jᵀ·(Wi)j
-			clk.Stop(ps)
-			tr.AddFlops(perf.TaskGram, gramFlops(wHi-wLo, k))
-
-			var wi0 *mat.Dense
-			if agW != nil {
-				ps = clk.Start(perf.TaskAllGather)
-				wi0 = &mat.Dense{Rows: mi, Cols: kc0, Data: agW.Wait()}
-				clk.Stop(ps)
-			}
-
-			ps = clk.Start(perf.TaskAllReduce)
-			wtw := &mat.Dense{Rows: k, Cols: k, Data: c.AllReduce(xij.Data)} // line 10
-			clk.Stop(ps)
-
-			// Lines 11-13: assemble Wi across the processor row,
-			// multiply, reduce-scatter by column blocks of Hj —
-			// the same optionally-blocked pipeline.
-			for c0 := 0; c0 < k; c0 += chunk {
-				c1 := min(c0+chunk, k)
-				kc := c1 - c0
-				var wiChunk *mat.Dense
-				if c0 == 0 && wi0 != nil {
-					wiChunk = wi0 // prefetched during the Gram product
-				} else {
-					ps = clk.Start(perf.TaskAllGather)
-					wiChunk = &mat.Dense{Rows: mi, Cols: kc, Data: rowComm.AllGatherV(
-						wij.SubmatrixCols(c0, c1).Data,
-						grid.ScaleCounts(wRowCounts, kc))}
-					clk.Stop(ps)
-				}
-				ps = clk.Start(perf.TaskMM)
-				yijChunk := ws.Get(kc, nj)
-				mulAtBInto(yijChunk, aij, wiChunk, ws, pool) // Yij rows [c0,c1), kc×nj
-				clk.Stop(ps)
-				tr.AddFlops(perf.TaskMM, 2*int64(aij.NNZ())*int64(kc))
-				yijT := ws.Get(nj, kc)
-				yijChunk.TTo(yijT)
-				ws.Put(yijChunk)
-				ps = clk.Start(perf.TaskReduceScatter)
-				got := &mat.Dense{Rows: hHi - hLo, Cols: kc, Data: colComm.ReduceScatter(
-					yijT.Data, grid.ScaleCounts(hRowCounts, kc))}
-				clk.Stop(ps)
-				ws.Put(yijT)
-				wtaT.SetSubmatrix(0, c0, got)
-			}
+			wtw := rk.halfStep(hSide) // lines 9-13: WᵀW and this rank's WᵀA columns
 			wtaT.TTo(wta)
 
 			// Stationarity measure for TolGrad: gradient at the old
@@ -368,25 +391,16 @@ func RunHPC(a Matrix, g grid.Grid, opts Options) (*Result, error) {
 				pgRefLocal = wta.SquaredFrobeniusNorm()
 			}
 
-			gh, fh, gTmp, fTmp := applyRegInto(ws, wtw, wta, opts.L2H, opts.L1H)
-			ps = clk.Start(perf.TaskNLS)
-			st2, serr := nnls.SolveWith(solver, ctx, gh, fh, hij, hij) // line 14
-			clk.Stop(ps)
-			ws.Put(gTmp)
-			ws.Put(fTmp)
-			if serr != nil {
+			if serr := env.updateFactor("H", wtw, wta, hij, opts.L2H, opts.L1H); serr != nil { // line 14
 				panic(fmt.Sprintf("core: HPC H update failed at iteration %d: %v", it, serr))
 			}
-			tr.AddFlops(perf.TaskNLS, st2.Flops)
-			rm.ObserveNLS(st2.Iterations)
-			checkFactorSanity("H", hij)
 
 			// --- Objective (optional): the "global aggregation for
 			// residual" of §5, one scalar all-reduce. ---
 			if opts.ComputeError {
 				errSpan := c.Tracer().Begin(trace.CatPhase, "Err")
 				hijGram := ws.Get(k, k)
-				ps = clk.Start(perf.TaskGram)
+				ps := clk.Start(perf.TaskGram)
 				mat.ParGramTTo(hijGram, hij, pool)
 				clk.Stop(ps)
 				tr.AddFlops(perf.TaskGram, gramFlops(hHi-hLo, k))

@@ -6,7 +6,6 @@ import (
 	"hpcnmf/internal/grid"
 	"hpcnmf/internal/mat"
 	"hpcnmf/internal/mpi"
-	"hpcnmf/internal/nnls"
 	"hpcnmf/internal/par"
 	"hpcnmf/internal/perf"
 	"hpcnmf/internal/trace"
@@ -75,9 +74,8 @@ func RunNaive(a Matrix, p int, opts Options) (*Result, error) {
 
 		hi := localInitH(opts, ni, c0)
 		wi := localInitW(opts, mi, r0)
-		solver := opts.Solver.New(opts.Sweeps)
 		ws := mat.NewWorkspace()
-		ctx := &nnls.Context{WS: ws, Pool: pool}
+		env := newUpdateEnv(opts, ws, pool, clk, tr, rm)
 
 		// Per-rank iteration buffers, reused across iterations.
 		// gatherFactors returns the full W (m×k) and Hᵀ (n×k) on rank
@@ -107,6 +105,20 @@ func RunNaive(a Matrix, p int, opts Options) (*Result, error) {
 		wtai := mat.NewDense(k, ni) // Wᵀ·Aⁱ
 		wi.TTo(wit)
 
+		// assemble is the naive skeleton's one communication pattern,
+		// shared by both halves: all-gather one factor's blocks into the
+		// full rows×k panel and compute its Gram redundantly.
+		assemble := func(send []float64, counts []int, rows int, gram *mat.Dense) *mat.Dense {
+			ps := clk.Start(perf.TaskAllGather)
+			panel := &mat.Dense{Rows: rows, Cols: k, Data: c.AllGatherV(send, counts)}
+			clk.Stop(ps)
+			ps = clk.Start(perf.TaskGram)
+			mat.ParGramTo(gram, panel, pool)
+			clk.Stop(ps)
+			tr.AddFlops(perf.TaskGram, gramFlops(rows, k))
+			return panel
+		}
+
 		relErr := make([]float64, 0, opts.MaxIter)
 		iters := 0
 		setupTr := tr.Snapshot()
@@ -120,44 +132,21 @@ func RunNaive(a Matrix, p int, opts Options) (*Result, error) {
 			itSpan := c.Tracer().BeginArg(trace.CatIter, "iteration", "iter", int64(it))
 			// --- Compute W given H (lines 3-4) ---
 			hi.TTo(hiT)
-			ps := clk.Start(perf.TaskAllGather)
-			hT := &mat.Dense{Rows: n, Cols: k, Data: c.AllGatherV(hiT.Data, hWordCounts)}
-			clk.Stop(ps)
+			hT := assemble(hiT.Data, hWordCounts, n, hGram) // HHᵀ redundantly
 
-			ps = clk.Start(perf.TaskGram)
-			mat.ParGramTo(hGram, hT, pool) // (Hᵀ)ᵀHᵀ = HHᵀ, computed redundantly
-			clk.Stop(ps)
-			tr.AddFlops(perf.TaskGram, gramFlops(n, k))
-
-			ps = clk.Start(perf.TaskMM)
+			ps := clk.Start(perf.TaskMM)
 			mulBtInto(aiht, aRow, hT, pool) // Ai·Hᵀ, mi×k
 			clk.Stop(ps)
 			tr.AddFlops(perf.TaskMM, 2*int64(aRow.NNZ())*int64(k))
 
 			aiht.TTo(fw)
-			gw, fwReg, gTmp, fTmp := applyRegInto(ws, hGram, fw, opts.L2W, opts.L1W)
-			ps = clk.Start(perf.TaskNLS)
-			st, serr := nnls.SolveWith(solver, ctx, gw, fwReg, wit, wit)
-			clk.Stop(ps)
-			ws.Put(gTmp)
-			ws.Put(fTmp)
-			if serr != nil {
+			if serr := env.updateFactor("W", hGram, fw, wit, opts.L2W, opts.L1W); serr != nil {
 				panic(fmt.Sprintf("core: naive W update failed at iteration %d: %v", it, serr))
 			}
-			tr.AddFlops(perf.TaskNLS, st.Flops)
-			rm.ObserveNLS(st.Iterations)
 			wit.TTo(wi)
-			checkFactorSanity("W", wi)
 
 			// --- Compute H given W (lines 5-6) ---
-			ps = clk.Start(perf.TaskAllGather)
-			w := &mat.Dense{Rows: m, Cols: k, Data: c.AllGatherV(wi.Data, wWordCounts)}
-			clk.Stop(ps)
-
-			ps = clk.Start(perf.TaskGram)
-			mat.ParGramTo(wtw, w, pool) // redundant on every rank
-			clk.Stop(ps)
-			tr.AddFlops(perf.TaskGram, gramFlops(m, k))
+			w := assemble(wi.Data, wWordCounts, m, wtw)
 
 			ps = clk.Start(perf.TaskMM)
 			mulAtBInto(wtai, aCol, w, ws, pool) // Wᵀ·Aⁱ, k×ni
@@ -172,18 +161,9 @@ func RunNaive(a Matrix, p int, opts Options) (*Result, error) {
 				pgRefLocal = wtai.SquaredFrobeniusNorm()
 			}
 
-			gh, fh, gTmp, fTmp := applyRegInto(ws, wtw, wtai, opts.L2H, opts.L1H)
-			ps = clk.Start(perf.TaskNLS)
-			st2, serr := nnls.SolveWith(solver, ctx, gh, fh, hi, hi)
-			clk.Stop(ps)
-			ws.Put(gTmp)
-			ws.Put(fTmp)
-			if serr != nil {
+			if serr := env.updateFactor("H", wtw, wtai, hi, opts.L2H, opts.L1H); serr != nil {
 				panic(fmt.Sprintf("core: naive H update failed at iteration %d: %v", it, serr))
 			}
-			tr.AddFlops(perf.TaskNLS, st2.Flops)
-			rm.ObserveNLS(st2.Iterations)
-			checkFactorSanity("H", hi)
 
 			// --- Objective (optional): local partials + one all-reduce ---
 			if opts.ComputeError {

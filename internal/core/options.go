@@ -87,6 +87,15 @@ type Options struct {
 	TolGrad float64
 	// Solver selects the local NLS method (default BPP).
 	Solver SolverKind
+	// Update, when non-nil, supplies a custom algorithm plug-in for
+	// the drivers' shared communication skeleton instead of the
+	// Solver-derived one (see Updater and DESIGN decision 14). The
+	// factory is invoked once per rank goroutine — each rank owns a
+	// private updater instance, the single-goroutine contract that
+	// lets updaters keep working sets (nnls.ContextSolver state)
+	// across iterations. Checkpoints record Updater.Name() and resume
+	// validates it, so a custom updater must keep a stable name.
+	Update func() Updater
 	// Sweeps is the inner sweep count for MU/HALS (default 1).
 	Sweeps int
 	// Seed drives the deterministic, layout-independent factor

@@ -18,7 +18,9 @@ import (
 //	1 — initial schema
 //	2 — adds the per-iteration "progress" telemetry series (pure
 //	    addition; v1 reports remain readable); later also gains
-//	    dataset.storage and kernel_isa (again pure additions)
+//	    dataset.storage, kernel_isa, and the top-level "updater"
+//	    recording the algorithm plug-in the skeleton ran (again pure
+//	    additions)
 const ReportVersion = 2
 
 // minReportVersion is the oldest schema this build still reads.
@@ -75,6 +77,13 @@ type Report struct {
 	Algorithm  string      `json:"algorithm"`
 	Processors int         `json:"processors"`
 
+	// Updater names the algorithm plug-in the communication skeleton
+	// ran ("BPP", "MU", ...; see core.Updater). For solver-derived
+	// updaters it matches options.solver, which is kept for schema
+	// compatibility; a custom Options.Update factory surfaces only
+	// here.
+	Updater string `json:"updater,omitempty"`
+
 	// Grid is the processor grid of an HPC run ("2x4"; empty for
 	// sequential and naive runs), GridAuto whether the cost-model
 	// autotuner chose it, and GridPredictedSeconds the tuner's modeled
@@ -126,6 +135,7 @@ func NewReport(ds DatasetInfo, p int, opts Options, res *Result, tracePath strin
 		Dataset:    ds,
 		Algorithm:  res.Algorithm,
 		Processors: p,
+		Updater:    opts.updaterName(),
 		Options: ReportOptions{
 			K:            opts.K,
 			MaxIter:      opts.MaxIter,

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"os"
+	"testing"
+
+	"hpcnmf/internal/grid"
+)
+
+// Golden resume-compat fixtures: checkpoints written by the
+// pre-updater-refactor drivers (PR 7 tree), committed under testdata/.
+// They pin two contracts at once: the on-disk HPNMFCK1 container must
+// keep reading bytes an old build wrote, and resuming under the same
+// driver on the current skeleton must reproduce the old build's final
+// factors bitwise. (Cross-driver resume is tolerance-equal only: the
+// 2D HPC reduction order differs from the sequential accumulation
+// order, the same ~1e-15 contract the conformance suite pins.)
+const goldenM, goldenN, goldenK = 24, 20, 3
+
+func goldenMidCheckpoint(driver string) string {
+	return "testdata/golden_ckpt_" + driver + "_bpp_iter6.bin"
+}
+
+func goldenFinalCheckpoint(driver string) string {
+	return "testdata/golden_ckpt_" + driver + "_bpp_iter9.bin"
+}
+
+// goldenOptions is the exact configuration the fixtures were generated
+// with (BPP is the zero-value solver, spelled out here so a default
+// change cannot silently re-target the fixtures).
+func goldenOptions() Options {
+	return Options{K: goldenK, MaxIter: 9, Seed: 7, Solver: SolverBPP, ComputeError: true}
+}
+
+func loadGolden(t *testing.T, path string) *Checkpoint {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatalf("golden fixture missing (regenerate only from the pre-refactor tree): %v", err)
+	}
+	defer f.Close()
+	ck, err := ReadCheckpoint(f)
+	if err != nil {
+		t.Fatalf("pre-refactor checkpoint no longer parses: %v", err)
+	}
+	return ck
+}
+
+// TestResumeCompatWithPreRefactorCheckpoint proves a checkpoint
+// written by a pre-refactor driver loads under the current build and
+// resumes to factors bitwise-identical to the pre-refactor run's final
+// factors, under the driver that wrote it. The sequential fixture is
+// additionally resumed under the naive driver, which shares the
+// sequential accumulation order and so must agree bitwise too.
+func TestResumeCompatWithPreRefactorCheckpoint(t *testing.T) {
+	a := WrapDense(lowRankDense(goldenM, goldenN, goldenK, 0.01, 5))
+	for _, tc := range []struct {
+		fixture string
+		name    string
+		// The naive driver reproduces sequential factors bitwise but
+		// all-reduces the objective in a different summation order, so
+		// its error history is compared by the cross-driver contract
+		// elsewhere, not bitwise here.
+		skipRelErr bool
+		run        func(a Matrix, opts Options) (*Result, error)
+	}{
+		{fixture: "seq", name: "sequential", run: RunSequential},
+		{fixture: "seq", name: "naive-p4", skipRelErr: true,
+			run: func(a Matrix, opts Options) (*Result, error) { return RunNaive(a, 4, opts) }},
+		{fixture: "hpc2x2", name: "hpc-2x2",
+			run: func(a Matrix, opts Options) (*Result, error) { return RunHPC(a, grid.New(2, 2), opts) }},
+	} {
+		t.Run(tc.fixture+"/"+tc.name, func(t *testing.T) {
+			mid := loadGolden(t, goldenMidCheckpoint(tc.fixture))
+			want := loadGolden(t, goldenFinalCheckpoint(tc.fixture))
+			if mid.Meta.Iteration != 6 || want.Meta.Iteration != 9 {
+				t.Fatalf("fixture iterations %d/%d, want 6/9", mid.Meta.Iteration, want.Meta.Iteration)
+			}
+			opts, err := mid.Resume(goldenOptions())
+			if err != nil {
+				t.Fatalf("pre-refactor checkpoint rejected: %v", err)
+			}
+			res, err := tc.run(a, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.W.Equal(want.W, 0) || !res.H.Equal(want.H, 0) {
+				t.Fatal("resume from a pre-refactor checkpoint diverged from the pre-refactor factors")
+			}
+			if !tc.skipRelErr {
+				for i, e := range res.RelErr {
+					if want.Meta.RelErr[mid.Meta.Iteration+i] != e {
+						t.Fatalf("resumed error history diverges at overall iteration %d", mid.Meta.Iteration+i)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestCheckpointHeaderFormatPinned guards the HPNMFCK1 container
+// against silent format drift: magic, header framing, and the JSON
+// field names are all load-bearing for cross-version resume.
+func TestCheckpointHeaderFormatPinned(t *testing.T) {
+	raw, err := os.ReadFile(goldenMidCheckpoint("seq"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(raw[:8]) != "HPNMFCK1" {
+		t.Fatalf("fixture magic %q, want HPNMFCK1", raw[:8])
+	}
+	if checkpointMagic != "HPNMFCK1" {
+		t.Fatalf("checkpointMagic changed to %q — old checkpoints unreadable", checkpointMagic)
+	}
+	hdrLen := binary.LittleEndian.Uint32(raw[8:12])
+	hdr := raw[12 : 12+int(hdrLen)]
+	var fields map[string]json.RawMessage
+	if err := json.Unmarshal(hdr, &fields); err != nil {
+		t.Fatalf("fixture header is not JSON: %v", err)
+	}
+	for _, key := range []string{"version", "algorithm", "m", "n", "k", "iteration", "seed", "solver", "rel_err"} {
+		if _, ok := fields[key]; !ok {
+			t.Errorf("fixture header lost field %q", key)
+		}
+	}
+	// A header written today must keep the same field names (pure
+	// additions are allowed; renames and removals are not).
+	var buf bytes.Buffer
+	if err := writeCheckpointTo(&buf, testCheckpoint(3)); err != nil {
+		t.Fatal(err)
+	}
+	now := buf.Bytes()
+	nowLen := binary.LittleEndian.Uint32(now[8:12])
+	var nowFields map[string]json.RawMessage
+	if err := json.Unmarshal(now[12:12+int(nowLen)], &nowFields); err != nil {
+		t.Fatal(err)
+	}
+	for key := range fields {
+		if _, ok := nowFields[key]; !ok {
+			t.Errorf("current header dropped field %q present in the pre-refactor format", key)
+		}
+	}
+}

@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"hpcnmf/internal/mat"
-	"hpcnmf/internal/nnls"
 	"hpcnmf/internal/par"
 	"hpcnmf/internal/perf"
 	"hpcnmf/internal/trace"
@@ -13,22 +12,22 @@ import (
 // seqState holds the sequential driver's iteration buffers. Every
 // matrix the loop touches is allocated once here (or drawn from the
 // workspace arena), so a steady-state step performs no heap
-// allocation at KernelThreads=1 with an inexact solver — the property
+// allocation at KernelThreads=1 with any built-in updater — BPP
+// included, via its instance-held pivoting state — the property
 // TestSequentialStepZeroAllocs pins. The NLS iterate for the W step is
 // kept transposed (wt, k×m) across iterations: it is both the warm
 // start and the in-place destination of the solve, and one TTo
 // refreshes w from it.
 type seqState struct {
-	a      Matrix
-	opts   Options
-	solver nnls.Solver
-	ctx    *nnls.Context
-	ws     *mat.Workspace
-	pool   *par.Pool
-	tr     *perf.Tracker
-	clk    phaseClock
-	tc     *trace.Tracer
-	rm     runMetrics
+	a    Matrix
+	opts Options
+	env  updateEnv
+	ws   *mat.Workspace
+	pool *par.Pool
+	tr   *perf.Tracker
+	clk  phaseClock
+	tc   *trace.Tracer
+	rm   runMetrics
 
 	m, n, k int
 	normA2  float64
@@ -61,17 +60,18 @@ func newSeqState(a Matrix, opts Options, tc *trace.Tracer) (*seqState, error) {
 	ws := mat.NewWorkspace()
 	pool := par.NewPool(opts.KernelThreads)
 	tr := perf.NewTracker()
+	clk := phaseClock{tr: tr, tc: tc}
+	rm := newRunMetrics(opts.Metrics)
 	s := &seqState{
 		a:      a,
 		opts:   opts,
-		solver: opts.Solver.New(opts.Sweeps),
-		ctx:    &nnls.Context{WS: ws, Pool: pool},
+		env:    newUpdateEnv(opts, ws, pool, clk, tr, rm),
 		ws:     ws,
 		pool:   pool,
 		tr:     tr,
-		clk:    phaseClock{tr: tr, tc: tc},
+		clk:    clk,
 		tc:     tc,
-		rm:     newRunMetrics(opts.Metrics),
+		rm:     rm,
 		m:      m,
 		n:      n,
 		k:      k,
@@ -112,19 +112,10 @@ func (s *seqState) step(it int) error {
 	s.tr.AddFlops(perf.TaskMM, 2*int64(s.a.NNZ())*int64(s.k))
 
 	s.aht.TTo(s.fw)
-	gw, fw, gTmp, fTmp := applyRegInto(s.ws, s.hGram, s.fw, s.opts.L2W, s.opts.L1W)
-	ps = s.clk.Start(perf.TaskNLS)
-	st, err := nnls.SolveWith(s.solver, s.ctx, gw, fw, s.wt, s.wt)
-	s.clk.Stop(ps)
-	s.ws.Put(gTmp)
-	s.ws.Put(fTmp)
-	if err != nil {
+	if err := s.env.updateFactor("W", s.hGram, s.fw, s.wt, s.opts.L2W, s.opts.L1W); err != nil {
 		return fmt.Errorf("core: W update failed at iteration %d: %w", it, err)
 	}
-	s.tr.AddFlops(perf.TaskNLS, st.Flops)
-	s.rm.ObserveNLS(st.Iterations)
 	s.wt.TTo(s.w)
-	checkFactorSanity("W", s.w)
 
 	// --- Update H given W (Algorithm 1, line 4) ---
 	ps = s.clk.Start(perf.TaskGram)
@@ -148,18 +139,9 @@ func (s *seqState) step(it int) error {
 		pgRef = s.wta.SquaredFrobeniusNorm()
 	}
 
-	gh, fh, gTmp, fTmp := applyRegInto(s.ws, s.wtw, s.wta, s.opts.L2H, s.opts.L1H)
-	ps = s.clk.Start(perf.TaskNLS)
-	st2, err := nnls.SolveWith(s.solver, s.ctx, gh, fh, s.h, s.h)
-	s.clk.Stop(ps)
-	s.ws.Put(gTmp)
-	s.ws.Put(fTmp)
-	if err != nil {
+	if err := s.env.updateFactor("H", s.wtw, s.wta, s.h, s.opts.L2H, s.opts.L1H); err != nil {
 		return fmt.Errorf("core: H update failed at iteration %d: %w", it, err)
 	}
-	s.tr.AddFlops(perf.TaskNLS, st2.Flops)
-	s.rm.ObserveNLS(st2.Iterations)
-	checkFactorSanity("H", s.h)
 
 	// --- Objective via byproducts (DESIGN decision 4) ---
 	s.haveHGram = false

@@ -13,63 +13,67 @@ import (
 // the differential grid conformance suite: on a sparse data matrix,
 // every pr×pc factorization of every p in {1, 2, 4, 6} must produce
 // the same factors as the sequential sparse driver from the same
-// seed, for each of the inexact solvers — and the sequential sparse
-// run must itself agree with a sequential run on the densified
-// matrix, pinning the CSR kernels against the dense path end to end.
-// CI runs this under -race as part of the `conformance` job.
+// seed, for each update rule (MU, HALS, PGD, BPP) — and the
+// sequential sparse run must itself agree with a sequential run on
+// the densified matrix, pinning the CSR kernels against the dense
+// path end to end. Each algorithm is a named subtest for CI's
+// per-algorithm matrix legs; CI runs every leg under -race as part
+// of the `conformance` job.
 func TestSparseConformanceAllGridsMatchSequential(t *testing.T) {
 	const m, n, k = 48, 40, 4
 	sp := sparse.RandomER(m, n, 0.2, rng.New(17))
 	aSp := WrapSparse(sp)
 	aDn := WrapDense(sp.ToDense())
-	for _, solver := range []SolverKind{SolverMU, SolverHALS, SolverPGD} {
-		opts := Options{K: k, MaxIter: 5, Seed: 11, Solver: solver, ComputeError: true}
-		seqSp, err := RunSequential(aSp, opts)
-		if err != nil {
-			t.Fatalf("%v sequential sparse: %v", solver, err)
-		}
-		seqDn, err := RunSequential(aDn, opts)
-		if err != nil {
-			t.Fatalf("%v sequential dense: %v", solver, err)
-		}
-		if d := seqSp.W.MaxDiff(seqDn.W); d > 1e-6 {
-			t.Errorf("%v: sparse W diverges from dense by %g", solver, d)
-		}
-		if d := seqSp.H.MaxDiff(seqDn.H); d > 1e-6 {
-			t.Errorf("%v: sparse H diverges from dense by %g", solver, d)
-		}
-		for i := range seqSp.RelErr {
-			if math.Abs(seqSp.RelErr[i]-seqDn.RelErr[i]) > 1e-8 {
-				t.Errorf("%v: sparse RelErr[%d] = %v, dense %v", solver, i, seqSp.RelErr[i], seqDn.RelErr[i])
-				break
+	for _, solver := range conformanceSolvers {
+		t.Run(solver.String(), func(t *testing.T) {
+			opts := Options{K: k, MaxIter: 5, Seed: 11, Solver: solver, ComputeError: true}
+			seqSp, err := RunSequential(aSp, opts)
+			if err != nil {
+				t.Fatalf("sequential sparse: %v", err)
 			}
-		}
-		for _, p := range []int{1, 2, 4, 6} {
-			for _, g := range grid.Factorizations(p) {
-				par, err := RunHPC(aSp, g, opts)
-				if err != nil {
-					t.Fatalf("%v sparse grid %dx%d: %v", solver, g.PR, g.PC, err)
+			seqDn, err := RunSequential(aDn, opts)
+			if err != nil {
+				t.Fatalf("sequential dense: %v", err)
+			}
+			if d := seqSp.W.MaxDiff(seqDn.W); d > 1e-6 {
+				t.Errorf("sparse W diverges from dense by %g", d)
+			}
+			if d := seqSp.H.MaxDiff(seqDn.H); d > 1e-6 {
+				t.Errorf("sparse H diverges from dense by %g", d)
+			}
+			for i := range seqSp.RelErr {
+				if math.Abs(seqSp.RelErr[i]-seqDn.RelErr[i]) > 1e-8 {
+					t.Errorf("sparse RelErr[%d] = %v, dense %v", i, seqSp.RelErr[i], seqDn.RelErr[i])
+					break
 				}
-				if d := par.W.MaxDiff(seqSp.W); d > 1e-6 {
-					t.Errorf("%v sparse grid %dx%d: W diverges from sequential by %g", solver, g.PR, g.PC, d)
-				}
-				if d := par.H.MaxDiff(seqSp.H); d > 1e-6 {
-					t.Errorf("%v sparse grid %dx%d: H diverges from sequential by %g", solver, g.PR, g.PC, d)
-				}
-				if len(par.RelErr) != len(seqSp.RelErr) {
-					t.Errorf("%v sparse grid %dx%d: %d error samples, sequential %d",
-						solver, g.PR, g.PC, len(par.RelErr), len(seqSp.RelErr))
-					continue
-				}
-				for i := range par.RelErr {
-					if math.Abs(par.RelErr[i]-seqSp.RelErr[i]) > 1e-8 {
-						t.Errorf("%v sparse grid %dx%d: RelErr[%d] = %v, sequential %v",
-							solver, g.PR, g.PC, i, par.RelErr[i], seqSp.RelErr[i])
-						break
+			}
+			for _, p := range []int{1, 2, 4, 6} {
+				for _, g := range grid.Factorizations(p) {
+					par, err := RunHPC(aSp, g, opts)
+					if err != nil {
+						t.Fatalf("sparse grid %dx%d: %v", g.PR, g.PC, err)
+					}
+					if d := par.W.MaxDiff(seqSp.W); d > 1e-6 {
+						t.Errorf("sparse grid %dx%d: W diverges from sequential by %g", g.PR, g.PC, d)
+					}
+					if d := par.H.MaxDiff(seqSp.H); d > 1e-6 {
+						t.Errorf("sparse grid %dx%d: H diverges from sequential by %g", g.PR, g.PC, d)
+					}
+					if len(par.RelErr) != len(seqSp.RelErr) {
+						t.Errorf("sparse grid %dx%d: %d error samples, sequential %d",
+							g.PR, g.PC, len(par.RelErr), len(seqSp.RelErr))
+						continue
+					}
+					for i := range par.RelErr {
+						if math.Abs(par.RelErr[i]-seqSp.RelErr[i]) > 1e-8 {
+							t.Errorf("sparse grid %dx%d: RelErr[%d] = %v, sequential %v",
+								g.PR, g.PC, i, par.RelErr[i], seqSp.RelErr[i])
+							break
+						}
 					}
 				}
 			}
-		}
+		})
 	}
 }
 

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"hpcnmf/internal/mat"
+	"hpcnmf/internal/nnls"
+	"hpcnmf/internal/par"
+	"hpcnmf/internal/perf"
+)
+
+// Updater is the algorithm plug-in seam of the MPI-FAUN framework
+// (DESIGN decision 14, after Kannan–Ballard–Park's follow-up): any
+// alternating-updating NMF method drops into the shared communication
+// skeleton by supplying only the local factor update. The skeleton —
+// sequential, naive, or 2D HPC driver — owns the collectives, the
+// comm/compute overlap schedule, the Gram and cross-product pipeline,
+// workspace arenas, checkpointing, fault sites, and tracing; the
+// updater sees exactly the two matrices the ANLS normal equations
+// need and the iterate to advance.
+//
+// Update advances x (k×r) in place given the k×k Gram matrix and the
+// k×r right-hand side of the current half-step: for the W half gram =
+// HHᵀ and rhs = (AHᵀ)ᵀ with x = Wᵀ; for the H half gram = WᵀW and
+// rhs = WᵀA with x = H. Regularization is already folded into gram
+// and rhs when configured. gram and rhs are read-only and only valid
+// for the duration of the call; x is both the warm start and the
+// destination. All temporaries must come from ctx so steady-state
+// iterations stay allocation-free.
+//
+// An updater instance is created per rank goroutine (see
+// Options.Update) and is never called concurrently, so it may keep
+// working sets across calls — the contract nnls.ContextSolver
+// instances rely on.
+type Updater interface {
+	// Name identifies the update rule in reports and checkpoints
+	// ("BPP", "MU", ...). Resuming a checkpoint requires the same name.
+	Name() string
+	Update(ctx *nnls.Context, gram, rhs, x *mat.Dense) (nnls.Stats, error)
+}
+
+// solverUpdater adapts any nnls.Solver as an Updater — the four
+// built-in algorithms (MU, HALS, PGD, BPP) all enter the skeleton
+// through it.
+type solverUpdater struct{ s nnls.Solver }
+
+func (u solverUpdater) Name() string { return u.s.Name() }
+
+func (u solverUpdater) Update(ctx *nnls.Context, gram, rhs, x *mat.Dense) (nnls.Stats, error) {
+	return nnls.SolveWith(u.s, ctx, gram, rhs, x, x)
+}
+
+// newUpdater instantiates this rank's updater: the Options.Update
+// factory when set, else the Options.Solver wrapped as an updater.
+func (o Options) newUpdater() Updater {
+	if o.Update != nil {
+		return o.Update()
+	}
+	return solverUpdater{o.Solver.New(o.Sweeps)}
+}
+
+// updaterName is the updater identity recorded in checkpoints and
+// reports (and validated on resume), without holding an instance.
+func (o Options) updaterName() string {
+	if o.Update != nil {
+		return o.Update().Name()
+	}
+	return o.Solver.String()
+}
+
+// updateEnv funnels every factor update in every driver through one
+// code path: fold regularization in, time the update under TaskNLS,
+// return workspace temporaries, account flops and solver inner
+// iterations, and panic early if the iterate went non-finite. One env
+// per rank goroutine, like the updater it owns.
+type updateEnv struct {
+	up  Updater
+	ctx *nnls.Context
+	ws  *mat.Workspace
+	clk phaseClock
+	tr  *perf.Tracker
+	rm  runMetrics
+}
+
+// newUpdateEnv builds a rank's update environment over its workspace
+// arena and the run's shared kernel pool.
+func newUpdateEnv(opts Options, ws *mat.Workspace, pool *par.Pool, clk phaseClock, tr *perf.Tracker, rm runMetrics) updateEnv {
+	return updateEnv{
+		up:  opts.newUpdater(),
+		ctx: &nnls.Context{WS: ws, Pool: pool},
+		ws:  ws,
+		clk: clk,
+		tr:  tr,
+		rm:  rm,
+	}
+}
+
+// updateFactor runs one half-step's local update x ← up(gram, rhs, x)
+// with regularization (l2, l1) applied. which names the factor ("W",
+// "H") for the sanity check; the iterate may be stored transposed —
+// finiteness is layout-independent.
+func (e *updateEnv) updateFactor(which string, gram, rhs, x *mat.Dense, l2, l1 float64) error {
+	g, f, gTmp, fTmp := applyRegInto(e.ws, gram, rhs, l2, l1)
+	ps := e.clk.Start(perf.TaskNLS)
+	st, err := e.up.Update(e.ctx, g, f, x)
+	e.clk.Stop(ps)
+	e.ws.Put(gTmp)
+	e.ws.Put(fTmp)
+	if err != nil {
+		return err
+	}
+	e.tr.AddFlops(perf.TaskNLS, st.Flops)
+	e.rm.ObserveNLS(st.Iterations)
+	checkFactorSanity(which, x)
+	return nil
+}

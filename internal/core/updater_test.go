@@ -1,0 +1,194 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"hpcnmf/internal/grid"
+	"hpcnmf/internal/mat"
+	"hpcnmf/internal/nnls"
+)
+
+// countingUpdater is a custom Updater plug-in for the seam tests: it
+// delegates the math to BPP but carries its own name and counts
+// calls, so the tests can tell the skeleton really ran it.
+type countingUpdater struct {
+	inner nnls.ContextSolver
+	calls int
+}
+
+func (u *countingUpdater) Name() string { return "test-bpp" }
+
+func (u *countingUpdater) Update(ctx *nnls.Context, gram, rhs, x *mat.Dense) (nnls.Stats, error) {
+	u.calls++
+	return nnls.SolveWith(u.inner, ctx, gram, rhs, x, x)
+}
+
+// TestCustomUpdaterPlugsIntoSkeleton: a custom Options.Update factory
+// must drive every driver through the same skeleton the built-ins
+// use — bitwise identically when the math matches — and its factory
+// must be invoked once per rank.
+func TestCustomUpdaterPlugsIntoSkeleton(t *testing.T) {
+	const m, n, k = 48, 40, 4
+	a := WrapDense(lowRankDense(m, n, k, 0.02, 3))
+	base := Options{K: k, MaxIter: 4, Seed: 11, Solver: SolverBPP, ComputeError: true}
+
+	var made []*countingUpdater
+	custom := base
+	custom.Update = func() Updater {
+		u := &countingUpdater{inner: nnls.NewBPP()}
+		made = append(made, u)
+		return u
+	}
+
+	seqRef, err := RunSequential(a, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqGot, err := RunSequential(a, custom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := seqGot.W.MaxDiff(seqRef.W); d != 0 {
+		t.Errorf("sequential: custom updater changed W by %g (want bitwise equal)", d)
+	}
+	if len(made) != 1 || made[0].calls != 2*base.MaxIter {
+		t.Errorf("sequential: %d updaters made, first called %d times; want 1 updater, %d calls",
+			len(made), made[0].calls, 2*base.MaxIter)
+	}
+
+	// RunHPC must call the factory once per rank and still match the
+	// built-in BPP run grid-exactly. (The factory itself runs on the
+	// spawning goroutines, so guard the shared slice is not needed:
+	// newUpdateEnv runs inside each rank — count via the instances.)
+	made = nil
+	g := grid.Grid{PR: 2, PC: 2}
+	hpcRef, err := RunHPC(a, g, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hpcGot, err := RunHPC(a, g, custom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := hpcGot.W.MaxDiff(hpcRef.W); d != 0 {
+		t.Errorf("hpc 2x2: custom updater changed W by %g (want bitwise equal)", d)
+	}
+	if d := hpcGot.H.MaxDiff(hpcRef.H); d != 0 {
+		t.Errorf("hpc 2x2: custom updater changed H by %g (want bitwise equal)", d)
+	}
+	if len(made) != 4 {
+		t.Errorf("hpc 2x2: factory made %d updaters, want one per rank (4)", len(made))
+	}
+	for i, u := range made {
+		if u.calls != 2*base.MaxIter {
+			t.Errorf("hpc rank instance %d: %d update calls, want %d", i, u.calls, 2*base.MaxIter)
+		}
+	}
+
+	// The plug-in's identity must surface in the run report.
+	rep := NewReport(DescribeMatrix("t", a), 4, custom, hpcGot, "")
+	if rep.Updater != "test-bpp" {
+		t.Errorf("report updater %q, want %q", rep.Updater, "test-bpp")
+	}
+	if rep.Options.Solver != "BPP" {
+		t.Errorf("report options.solver %q, want the SolverKind %q", rep.Options.Solver, "BPP")
+	}
+}
+
+// TestCustomUpdaterCheckpointIdentity: checkpoints record the
+// updater's name and resume validates it, so a run cannot silently
+// continue under a different update rule.
+func TestCustomUpdaterCheckpointIdentity(t *testing.T) {
+	const m, n, k = 30, 24, 3
+	a := WrapDense(lowRankDense(m, n, k, 0.02, 5))
+	dir := t.TempDir()
+	opts := Options{K: k, MaxIter: 4, Seed: 7, CheckpointDir: dir, CheckpointEvery: 2,
+		Update: func() Updater { return &countingUpdater{inner: nnls.NewBPP()} }}
+	if _, err := RunSequential(a, opts); err != nil {
+		t.Fatal(err)
+	}
+	ck, err := LoadCheckpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck.Meta.Solver != "test-bpp" {
+		t.Fatalf("checkpoint recorded solver %q, want the updater name %q", ck.Meta.Solver, "test-bpp")
+	}
+	// Resuming with the same plug-in succeeds; resuming with a
+	// built-in solver (name "BPP") must be refused.
+	resumed := opts
+	resumed.MaxIter = 6
+	if _, err := ck.Resume(resumed); err != nil {
+		t.Errorf("resume with matching updater failed: %v", err)
+	}
+	mismatched := Options{K: k, MaxIter: 6, Seed: 7, Solver: SolverBPP}
+	if _, err := ck.Resume(mismatched); err == nil {
+		t.Error("resume accepted a different updater than the checkpoint's")
+	} else if !strings.Contains(err.Error(), "test-bpp") {
+		t.Errorf("resume error %q does not name the checkpoint updater", err)
+	}
+}
+
+// TestSolverUpdaterNames: the built-in solvers keep their identity
+// through the Updater adapter.
+func TestSolverUpdaterNames(t *testing.T) {
+	for _, kind := range []SolverKind{SolverBPP, SolverMU, SolverHALS, SolverPGD, SolverActiveSet} {
+		o := Options{Solver: kind, Sweeps: 1}
+		if got := o.newUpdater().Name(); got != kind.String() {
+			t.Errorf("updater for %v named %q", kind, got)
+		}
+		if got := o.updaterName(); got != kind.String() {
+			t.Errorf("updaterName for %v = %q", kind, got)
+		}
+	}
+}
+
+// failingUpdater errors on its nth call, to drive the update-failure
+// paths of the drivers.
+type failingUpdater struct {
+	after int
+	calls int
+}
+
+func (u *failingUpdater) Name() string { return "failing" }
+
+func (u *failingUpdater) Update(ctx *nnls.Context, gram, rhs, x *mat.Dense) (nnls.Stats, error) {
+	u.calls++
+	if u.calls > u.after {
+		return nnls.Stats{}, errors.New("synthetic update failure")
+	}
+	return nnls.SolveWith(nnls.NewBPP(), ctx, gram, rhs, x, x)
+}
+
+// TestUpdaterErrorSurfaces: an updater error must abort the run with
+// a wrapped, iteration-stamped error — from the sequential driver's
+// error return and from the parallel drivers' panic-recovery wrapper.
+func TestUpdaterErrorSurfaces(t *testing.T) {
+	const m, n, k = 30, 24, 3
+	a := WrapDense(lowRankDense(m, n, k, 0.02, 5))
+	for _, tc := range []struct {
+		name string
+		run  func(Options) (*Result, error)
+	}{
+		{"sequential", func(o Options) (*Result, error) { return RunSequential(a, o) }},
+		{"naive", func(o Options) (*Result, error) { return RunNaive(a, 2, o) }},
+		{"hpc", func(o Options) (*Result, error) { return RunHPC(a, grid.Grid{PR: 2, PC: 1}, o) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			opts := Options{K: k, MaxIter: 5, Seed: 7,
+				Update: func() Updater { return &failingUpdater{after: 3} }}
+			_, err := tc.run(opts)
+			if err == nil {
+				t.Fatal("run succeeded despite failing updater")
+			}
+			if !strings.Contains(err.Error(), "synthetic update failure") {
+				t.Errorf("error %q does not carry the updater failure", err)
+			}
+			if !strings.Contains(err.Error(), "update failed at iteration") {
+				t.Errorf("error %q is not iteration-stamped", err)
+			}
+		})
+	}
+}

@@ -1,0 +1,116 @@
+package costmodel
+
+import (
+	"fmt"
+	"sort"
+
+	"hpcnmf/internal/grid"
+)
+
+// UpdaterCoeffs models one update rule's local NLS cost inside the
+// shared communication skeleton: the per-column flops of its k-rank
+// solve (the only per-iteration cost the skeleton's Table 2 terms
+// exclude) and its relative convergence rate. The skeleton cost is
+// updater-independent, so these two coefficients are exactly what the
+// joint algorithm × grid pricing needs on top of HPCExact.
+type UpdaterCoeffs struct {
+	Name string
+	// K3, K2, K1 price one right-hand-side column of the local solve
+	// as (K3·k³ + K2·k² + K1·k) flops per sweep/round. K3 is only
+	// nonzero for the exact methods, which amortize a k³/3 Cholesky
+	// across same-passive-set column groups.
+	K3, K2, K1 float64
+	// Sweeps is the default inner sweep (or pivoting round) count the
+	// per-column price is multiplied by.
+	Sweeps float64
+	// IterFactor is the relative number of alternating iterations the
+	// rule needs to reach a fixed tolerance, normalized to BPP = 1 —
+	// the empirical ordering of Kim & Park (BPP ≈ exact ANLS fastest,
+	// HALS close, PGD and MU trailing) that makes a cheap-per-
+	// iteration rule lose an end-to-end comparison.
+	IterFactor float64
+}
+
+// NLSFlops is the modeled local NLS flops of one alternating
+// iteration on a rank owning wCols columns of the W solve (its m/p
+// rows of W) and hCols of the H solve (its n/p columns of H).
+func (u UpdaterCoeffs) NLSFlops(k, wCols, hCols int) float64 {
+	kf := float64(k)
+	perCol := u.K3*kf*kf*kf + u.K2*kf*kf + u.K1*kf
+	return u.Sweeps * perCol * float64(wCols+hCols)
+}
+
+// Updaters is the coefficient table for the built-in update rules.
+// Flop coefficients follow the implementations in internal/nnls: MU
+// and PGD are dominated by one (two for PGD's trial step) k×k
+// Gram-vector product per column per sweep; HALS by its k rank-one
+// row sweeps; BPP by the grouped Cholesky solves — k³/3 per group,
+// amortized here over ~8 columns sharing a passive set, plus the
+// per-column triangular solves and dual evaluation over ~3 pivot
+// rounds.
+func Updaters() []UpdaterCoeffs {
+	return []UpdaterCoeffs{
+		{Name: "MU", K2: 2, K1: 6, Sweeps: 1, IterFactor: 3.0},
+		{Name: "HALS", K2: 2, K1: 4, Sweeps: 1, IterFactor: 1.3},
+		{Name: "PGD", K2: 4, K1: 8, Sweeps: 1, IterFactor: 2.0},
+		{Name: "BPP", K3: 1.0 / 24, K2: 3, K1: 2, Sweeps: 3, IterFactor: 1.0},
+	}
+}
+
+// UpdaterCoeffsFor returns the coefficients for a named updater
+// ("BPP", "MU", ...), or an error for updaters the model has no
+// coefficients for.
+func UpdaterCoeffsFor(name string) (UpdaterCoeffs, error) {
+	for _, u := range Updaters() {
+		if u.Name == name {
+			return u, nil
+		}
+	}
+	return UpdaterCoeffs{}, fmt.Errorf("costmodel: no coefficients for updater %q", name)
+}
+
+// AlgorithmGridChoice is one row of the joint algorithm × grid
+// forecast: an updater on its best grid with the end-to-end price.
+type AlgorithmGridChoice struct {
+	Updater UpdaterCoeffs
+	Grid    grid.Grid
+	Pred    Prediction
+	// IterSeconds is the modeled per-iteration time: the skeleton's
+	// communication + MM + Gram cost on Grid plus the updater's local
+	// NLS flops.
+	IterSeconds float64
+	// Seconds is IterSeconds scaled by the updater's relative
+	// iterations-to-tolerance — the time-to-solution ranking key.
+	Seconds float64
+}
+
+// AutoAlgorithmGrid prices algorithm × grid jointly: every built-in
+// updater is paired with its modeled-optimal grid (found per updater
+// via AutoGridWith; the NLS term is grid-shape-independent given p —
+// each rank solves m/p + n/p columns regardless of pr×pc — so today
+// each updater lands on the same grid, but the search stays joint so
+// updater-dependent skeleton costs would be priced correctly), the
+// updater's NLS flops are added to the skeleton forecast, and the
+// total is scaled by its relative iterations-to-tolerance. Rows come
+// back cheapest first; the error case is AutoGridWith's (wraps
+// grid.ErrNoFeasibleGrid).
+func AutoAlgorithmGrid(m, n, k, p int, alpha, beta, gamma float64, nnzPerRank func(grid.Grid) int64) ([]AlgorithmGridChoice, error) {
+	var out []AlgorithmGridChoice
+	for _, u := range Updaters() {
+		g, pred, err := AutoGridWith(m, n, k, p, alpha, beta, gamma, nnzPerRank)
+		if err != nil {
+			return nil, err
+		}
+		iter := pred.Seconds(alpha, beta, gamma) +
+			gamma*u.NLSFlops(k, (m+p-1)/p, (n+p-1)/p)
+		out = append(out, AlgorithmGridChoice{
+			Updater:     u,
+			Grid:        g,
+			Pred:        pred,
+			IterSeconds: iter,
+			Seconds:     iter * u.IterFactor,
+		})
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Seconds < out[j].Seconds })
+	return out, nil
+}

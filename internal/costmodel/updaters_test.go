@@ -1,0 +1,88 @@
+package costmodel
+
+import (
+	"sort"
+	"testing"
+
+	"hpcnmf/internal/grid"
+)
+
+func TestUpdaterCoeffsForKnownAndUnknown(t *testing.T) {
+	for _, name := range []string{"MU", "HALS", "PGD", "BPP"} {
+		u, err := UpdaterCoeffsFor(name)
+		if err != nil {
+			t.Fatalf("UpdaterCoeffsFor(%q): %v", name, err)
+		}
+		if u.Name != name {
+			t.Errorf("UpdaterCoeffsFor(%q).Name = %q", name, u.Name)
+		}
+		if u.IterFactor < 1 {
+			t.Errorf("%s: IterFactor %v < 1 (BPP is the normalization floor)", name, u.IterFactor)
+		}
+		if u.NLSFlops(8, 10, 10) <= 0 {
+			t.Errorf("%s: NLSFlops not positive", name)
+		}
+	}
+	if _, err := UpdaterCoeffsFor("simplex"); err == nil {
+		t.Error("UpdaterCoeffsFor accepted an unknown updater")
+	}
+}
+
+func TestNLSFlopsScalesWithColumns(t *testing.T) {
+	u, _ := UpdaterCoeffsFor("BPP")
+	base := u.NLSFlops(8, 10, 10)
+	if got := u.NLSFlops(8, 20, 20); got != 2*base {
+		t.Errorf("doubling columns: %v, want %v", got, 2*base)
+	}
+}
+
+func TestAutoAlgorithmGridRanksAndCovers(t *testing.T) {
+	const m, n, k, p = 4096, 2048, 16, 8
+	e := edisonLike()
+	choices, err := AutoAlgorithmGrid(m, n, k, p, e.alpha, e.beta, e.gamma,
+		func(grid.Grid) int64 { return int64(m) * int64(n) / p })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(choices) != len(Updaters()) {
+		t.Fatalf("%d rows, want one per updater (%d)", len(choices), len(Updaters()))
+	}
+	if !sort.SliceIsSorted(choices, func(i, j int) bool { return choices[i].Seconds < choices[j].Seconds }) {
+		t.Error("choices not sorted cheapest-first")
+	}
+	seen := map[string]bool{}
+	for _, ch := range choices {
+		seen[ch.Updater.Name] = true
+		if ch.Grid.PR*ch.Grid.PC != p {
+			t.Errorf("%s: grid %v is not a factorization of p=%d", ch.Updater.Name, ch.Grid, p)
+		}
+		if ch.IterSeconds <= ch.Pred.Seconds(e.alpha, e.beta, e.gamma)-1e-18 {
+			t.Errorf("%s: IterSeconds %v below skeleton cost %v", ch.Updater.Name, ch.IterSeconds, ch.Pred.Seconds(e.alpha, e.beta, e.gamma))
+		}
+		if ch.Seconds != ch.IterSeconds*ch.Updater.IterFactor {
+			t.Errorf("%s: Seconds %v != IterSeconds*IterFactor %v", ch.Updater.Name, ch.Seconds, ch.IterSeconds*ch.Updater.IterFactor)
+		}
+	}
+	for _, name := range []string{"MU", "HALS", "PGD", "BPP"} {
+		if !seen[name] {
+			t.Errorf("no row for %s", name)
+		}
+	}
+}
+
+func TestAutoAlgorithmGridInfeasible(t *testing.T) {
+	// k larger than any block of every factorization of p: the grid
+	// search must surface its typed error, not fabricate a row.
+	e := edisonLike()
+	if _, err := AutoAlgorithmGrid(6, 6, 5, 4, e.alpha, e.beta, e.gamma, nil); err == nil {
+		t.Error("AutoAlgorithmGrid succeeded on an infeasible problem")
+	}
+}
+
+// edisonLike mirrors the machine constants the facade uses, kept
+// local so the test does not depend on internal/perf.
+type machineConsts struct{ alpha, beta, gamma float64 }
+
+func edisonLike() machineConsts {
+	return machineConsts{alpha: 1e-6, beta: 1e-9, gamma: 1e-10}
+}

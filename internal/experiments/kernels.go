@@ -9,6 +9,7 @@ import (
 	"hpcnmf/internal/core"
 	"hpcnmf/internal/grid"
 	"hpcnmf/internal/mat"
+	"hpcnmf/internal/nnls"
 	"hpcnmf/internal/par"
 	"hpcnmf/internal/rng"
 	"hpcnmf/internal/sparse"
@@ -266,6 +267,38 @@ func CollectKernels(cfg KernelConfig) *KernelReport {
 			naive:   func() { sparse.RefMulWtATo(cSmallWta, spSmall, wSmall) },
 			blocked: func(p *par.Pool) { spSmall.MulWtAToWS(cSmallWta, wSmall, p, ws) },
 		},
+	}
+
+	// The BPP local NLS solve at the paper's per-rank shape (k×k Gram,
+	// k×n RHS): "naive" is per-column block principal pivoting,
+	// "blocked" passive-set column grouping (DESIGN ablation 3 —
+	// columns sharing a passive set share one Cholesky). The RHS is
+	// built from a mean-shifted A so a realistic fraction of the
+	// columns hits active constraints; the solve is single-threaded by
+	// contract, so the pool parameter is unused and the thread rows
+	// measure the same code path.
+	{
+		aShift := a.Clone()
+		for i := range aShift.Data {
+			aShift.Data[i] -= 0.25
+		}
+		gBpp := mat.Gram(w)
+		fBpp := mat.MulAtB(w, aShift)
+		solveWith := func(s *nnls.BPP) {
+			if _, _, err := s.Solve(gBpp, fBpp, nil); err != nil {
+				panic(fmt.Sprintf("experiments: BPPSolve bench: %v", err))
+			}
+		}
+		_, st, err := (&nnls.BPP{Grouping: true}).Solve(gBpp, fBpp, nil)
+		if err != nil {
+			panic(fmt.Sprintf("experiments: BPPSolve bench: %v", err))
+		}
+		cases = append(cases, kernelCase{
+			name: "BPPSolve", m: 0, n: n, k: k,
+			flops:   float64(st.Flops),
+			naive:   func() { solveWith(&nnls.BPP{Grouping: false}) },
+			blocked: func(p *par.Pool) { solveWith(&nnls.BPP{Grouping: true}) },
+		})
 	}
 
 	rep := &KernelReport{Version: KernelReportVersion, Seed: cfg.Seed, Reps: cfg.Reps}

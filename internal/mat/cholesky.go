@@ -14,11 +14,25 @@ var ErrNotPositiveDefinite = errors.New("mat: matrix is not positive definite")
 // symmetric positive definite matrix G. Only the lower triangle of G
 // is read. Cost: k³/3 flops.
 func Cholesky(g *Dense) (*Dense, error) {
+	l := NewDense(g.Rows, g.Cols)
+	if err := CholeskyInto(l, g); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// CholeskyInto is Cholesky into a caller-supplied l (k×k) — the
+// workspace-threaded form the allocation-free solver paths use. Only
+// the lower triangle of l is written (consumers read nothing else), so
+// a recycled arena buffer needs no zeroing.
+func CholeskyInto(l, g *Dense) error {
 	if g.Rows != g.Cols {
 		panic(fmt.Sprintf("mat: Cholesky of non-square %dx%d", g.Rows, g.Cols))
 	}
+	if l.Rows != g.Rows || l.Cols != g.Cols {
+		panic(fmt.Sprintf("mat: Cholesky factor is %dx%d, want %dx%d", l.Rows, l.Cols, g.Rows, g.Cols))
+	}
 	k := g.Rows
-	l := NewDense(k, k)
 	for j := 0; j < k; j++ {
 		d := g.At(j, j)
 		lrowj := l.Row(j)
@@ -26,7 +40,7 @@ func Cholesky(g *Dense) (*Dense, error) {
 			d -= lrowj[t] * lrowj[t]
 		}
 		if d <= 0 || math.IsNaN(d) {
-			return nil, ErrNotPositiveDefinite
+			return ErrNotPositiveDefinite
 		}
 		dj := math.Sqrt(d)
 		lrowj[j] = dj
@@ -40,19 +54,35 @@ func Cholesky(g *Dense) (*Dense, error) {
 			lrowi[j] = s * inv
 		}
 	}
-	return l, nil
+	return nil
 }
 
 // CholSolve solves G·X = B given the Cholesky factor L of G, for a
 // k×r right-hand side B. It overwrites nothing; the solution is a new
 // matrix. Cost: 2·k²·r flops.
 func CholSolve(l *Dense, b *Dense) *Dense {
-	k := l.Rows
-	if b.Rows != k {
-		panic(fmt.Sprintf("mat: CholSolve RHS rows %d != %d", b.Rows, k))
-	}
 	x := b.Clone()
-	r := b.Cols
+	cholSolveInPlace(l, x)
+	return x
+}
+
+// CholSolveInto is CholSolve into a caller-supplied x (shaped like b),
+// for the workspace-threaded paths.
+func CholSolveInto(x *Dense, l, b *Dense) {
+	if x.Rows != b.Rows || x.Cols != b.Cols {
+		panic(fmt.Sprintf("mat: CholSolve destination is %dx%d, want %dx%d", x.Rows, x.Cols, b.Rows, b.Cols))
+	}
+	x.CopyFrom(b)
+	cholSolveInPlace(l, x)
+}
+
+// cholSolveInPlace substitutes L·Lᵀ·X = X in place.
+func cholSolveInPlace(l, x *Dense) {
+	k := l.Rows
+	if x.Rows != k {
+		panic(fmt.Sprintf("mat: CholSolve RHS rows %d != %d", x.Rows, k))
+	}
+	r := x.Cols
 	// Forward substitution: L·Y = B.
 	for i := 0; i < k; i++ {
 		lrow := l.Row(i)
@@ -90,7 +120,6 @@ func CholSolve(l *Dense, b *Dense) *Dense {
 			xrow[j] *= inv
 		}
 	}
-	return x
 }
 
 // SolveSPD solves G·X = B for symmetric positive definite G. If G is
@@ -99,9 +128,22 @@ func CholSolve(l *Dense, b *Dense) *Dense {
 // rank-deficient Gram matrices that can arise mid-iteration in NMF
 // when a factor column collapses to zero.
 func SolveSPD(g, b *Dense) (*Dense, error) {
-	l, err := Cholesky(g)
-	if err == nil {
-		return CholSolve(l, b), nil
+	x := NewDense(b.Rows, b.Cols)
+	if err := SolveSPDInto(x, g, b, nil); err != nil {
+		return nil, err
+	}
+	return x, nil
+}
+
+// SolveSPDInto is SolveSPD into a caller-supplied x (shaped like b),
+// drawing the factor and the jittered copies from ws — the form the
+// zero-alloc solver steady states use. A nil ws allocates fresh.
+func SolveSPDInto(x *Dense, g, b *Dense, ws *Workspace) error {
+	l := ws.Get(g.Rows, g.Cols)
+	defer ws.Put(l)
+	if err := CholeskyInto(l, g); err == nil {
+		CholSolveInto(x, l, b)
+		return nil
 	}
 	// Scale the jitter to the matrix magnitude.
 	maxDiag := 0.0
@@ -114,15 +156,18 @@ func SolveSPD(g, b *Dense) (*Dense, error) {
 		maxDiag = 1
 	}
 	eps := 1e-12 * maxDiag
+	gj := ws.Get(g.Rows, g.Cols)
+	defer ws.Put(gj)
 	for try := 0; try < 8; try++ {
-		gj := g.Clone()
+		gj.CopyFrom(g)
 		for i := 0; i < gj.Rows; i++ {
 			gj.Data[i*gj.Cols+i] += eps
 		}
-		if l, err = Cholesky(gj); err == nil {
-			return CholSolve(l, b), nil
+		if err := CholeskyInto(l, gj); err == nil {
+			CholSolveInto(x, l, b)
+			return nil
 		}
 		eps *= 100
 	}
-	return nil, ErrNotPositiveDefinite
+	return ErrNotPositiveDefinite
 }

@@ -23,12 +23,48 @@ var ErrNotConverged = errors.New("nnls: solver did not converge within the itera
 // Columns sharing a passive set are solved together off one Cholesky
 // factorization (the Grouping flag), the optimization that makes BPP
 // competitive for the many-right-hand-side problems NMF generates.
+//
+// BPP implements ContextSolver: SolveCtx keeps the pivoting working
+// set (passive patterns, anti-cycling counters, column groups) on the
+// solver instance and draws every matrix temporary from the context
+// workspace, so steady-state calls with recurring shapes and passive
+// patterns allocate nothing. The instance state makes a BPP value
+// single-goroutine under SolveCtx — the same ownership discipline as
+// mat.Workspace; Solve remains stateless and safe to share.
 type BPP struct {
 	// MaxIter bounds pivoting rounds; 0 means a generous default.
 	MaxIter int
 	// Grouping enables solving same-passive-set columns together.
 	// On by default via NewBPP; exposed for the ablation benchmark.
 	Grouping bool
+
+	// st is the reusable pivoting state of the SolveCtx path.
+	st bppState
+}
+
+// bppState holds the buffers one solve needs, reused across SolveCtx
+// calls. The groups map is keyed by passive-set pattern and persists
+// across calls (bounded by the distinct patterns seen, each ≤ k/8
+// bytes): in the steady state of an NMF run the same patterns recur,
+// so rounds perform map lookups but no insertions — and no
+// allocations.
+type bppState struct {
+	passive     []bool
+	alpha, beta []int
+	unconverged []int
+	infeasible  []int
+	pidx        []int
+	keyBuf      []byte
+	groups      map[string]*bppGroup
+	order       []*bppGroup
+	stamp       int
+}
+
+// bppGroup is one same-passive-pattern column group; stamp marks the
+// round that last used it, so stale groups cost nothing to skip.
+type bppGroup struct {
+	cols  []int
+	stamp int
 }
 
 // NewBPP returns a BPP solver with column grouping enabled.
@@ -37,11 +73,40 @@ func NewBPP() *BPP { return &BPP{MaxIter: 0, Grouping: true} }
 // Name implements Solver.
 func (s *BPP) Name() string { return "BPP" }
 
-// Solve implements Solver.
+// Solve implements Solver. It runs on private state, so a shared BPP
+// instance may Solve concurrently (SolveCtx may not).
 func (s *BPP) Solve(g, f, xInit *mat.Dense) (*mat.Dense, Stats, error) {
 	if err := checkDims(g, f, xInit); err != nil {
 		return nil, Stats{}, err
 	}
+	x := mat.NewDense(f.Rows, f.Cols)
+	var fresh bppState
+	st, err := s.solve(&fresh, nil, g, f, xInit, x)
+	if err != nil && !errors.Is(err, ErrNotConverged) {
+		return nil, st, err
+	}
+	return x, st, err
+}
+
+// SolveCtx implements ContextSolver; see the type comment for the
+// allocation and ownership contract. Results are bitwise identical to
+// Solve from the same inputs.
+func (s *BPP) SolveCtx(ctx *Context, g, f, xInit, dst *mat.Dense) (Stats, error) {
+	if err := checkDims(g, f, xInit); err != nil {
+		return Stats{}, err
+	}
+	if err := checkDst(f, dst); err != nil {
+		return Stats{}, err
+	}
+	ws, _ := ctx.resources()
+	return s.solve(&s.st, ws, g, f, xInit, dst)
+}
+
+// solve is the pivoting core shared by Solve and SolveCtx: x is the
+// destination (fully overwritten in the first round before any read,
+// so x == xInit aliasing is fine), ps supplies the reusable working
+// set, ws the matrix temporaries.
+func (s *BPP) solve(ps *bppState, ws *mat.Workspace, g, f, xInit, x *mat.Dense) (Stats, error) {
 	k, r := f.Rows, f.Cols
 	maxIter := s.MaxIter
 	if maxIter == 0 {
@@ -49,29 +114,33 @@ func (s *BPP) Solve(g, f, xInit *mat.Dense) (*mat.Dense, Stats, error) {
 	}
 	var st Stats
 
-	x := mat.NewDense(k, r)
-	y := mat.NewDense(k, r)
+	y := ws.Get(k, r)
+	defer ws.Put(y)
 	// passive[c*k+i] reports whether variable i of column c is free.
-	passive := make([]bool, k*r)
+	passive := ps.bools(k * r)
 	if xInit != nil {
 		for c := 0; c < r; c++ {
 			for i := 0; i < k; i++ {
 				passive[c*k+i] = xInit.At(i, c) > 0
 			}
 		}
+	} else {
+		for i := range passive {
+			passive[i] = false
+		}
 	}
 	// Kim–Park anti-cycling state per column: alpha full exchanges
 	// remain before falling back; beta is the best (smallest)
 	// infeasibility count seen.
-	alpha := make([]int, r)
-	beta := make([]int, r)
+	alpha := ps.alphas(r)
+	beta := ps.betas(r)
 	for c := 0; c < r; c++ {
 		alpha[c] = 3
 		beta[c] = k + 1
 	}
 	tol := bppTolerance(g, f)
 
-	unconverged := make([]int, r)
+	unconverged := ps.cols(r)
 	for c := range unconverged {
 		unconverged[c] = c
 	}
@@ -79,24 +148,34 @@ func (s *BPP) Solve(g, f, xInit *mat.Dense) (*mat.Dense, Stats, error) {
 		st.Iterations++
 		// Solve the passive systems, grouped by passive-set pattern.
 		if s.Grouping {
-			groups := map[string][]int{}
-			keys := []string{} // preserve first-seen order for determinism
-			for _, c := range unconverged {
-				key := passiveKey(passive[c*k : (c+1)*k])
-				if _, ok := groups[key]; !ok {
-					keys = append(keys, key)
-				}
-				groups[key] = append(groups[key], c)
+			if ps.groups == nil {
+				ps.groups = map[string]*bppGroup{}
 			}
-			for _, key := range keys {
-				if err := s.solveGroup(g, f, x, passive, groups[key], &st); err != nil {
-					return nil, st, err
+			ps.stamp++
+			ps.order = ps.order[:0] // first-seen order within this round
+			for _, c := range unconverged {
+				key := ps.appendKey(passive[c*k : (c+1)*k])
+				grp, ok := ps.groups[string(key)] // no-alloc lookup on a []byte key
+				if !ok {
+					grp = &bppGroup{}
+					ps.groups[string(key)] = grp // new pattern: one-time insert
+				}
+				if grp.stamp != ps.stamp {
+					grp.stamp = ps.stamp
+					grp.cols = grp.cols[:0]
+					ps.order = append(ps.order, grp)
+				}
+				grp.cols = append(grp.cols, c)
+			}
+			for _, grp := range ps.order {
+				if err := s.solveGroup(ps, ws, g, f, x, passive, grp.cols, &st); err != nil {
+					return st, err
 				}
 			}
 		} else {
-			for _, c := range unconverged {
-				if err := s.solveGroup(g, f, x, passive, []int{c}, &st); err != nil {
-					return nil, st, err
+			for i := range unconverged {
+				if err := s.solveGroup(ps, ws, g, f, x, passive, unconverged[i:i+1], &st); err != nil {
+					return st, err
 				}
 			}
 		}
@@ -108,7 +187,7 @@ func (s *BPP) Solve(g, f, xInit *mat.Dense) (*mat.Dense, Stats, error) {
 		next := unconverged[:0]
 		for _, c := range unconverged {
 			p := passive[c*k : (c+1)*k]
-			var infeasible []int
+			infeasible := ps.infeasible[:0]
 			for i := 0; i < k; i++ {
 				if p[i] {
 					if x.At(i, c) < -tol {
@@ -118,6 +197,7 @@ func (s *BPP) Solve(g, f, xInit *mat.Dense) (*mat.Dense, Stats, error) {
 					infeasible = append(infeasible, i)
 				}
 			}
+			ps.infeasible = infeasible[:0]
 			if len(infeasible) == 0 {
 				// Optimal; snap tiny negatives from roundoff.
 				for i := 0; i < k; i++ {
@@ -151,23 +231,24 @@ func (s *BPP) Solve(g, f, xInit *mat.Dense) (*mat.Dense, Stats, error) {
 	}
 	if len(unconverged) > 0 {
 		x.ClampNonneg()
-		return x, st, ErrNotConverged
+		return st, ErrNotConverged
 	}
-	return x, st, nil
+	return st, nil
 }
 
 // solveGroup solves the unconstrained system restricted to the shared
 // passive set of the given columns, writing x (zeros on the active
 // set). All columns must share one passive pattern.
-func (s *BPP) solveGroup(g, f, x *mat.Dense, passive []bool, cols []int, st *Stats) error {
+func (s *BPP) solveGroup(ps *bppState, ws *mat.Workspace, g, f, x *mat.Dense, passive []bool, cols []int, st *Stats) error {
 	k := f.Rows
 	pattern := passive[cols[0]*k : (cols[0]+1)*k]
-	var pidx []int
+	pidx := ps.pidx[:0]
 	for i := 0; i < k; i++ {
 		if pattern[i] {
 			pidx = append(pidx, i)
 		}
 	}
+	ps.pidx = pidx[:0]
 	if len(pidx) == 0 {
 		for _, c := range cols {
 			for i := 0; i < k; i++ {
@@ -177,20 +258,24 @@ func (s *BPP) solveGroup(g, f, x *mat.Dense, passive []bool, cols []int, st *Sta
 		return nil
 	}
 	pp := len(pidx)
-	gpp := mat.NewDense(pp, pp)
+	gpp := ws.Get(pp, pp)
 	for a, ia := range pidx {
 		for b, ib := range pidx {
 			gpp.Set(a, b, g.At(ia, ib))
 		}
 	}
-	rhs := mat.NewDense(pp, len(cols))
+	rhs := ws.Get(pp, len(cols))
 	for a, ia := range pidx {
 		for b, c := range cols {
 			rhs.Set(a, b, f.At(ia, c))
 		}
 	}
-	xp, err := mat.SolveSPD(gpp, rhs)
+	xp := ws.Get(pp, len(cols))
+	err := mat.SolveSPDInto(xp, gpp, rhs, ws)
+	ws.Put(gpp)
+	ws.Put(rhs)
 	if err != nil {
+		ws.Put(xp)
 		return err
 	}
 	st.Flops += int64(pp*pp*pp)/3 + int64(2*pp*pp*len(cols))
@@ -204,7 +289,62 @@ func (s *BPP) solveGroup(g, f, x *mat.Dense, passive []bool, cols []int, st *Sta
 			x.Set(ia, c, xp.At(a, b))
 		}
 	}
+	ws.Put(xp)
 	return nil
+}
+
+// bools/alphas/betas/cols return the persistent slices resized to the
+// problem, growing only when a larger shape arrives.
+func (ps *bppState) bools(n int) []bool {
+	if cap(ps.passive) < n {
+		ps.passive = make([]bool, n)
+	}
+	ps.passive = ps.passive[:n]
+	return ps.passive
+}
+
+func (ps *bppState) alphas(n int) []int {
+	if cap(ps.alpha) < n {
+		ps.alpha = make([]int, n)
+	}
+	ps.alpha = ps.alpha[:n]
+	return ps.alpha
+}
+
+func (ps *bppState) betas(n int) []int {
+	if cap(ps.beta) < n {
+		ps.beta = make([]int, n)
+	}
+	ps.beta = ps.beta[:n]
+	return ps.beta
+}
+
+func (ps *bppState) cols(n int) []int {
+	if cap(ps.unconverged) < n {
+		ps.unconverged = make([]int, n)
+	}
+	ps.unconverged = ps.unconverged[:n]
+	return ps.unconverged
+}
+
+// appendKey encodes a passive-set pattern into the reusable key buffer
+// (the map is only handed string(key) at lookup/insert sites, which
+// the compiler keeps allocation-free for lookups).
+func (ps *bppState) appendKey(p []bool) []byte {
+	n := (len(p) + 7) / 8
+	if cap(ps.keyBuf) < n {
+		ps.keyBuf = make([]byte, n)
+	}
+	ps.keyBuf = ps.keyBuf[:n]
+	for i := range ps.keyBuf {
+		ps.keyBuf[i] = 0
+	}
+	for i, v := range p {
+		if v {
+			ps.keyBuf[i/8] |= 1 << (i % 8)
+		}
+	}
+	return ps.keyBuf
 }
 
 // computeDual fills y for column c: zero on the passive set,
@@ -229,17 +369,6 @@ func computeDual(g, f, x, y *mat.Dense, passive []bool, c int, st *Stats) {
 		y.Set(i, c, sum)
 	}
 	st.Flops += flops
-}
-
-// passiveKey encodes a passive-set pattern as a compact string key.
-func passiveKey(p []bool) string {
-	b := make([]byte, (len(p)+7)/8)
-	for i, v := range p {
-		if v {
-			b[i/8] |= 1 << (i % 8)
-		}
-	}
-	return string(b)
 }
 
 // bppTolerance scales the zero test to the problem's magnitude.

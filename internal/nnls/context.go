@@ -32,10 +32,11 @@ func (c *Context) resources() (*mat.Workspace, *par.Pool) {
 
 // ContextSolver is implemented by solvers whose steady state runs
 // allocation-free: SolveCtx writes the solution into dst (k×r, shaped
-// by the caller) and draws all temporaries from ctx. The inexact
-// sweep solvers (MU, HALS, PGD) implement it; the combinatorial exact
-// solvers (BPP, active set) do not — their working sets are
-// inherently dynamic — and go through the SolveWith fallback.
+// by the caller) and draws all temporaries from ctx. The sweep
+// solvers (MU, HALS, PGD) implement it, as does BPP, which keeps its
+// pivoting working set on the solver instance (making that instance
+// single-goroutine under SolveCtx); the active-set solver goes
+// through the SolveWith fallback.
 type ContextSolver interface {
 	Solver
 	// SolveCtx solves min ½xᵀGx − fᵀx, x ≥ 0 into dst. xInit seeds the
@@ -62,6 +63,9 @@ func SolveWith(s Solver, ctx *Context, g, f, xInit, dst *mat.Dense) (Stats, erro
 
 // checkDst validates the destination shape for SolveCtx.
 func checkDst(f, dst *mat.Dense) error {
+	if dst == nil {
+		return fmt.Errorf("nnls: nil destination")
+	}
 	if dst.Rows != f.Rows || dst.Cols != f.Cols {
 		return fmt.Errorf("nnls: destination is %dx%d, want %dx%d", dst.Rows, dst.Cols, f.Rows, f.Cols)
 	}

@@ -74,7 +74,7 @@ func TestSolveCtxMatchesSolve(t *testing.T) {
 func TestSolveCtxColdStart(t *testing.T) {
 	g := randomSPD(6, 3)
 	f := randomRHS(6, 9, 4)
-	for _, sv := range []ContextSolver{NewMU(3), NewHALS(3), NewPGD(3)} {
+	for _, sv := range []ContextSolver{NewMU(3), NewHALS(3), NewPGD(3), NewBPP()} {
 		want, _, err := sv.Solve(g, f, nil)
 		if err != nil {
 			t.Fatal(err)
@@ -96,7 +96,7 @@ func TestSolveCtxColdStart(t *testing.T) {
 func TestSolveCtxZeroAllocs(t *testing.T) {
 	g := randomSPD(12, 9)
 	f := randomRHS(12, 30, 11)
-	for _, sv := range []ContextSolver{NewMU(2), NewHALS(2), NewPGD(2)} {
+	for _, sv := range []ContextSolver{NewMU(2), NewHALS(2), NewPGD(2), NewBPP()} {
 		ctx := &Context{WS: mat.NewWorkspace()}
 		x := mat.NewDense(12, 30)
 		x.Fill(1)

@@ -71,6 +71,16 @@ const (
 	SolverPGD       = core.SolverPGD
 )
 
+// Updater is the algorithm plug-in seam of the drivers' shared
+// communication skeleton (the MPI-FAUN framework generalization; see
+// DESIGN decision 14): the skeleton owns the collectives, overlap
+// schedule, Gram/cross-product pipeline, checkpointing, and tracing,
+// and the updater supplies only the local factor update from the
+// precomputed Gram and right-hand side. The four built-in algorithms
+// (MU, HALS, PGD, BPP) enter through Options.Solver; a custom rule
+// plugs in via the Options.Update per-rank factory.
+type Updater = core.Updater
+
 // Observability: traces, metrics, and run reports (see README
 // "Observability"). Enable tracing with Options.TraceEvents and read
 // Result.Trace; attach a MetricsRegistry via Options.Metrics; build a
@@ -282,6 +292,26 @@ func Advise(a Matrix, k, p int) []Advice {
 	m, n := a.Dims()
 	e := perf.Edison()
 	return costmodel.Advise(m, n, k, p, int64(a.NNZ()), e.Alpha, e.Beta, e.Gamma)
+}
+
+// AlgorithmGridChoice is one row of the joint algorithm × grid
+// forecast: an update rule on its modeled-best grid, with both the
+// per-iteration price and the iterations-to-tolerance-scaled total.
+type AlgorithmGridChoice = costmodel.AlgorithmGridChoice
+
+// AdviseAlgorithmGrid prices algorithm × grid jointly for the HPC
+// skeleton: every built-in updater (MU, HALS, PGD, BPP) is paired
+// with its cost-model-optimal grid, its per-updater NLS flop
+// coefficients are added to the skeleton forecast, and the total is
+// scaled by its relative iterations-to-tolerance. Rows come back
+// cheapest first — the table behind `nmfrun -alg auto`'s updater
+// pick. The error wraps ErrNoFeasibleGrid when no factorization of p
+// fits the problem.
+func AdviseAlgorithmGrid(a Matrix, k, p int) ([]AlgorithmGridChoice, error) {
+	m, n := a.Dims()
+	e := perf.Edison()
+	return costmodel.AutoAlgorithmGrid(m, n, k, p, e.Alpha, e.Beta, e.Gamma,
+		func(grid.Grid) int64 { return int64(a.NNZ()) / int64(p) })
 }
 
 // NNDSVD computes the non-negative double SVD initialization of
