@@ -1,35 +1,55 @@
 // Command datagen emits the evaluation datasets to files so they can
 // be inspected or fed to other tools: sparse matrices in MatrixMarket
 // coordinate format, dense matrices in a dense MatrixMarket-like
-// array format.
+// array format. With -tiled it instead writes the out-of-core tile
+// format read by nmfrun -tiled, streaming DSYN row by row so the
+// output can be far larger than memory.
 //
 // Usage:
 //
 //	datagen -data ssyn -scale 0.5 -o ssyn.mtx
 //	datagen -data video -o video.mtx
+//	datagen -data dsyn -tiled -rows 200000 -cols 4096 -o big.nmft
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"hpcnmf/internal/core"
 	"hpcnmf/internal/datasets"
+	"hpcnmf/internal/ooc"
 )
 
 func main() {
 	var (
-		data  = flag.String("data", "ssyn", "dataset: dsyn, ssyn, video, webbase, bow")
-		scale = flag.Float64("scale", 0.25, "dataset scale factor")
-		seed  = flag.Uint64("seed", 42, "random seed")
-		out   = flag.String("o", "", "output path (default <data>.mtx)")
+		data     = flag.String("data", "ssyn", "dataset: dsyn, ssyn, video, webbase, bow")
+		scale    = flag.Float64("scale", 0.25, "dataset scale factor")
+		seed     = flag.Uint64("seed", 42, "random seed")
+		out      = flag.String("o", "", "output path (default <data>.mtx, or <data>.nmft with -tiled)")
+		tiled    = flag.Bool("tiled", false, "write the out-of-core tile format instead of MatrixMarket (dense datasets only)")
+		tileRows = flag.Int("tile-rows", 0, "rows per tile in the -tiled file (0 = size tiles to ~8 MiB)")
+		rows     = flag.Int("rows", 0, "override row count for -tiled dsyn (streams row by row; 0 = scaled default)")
+		cols     = flag.Int("cols", 0, "override column count for -tiled dsyn (0 = scaled default)")
 	)
 	flag.Parse()
 
 	path := *out
 	if path == "" {
-		path = *data + ".mtx"
+		if *tiled {
+			path = *data + ".nmft"
+		} else {
+			path = *data + ".mtx"
+		}
+	}
+	if *tiled {
+		writeTiled(path, *data, *scale, *seed, *tileRows, *rows, *cols)
+		return
+	}
+	if *rows != 0 || *cols != 0 {
+		fatal("-rows/-cols only apply to -tiled output")
 	}
 	ds, err := datasets.ByName(*data, datasets.Scale(*scale), *seed)
 	if err != nil {
@@ -54,6 +74,58 @@ func main() {
 		fatal("dataset %s has unknown storage", ds.Name)
 	}
 	fmt.Printf("wrote %s: %s %dx%d (nnz %d)\n", path, ds.Name, m, n, ds.Matrix.NNZ())
+}
+
+// writeTiled emits a dataset in the out-of-core tile format. DSYN is
+// streamed one row at a time — memory stays constant no matter how
+// large -rows/-cols make the output, and the values are bitwise
+// identical to the in-core generator. Other dense datasets are
+// generated in memory first; sparse ones have no tiled form.
+func writeTiled(path, data string, scale float64, seed uint64, tileRows, rows, cols int) {
+	switch strings.ToLower(data) {
+	case "dsyn":
+		m, n := rows, cols
+		if m <= 0 {
+			m = datasets.Scale(scale).Dim(1728)
+		}
+		if n <= 0 {
+			n = datasets.Scale(scale).Dim(1152)
+		}
+		if tileRows <= 0 {
+			tileRows = ooc.DefaultTileRows(n)
+		}
+		w, err := ooc.Create(path, m, n, tileRows)
+		if err != nil {
+			fatal("%v", err)
+		}
+		if err := datasets.StreamDSYN(m, n, seed, w.WriteRow); err != nil {
+			w.Close()
+			fatal("writing %s: %v", path, err)
+		}
+		if err := w.Close(); err != nil {
+			fatal("writing %s: %v", path, err)
+		}
+		fmt.Printf("wrote %s: DSYN %dx%d (%d tiles of %d rows, streamed)\n",
+			path, m, n, w.Header().Tiles(), tileRows)
+	case "video":
+		if rows != 0 || cols != 0 {
+			fatal("-rows/-cols only apply to dsyn")
+		}
+		ds, err := datasets.ByName(data, datasets.Scale(scale), seed)
+		if err != nil {
+			fatal("%v", err)
+		}
+		d, _ := core.UnwrapDense(ds.Matrix)
+		if tileRows <= 0 {
+			tileRows = ooc.DefaultTileRows(d.Cols)
+		}
+		if err := ooc.WriteMatrix(path, d, tileRows); err != nil {
+			fatal("writing %s: %v", path, err)
+		}
+		fmt.Printf("wrote %s: %s %dx%d (tiles of %d rows)\n", path, ds.Name, d.Rows, d.Cols, tileRows)
+	default:
+		fatal("-tiled supports dense datasets only (dsyn, video); %q is sparse or unknown", data)
+	}
 }
 
 func fatal(format string, args ...any) {

@@ -30,6 +30,7 @@ import (
 
 	"hpcnmf"
 	"hpcnmf/internal/metrics"
+	"hpcnmf/internal/ooc"
 )
 
 func main() {
@@ -48,6 +49,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 	var (
 		data     = fs.String("data", "dsyn", "dataset: dsyn, ssyn, video, webbase, bow (ignored with -mm)")
 		mmPath   = fs.String("mm", "", "read a MatrixMarket file instead of generating a dataset")
+		tiled    = fs.String("tiled", "", "factorize an out-of-core tile file (written by datagen -tiled) by streaming row panels from disk")
+		tileMem  = fs.String("tile-mem", "", "tile-buffer byte budget for -tiled, e.g. 64MiB: prefetch depth is lowered to fit, and the run refuses to start if even depth 1 overflows")
+		tileBack = fs.String("tile-backend", "auto", "tile reader backend for -tiled: auto, mmap, readerat")
+		tileDep  = fs.Int("tile-depth", 0, "prefetch depth for -tiled: tiles loaded ahead of the updater (0 = default)")
 		dense    = fs.Bool("dense", false, "force the dense kernel path: densify a sparse input instead of auto-detecting storage by density")
 		scale    = fs.Float64("scale", 0.25, "dataset scale factor")
 		alg      = fs.String("alg", "hpc2d", "algorithm: seq, naive, hpc1d, hpc2d, auto (joint algorithm x grid cost-model pick), or an update rule mu|hals|pgd|bpp (HPC 2D skeleton with that updater)")
@@ -81,23 +86,40 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if fs.NArg() > 0 {
 		return fmt.Errorf("unexpected arguments: %v", fs.Args())
 	}
-	solverSet := false
+	solverSet, algSet := false, false
 	fs.Visit(func(f *flag.Flag) {
-		if f.Name == "solver" {
+		switch f.Name {
+		case "solver":
 			solverSet = true
+		case "alg":
+			algSet = true
 		}
 	})
 
 	// -alg can name an update rule directly: the framework's headline
 	// spelling, running the HPC 2D skeleton with that updater plugged
-	// in. It is sugar for -alg hpc2d -solver <rule>.
+	// in. It is sugar for -alg hpc2d -solver <rule>. Out-of-core runs
+	// use the streaming sequential driver instead of a skeleton, so
+	// there the sugar sets only the updater.
 	switch *alg {
 	case "mu", "hals", "pgd", "bpp":
 		if solverSet && *solver != *alg {
 			return fmt.Errorf("-alg %s names an updater but -solver %s asks for a different one", *alg, *solver)
 		}
 		*solver = *alg
-		*alg = "hpc2d"
+		if *tiled == "" {
+			*alg = "hpc2d"
+		} else {
+			*alg = "seq"
+		}
+	}
+	if *tiled != "" {
+		if *mmPath != "" {
+			return fmt.Errorf("-tiled and -mm both name an input; pick one")
+		}
+		if algSet && *alg != "seq" {
+			return fmt.Errorf("-alg %s is in-core; -tiled runs the streaming sequential driver (use -alg seq or an updater name: mu, hals, pgd, bpp)", *alg)
+		}
 	}
 
 	switch *view {
@@ -108,7 +130,35 @@ func run(args []string, stdout, stderr io.Writer) error {
 
 	var a hpcnmf.Matrix
 	var name string
-	if *mmPath != "" {
+	var tileFile *hpcnmf.TileFile
+	tileDepth := *tileDep
+	if *tiled != "" {
+		f, err := hpcnmf.OpenTiledBackend(*tiled, *tileBack)
+		if err != nil {
+			return fmt.Errorf("opening tile file: %w", err)
+		}
+		defer f.Close()
+		tileFile = f
+		name = filepath.Base(*tiled)
+		hdr := f.Header()
+		if *tileMem != "" {
+			budget, err := parseByteSize(*tileMem)
+			if err != nil {
+				return fmt.Errorf("bad -tile-mem: %w", err)
+			}
+			if tileDepth, err = fitTileDepth(hdr, tileDepth, budget); err != nil {
+				return err
+			}
+		}
+		depth := tileDepth
+		if depth < 1 {
+			depth = hpcnmf.DefaultTileDepth
+		}
+		tileBytes := hdr.TileRows * hdr.Cols * 8
+		fmt.Fprintf(stdout, "storage: out-of-core (%d tiles of %d rows, %s each, %s backend, prefetch depth %d, %s resident tile buffers)\n",
+			hdr.Tiles(), hdr.TileRows, formatBytes(tileBytes), f.BackendName(),
+			depth, formatBytes(int64(depth+1)*tileBytes))
+	} else if *mmPath != "" {
 		f, err := os.Open(*mmPath)
 		if err != nil {
 			return err
@@ -133,7 +183,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	// densified automatically. -dense forces densification either way.
 	// The chosen path lands in the run report as dataset.storage.
 	const denseCutoff = 0.25
-	if s, ok := hpcnmf.UnwrapSparse(a); ok {
+	if s, ok := hpcnmf.UnwrapSparse(a); ok && *tiled == "" {
 		m, n := a.Dims()
 		density := 0.0
 		if m > 0 && n > 0 {
@@ -149,7 +199,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		default:
 			fmt.Fprintf(stdout, "storage: sparse (density %.4f)\n", density)
 		}
-	} else if *dense {
+	} else if *dense && *tiled == "" {
 		fmt.Fprintln(stdout, "storage: dense (-dense is a no-op on dense input)")
 	}
 
@@ -258,27 +308,32 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 	procs := *p
-	switch *alg {
-	case "seq":
+	if tileFile != nil {
 		procs = 1
-		res, err = hpcnmf.Run(a, opts)
-	case "naive":
-		res, err = hpcnmf.RunNaive(a, *p, opts)
-	case "hpc1d":
-		res, err = hpcnmf.RunOnGrid(a, *p, 1, opts)
-	case "hpc2d":
-		if *gridStr == "auto" {
-			res, err = hpcnmf.RunParallel(a, *p, opts)
-		} else {
-			var pr, pc int
-			if pr, pc, err = parseGrid(*gridStr); err != nil {
-				return err
+		res, err = hpcnmf.RunOutOfCore(tileFile, tileDepth, opts)
+	} else {
+		switch *alg {
+		case "seq":
+			procs = 1
+			res, err = hpcnmf.Run(a, opts)
+		case "naive":
+			res, err = hpcnmf.RunNaive(a, *p, opts)
+		case "hpc1d":
+			res, err = hpcnmf.RunOnGrid(a, *p, 1, opts)
+		case "hpc2d":
+			if *gridStr == "auto" {
+				res, err = hpcnmf.RunParallel(a, *p, opts)
+			} else {
+				var pr, pc int
+				if pr, pc, err = parseGrid(*gridStr); err != nil {
+					return err
+				}
+				procs = pr * pc
+				res, err = hpcnmf.RunOnGrid(a, pr, pc, opts)
 			}
-			procs = pr * pc
-			res, err = hpcnmf.RunOnGrid(a, pr, pc, opts)
+		default:
+			return fmt.Errorf("unknown algorithm %q", *alg)
 		}
-	default:
-		return fmt.Errorf("unknown algorithm %q", *alg)
 	}
 	profErr := stopProfile(stdout)
 	if err != nil {
@@ -288,8 +343,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return profErr
 	}
 
-	m, n := a.Dims()
-	fmt.Fprintf(stdout, "dataset:   %s (%dx%d, nnz=%d)\n", name, m, n, a.NNZ())
+	var m, n int
+	if tileFile != nil {
+		m, n = tileFile.Dims()
+		fmt.Fprintf(stdout, "dataset:   %s (%dx%d, out-of-core)\n", name, m, n)
+	} else {
+		m, n = a.Dims()
+		fmt.Fprintf(stdout, "dataset:   %s (%dx%d, nnz=%d)\n", name, m, n, a.NNZ())
+	}
 	fmt.Fprintf(stdout, "algorithm: %s, solver %s, k=%d\n", res.Algorithm, *solver, *k)
 	if res.Grid.PR > 0 {
 		how := "explicit"
@@ -311,6 +372,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	fmt.Fprintf(stdout, "\nper-iteration task breakdown:\n%s", table)
 
+	if res.OOC != nil {
+		o := res.OOC
+		fmt.Fprintf(stdout, "\ntile I/O: %d passes, %d tile loads (%s), load %.3f s, stream wait %.3f s, %.1f%% of I/O hidden behind compute\n",
+			o.Passes, o.TilesLoaded, formatBytes(o.BytesLoaded),
+			o.LoadSeconds, o.WaitSeconds, 100*o.HiddenFraction)
+	}
+
 	if *trace != "" {
 		if err := res.Trace.WriteChromeFile(*trace); err != nil {
 			return fmt.Errorf("writing trace: %w", err)
@@ -324,7 +392,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 		opts.Metrics.Snapshot().WriteText(stdout)
 	}
 	if *report != "" {
-		rep := hpcnmf.NewReport(hpcnmf.DescribeMatrix(name, a), procs, opts, res, *trace)
+		var info hpcnmf.DatasetInfo
+		if tileFile != nil {
+			info = hpcnmf.DescribeTiled(name, tileFile)
+		} else {
+			info = hpcnmf.DescribeMatrix(name, a)
+		}
+		rep := hpcnmf.NewReport(info, procs, opts, res, *trace)
 		if err := rep.WriteJSONFile(*report); err != nil {
 			return fmt.Errorf("writing report: %w", err)
 		}
@@ -455,6 +529,75 @@ func solverKind(name string) (hpcnmf.SolverKind, error) {
 		return hpcnmf.SolverPGD, nil
 	}
 	return 0, fmt.Errorf("unknown solver %q", name)
+}
+
+// fitTileDepth validates an out-of-core run against a byte budget:
+// the pipeline holds depth+1 resident tile buffers (depth prefetched
+// plus the one being consumed), so depth is lowered until they fit.
+// If even depth 1 overflows, the tile file's panels are too tall for
+// the budget and the run refuses to start rather than thrash.
+func fitTileDepth(hdr ooc.Header, depth int, budget int64) (int, error) {
+	if depth < 1 {
+		depth = ooc.DefaultDepth
+	}
+	tileBytes := hdr.TileRows * hdr.Cols * 8
+	for depth > 1 && int64(depth+1)*tileBytes > budget {
+		depth--
+	}
+	if int64(depth+1)*tileBytes > budget {
+		maxRows, err := ooc.TileRowsForBudget(int(hdr.Cols), 1, budget)
+		if err != nil {
+			return 0, fmt.Errorf("-tile-mem %s cannot hold two %d-row tiles (%s each); even single-row tiles overflow it",
+				formatBytes(budget), hdr.TileRows, formatBytes(tileBytes))
+		}
+		return 0, fmt.Errorf("-tile-mem %s cannot hold two %d-row tiles (%s each); regenerate with datagen -tiled -tile-rows %d or less",
+			formatBytes(budget), hdr.TileRows, formatBytes(tileBytes), maxRows)
+	}
+	return depth, nil
+}
+
+// parseByteSize parses a human byte size like "512KiB", "64MiB",
+// "2GiB", "1048576", or "64MB" (decimal suffixes are accepted as
+// their binary value: people asking for -tile-mem 64MB mean a memory
+// budget, not a disk-marketing unit).
+func parseByteSize(s string) (int64, error) {
+	t := strings.TrimSpace(s)
+	mult := int64(1)
+	for _, u := range []struct {
+		suffix string
+		mult   int64
+	}{
+		{"KiB", 1 << 10}, {"MiB", 1 << 20}, {"GiB", 1 << 30},
+		{"KB", 1 << 10}, {"MB", 1 << 20}, {"GB", 1 << 30},
+		{"K", 1 << 10}, {"M", 1 << 20}, {"G", 1 << 30}, {"B", 1},
+	} {
+		if strings.HasSuffix(t, u.suffix) {
+			mult = u.mult
+			t = strings.TrimSpace(strings.TrimSuffix(t, u.suffix))
+			break
+		}
+	}
+	v, err := strconv.ParseInt(t, 10, 64)
+	if err != nil || v <= 0 {
+		return 0, fmt.Errorf("want a positive size like 64MiB, got %q", s)
+	}
+	if v > (int64(1)<<62)/mult {
+		return 0, fmt.Errorf("size %q overflows", s)
+	}
+	return v * mult, nil
+}
+
+// formatBytes renders a byte count with its natural binary unit.
+func formatBytes(b int64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(b)/(1<<10))
+	}
+	return fmt.Sprintf("%dB", b)
 }
 
 // parseGrid parses an explicit "PRxPC" grid spec like "4x2".

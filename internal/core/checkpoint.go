@@ -94,7 +94,45 @@ func WriteCheckpoint(dir string, ck *Checkpoint) error {
 	if err := os.Rename(tmp.Name(), filepath.Join(dir, CheckpointFile)); err != nil {
 		return fmt.Errorf("core: committing checkpoint: %w", err)
 	}
+	// The rename is only durable once the directory entry itself is on
+	// disk: without this fsync a crash shortly after Rename can roll
+	// the directory back and lose the committed checkpoint even though
+	// the data blocks were synced.
+	if err := syncDir(dir); err != nil {
+		return fmt.Errorf("core: syncing checkpoint dir: %w", err)
+	}
 	return nil
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives a
+// crash. Filesystems that cannot sync directory handles (and Windows)
+// make this a no-op: the rename is still atomic there, just not
+// guaranteed durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		return nil
+	}
+	return cerr
+}
+
+// sweepStaleCheckpointTemps removes checkpoint.bin.tmp-* litter left
+// by a crash between temp-file creation and rename. Only the
+// committed CheckpointFile is ever read, so the sweep is safe at any
+// point; it runs when a checkpointing run starts.
+func sweepStaleCheckpointTemps(dir string) {
+	stale, err := filepath.Glob(filepath.Join(dir, CheckpointFile+".tmp-*"))
+	if err != nil {
+		return
+	}
+	for _, p := range stale {
+		os.Remove(p)
+	}
 }
 
 // writeCheckpointTo serializes magic, header length, JSON header, then
@@ -170,6 +208,17 @@ func ReadCheckpoint(r io.Reader) (*Checkpoint, error) {
 	if ck.H, err = mat.ReadBinary(br); err != nil {
 		return nil, fmt.Errorf("core: checkpoint H factor: %w", err)
 	}
+	// The checkpoint owns the whole stream: bytes after the H factor
+	// mean corruption (e.g. a torn rewrite landing on a longer old
+	// file), not a bigger checkpoint. (mat.ReadBinary reads through
+	// this same br — bufio.NewReader returns an existing *bufio.Reader
+	// unchanged — so the probe sits exactly at the payload end.)
+	if _, err := br.ReadByte(); err != io.EOF {
+		if err != nil {
+			return nil, fmt.Errorf("core: checking for end of checkpoint: %w", err)
+		}
+		return nil, fmt.Errorf("core: trailing data after checkpoint payload")
+	}
 	return ck, nil
 }
 
@@ -227,6 +276,7 @@ func newCheckpointer(opts Options, algorithm string, m, n int) *checkpointer {
 	if opts.CheckpointDir == "" {
 		return nil
 	}
+	sweepStaleCheckpointTemps(opts.CheckpointDir)
 	return &checkpointer{
 		dir:    opts.CheckpointDir,
 		every:  opts.CheckpointEvery,

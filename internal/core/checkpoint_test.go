@@ -262,6 +262,106 @@ func TestKillWithoutCheckpointFailsFast(t *testing.T) {
 	}
 }
 
+// TestCheckpointCrashMidWriteRecovery simulates a process killed
+// between staging the temp file and the rename: the directory then
+// holds the previous good checkpoint plus tmp litter. LoadCheckpoint
+// must return the good checkpoint untouched, and the next
+// checkpointing run must sweep the stale temps.
+func TestCheckpointCrashMidWriteRecovery(t *testing.T) {
+	dir := t.TempDir()
+	good := testCheckpoint(3)
+	if err := WriteCheckpoint(dir, good); err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash 1: temp fully staged, rename never happened.
+	newer := testCheckpoint(3)
+	newer.Meta.Iteration = 7
+	var buf bytes.Buffer
+	if err := writeCheckpointTo(&buf, newer); err != nil {
+		t.Fatal(err)
+	}
+	staged := filepath.Join(dir, CheckpointFile+".tmp-11111")
+	if err := os.WriteFile(staged, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Crash 2: temp torn mid-write.
+	torn := filepath.Join(dir, CheckpointFile+".tmp-22222")
+	if err := os.WriteFile(torn, buf.Bytes()[:buf.Len()/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := LoadCheckpoint(dir)
+	if err != nil {
+		t.Fatalf("crash litter broke recovery: %v", err)
+	}
+	if got.Meta.Iteration != good.Meta.Iteration || !got.W.Equal(good.W, 0) || !got.H.Equal(good.H, 0) {
+		t.Fatal("recovered checkpoint is not the previous good one")
+	}
+
+	// A new checkpointing run sweeps the stale temps on startup.
+	opts, err := Options{K: 3, MaxIter: 10, Seed: 7, CheckpointDir: dir, CheckpointEvery: 2}.withDefaults(6, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := newCheckpointer(opts, "Test", 6, 5); c == nil {
+		t.Fatal("checkpointer not created")
+	}
+	for _, p := range []string{staged, torn} {
+		if _, err := os.Stat(p); !os.IsNotExist(err) {
+			t.Errorf("stale temp %s survived the startup sweep", filepath.Base(p))
+		}
+	}
+	if _, err := LoadCheckpoint(dir); err != nil {
+		t.Fatalf("sweep damaged the committed checkpoint: %v", err)
+	}
+}
+
+// TestCheckpointTornRenameRecovery covers the non-atomic worst case:
+// the committed file itself is torn (half a checkpoint). Loading must
+// fail loudly — never hand back a partial checkpoint — and a
+// subsequent successful write must restore loadability.
+func TestCheckpointTornRenameRecovery(t *testing.T) {
+	dir := t.TempDir()
+	ck := testCheckpoint(3)
+	if err := WriteCheckpoint(dir, ck); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, CheckpointFile)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw[:len(raw)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCheckpoint(dir); err == nil {
+		t.Fatal("torn checkpoint loaded cleanly")
+	}
+	if err := WriteCheckpoint(dir, ck); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCheckpoint(dir); err != nil {
+		t.Fatalf("rewrite after torn file: %v", err)
+	}
+}
+
+// TestCheckpointRejectsTrailingGarbage: bytes after the H factor mean
+// corruption; ReadCheckpoint owns the whole stream and must say so.
+func TestCheckpointRejectsTrailingGarbage(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeCheckpointTo(&buf, testCheckpoint(3)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadCheckpoint(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("clean checkpoint rejected: %v", err)
+	}
+	dirty := append(append([]byte(nil), buf.Bytes()...), 0x00)
+	if _, err := ReadCheckpoint(bytes.NewReader(dirty)); err == nil {
+		t.Fatal("trailing garbage accepted")
+	}
+}
+
 // TestCheckpointWriteFailureSurfaces: a checkpoint that cannot be
 // written fails the run loudly instead of silently dropping coverage.
 func TestCheckpointWriteFailureSurfaces(t *testing.T) {

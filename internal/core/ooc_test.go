@@ -1,0 +1,245 @@
+package core
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hpcnmf/internal/mat"
+	"hpcnmf/internal/metrics"
+	"hpcnmf/internal/ooc"
+)
+
+func writeTileFile(t *testing.T, d *mat.Dense, tileRows int) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "a.hpt")
+	if err := ooc.WriteMatrix(path, d, tileRows); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func openTileFile(t *testing.T, path, backend string) *ooc.File {
+	t.Helper()
+	f, err := ooc.OpenBackend(path, backend)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	return f
+}
+
+// TestOutOfCoreMatchesSequential is the acceptance test of the
+// streaming driver: factorizing from disk must reproduce the in-core
+// sequential run bitwise — same factors, same error history — for
+// every built-in updater, any tile size (including single-row and
+// single-tile extremes), either reader backend, and multi-threaded
+// kernels. This holds because every dense kernel partitions output
+// elements and never the reduction (see internal/mat), so panel
+// boundaries cannot reorder any floating-point sum.
+func TestOutOfCoreMatchesSequential(t *testing.T) {
+	d := lowRankDense(60, 45, 5, 0.01, 11)
+	a := WrapDense(d)
+
+	for _, solver := range []SolverKind{SolverMU, SolverHALS, SolverPGD, SolverBPP} {
+		opts := Options{K: 5, MaxIter: 8, Seed: 7, Solver: solver, ComputeError: true}
+		want, err := RunSequential(a, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cases := []struct {
+			name     string
+			tileRows int
+			backend  string
+			depth    int
+			threads  int
+		}{
+			{"tile1", 1, ooc.BackendAuto, 2, 0},
+			{"tile7", 7, ooc.BackendAuto, 2, 0},
+			{"tile7/readerat", 7, ooc.BackendReaderAt, 3, 0},
+			{"single-tile", 60, ooc.BackendAuto, 1, 0},
+			{"tile16/threads3", 16, ooc.BackendAuto, 2, 3},
+		}
+		for _, tc := range cases {
+			t.Run(solver.String()+"/"+tc.name, func(t *testing.T) {
+				f := openTileFile(t, writeTileFile(t, d, tc.tileRows), tc.backend)
+				o := opts
+				o.KernelThreads = tc.threads
+				got, err := RunOutOfCore(f, tc.depth, o)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !got.W.Equal(want.W, 0) || !got.H.Equal(want.H, 0) {
+					t.Fatalf("out-of-core factors differ from in-core (max diff W %g, H %g)",
+						got.W.MaxDiff(want.W), got.H.MaxDiff(want.H))
+				}
+				if len(got.RelErr) != len(want.RelErr) {
+					t.Fatalf("error history length %d vs %d", len(got.RelErr), len(want.RelErr))
+				}
+				for i := range got.RelErr {
+					if got.RelErr[i] != want.RelErr[i] {
+						t.Fatalf("error history diverges at iteration %d: %g vs %g",
+							i, got.RelErr[i], want.RelErr[i])
+					}
+				}
+				if got.Algorithm != "OutOfCore" {
+					t.Fatalf("Algorithm = %q", got.Algorithm)
+				}
+				st := got.OOC
+				if st == nil {
+					t.Fatal("Result.OOC is nil")
+				}
+				// Setup norm pass + 2 passes per iteration.
+				if wantPasses := int64(1 + 2*got.Iterations); st.Passes != wantPasses {
+					t.Fatalf("OOC.Passes = %d, want %d", st.Passes, wantPasses)
+				}
+				if min := st.Passes * int64(60*45*8); st.BytesLoaded < min {
+					t.Fatalf("OOC.BytesLoaded = %d, want ≥ %d", st.BytesLoaded, min)
+				}
+				if st.Backend == "" || st.Tiles < 1 || st.TileRows < 1 {
+					t.Fatalf("OOC stats incomplete: %+v", st)
+				}
+			})
+		}
+	}
+}
+
+// TestOutOfCoreResumeBitwise extends the bitwise-resume contract to
+// the streaming driver: an out-of-core run stopped after a mid-stream
+// checkpoint resumes to the exact factors of an uninterrupted run.
+func TestOutOfCoreResumeBitwise(t *testing.T) {
+	d := lowRankDense(24, 20, 3, 0.01, 5)
+	path := writeTileFile(t, d, 7)
+	base := Options{K: 3, MaxIter: 9, Seed: 7, ComputeError: true}
+
+	f := openTileFile(t, path, ooc.BackendAuto)
+	uninterrupted, err := RunOutOfCore(f, 2, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate the crash: checkpoint every 3 iterations, stop at 6.
+	dir := t.TempDir()
+	opts := base
+	opts.CheckpointDir = dir
+	opts.CheckpointEvery = 3
+	opts.MaxIter = 6
+	f2 := openTileFile(t, path, ooc.BackendAuto)
+	if _, err := RunOutOfCore(f2, 2, opts); err != nil {
+		t.Fatal(err)
+	}
+
+	ck, err := LoadCheckpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck.Meta.Algorithm != "OutOfCore" || ck.Meta.Iteration != 6 {
+		t.Fatalf("checkpoint meta %+v, want OutOfCore at iteration 6", ck.Meta)
+	}
+	resumed, err := ck.Resume(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f3 := openTileFile(t, path, ooc.BackendAuto)
+	res, err := RunOutOfCore(f3, 2, resumed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.W.Equal(uninterrupted.W, 0) || !res.H.Equal(uninterrupted.H, 0) {
+		t.Fatal("resumed out-of-core factors differ from the uninterrupted run")
+	}
+
+	// Cross-driver: the same checkpoint resumes the in-core driver to
+	// the identical factors (the two drivers are interchangeable).
+	seq, err := RunSequential(WrapDense(d), resumed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !seq.W.Equal(uninterrupted.W, 0) || !seq.H.Equal(uninterrupted.H, 0) {
+		t.Fatal("in-core resume of an out-of-core checkpoint diverges")
+	}
+}
+
+// TestOutOfCoreStepZeroAllocs extends the zero-allocation gate to the
+// streaming step: tile handoffs ride preallocated buffers and value
+// channels, and the panel headers are reused, so a steady-state
+// out-of-core iteration allocates nothing.
+func TestOutOfCoreStepZeroAllocs(t *testing.T) {
+	d := lowRankDense(60, 45, 5, 0.01, 11)
+	path := writeTileFile(t, d, 16)
+	for _, backend := range []string{ooc.BackendReaderAt, ooc.BackendMmap} {
+		t.Run(backend, func(t *testing.T) {
+			f, err := ooc.OpenBackend(path, backend)
+			if err != nil {
+				if backend == ooc.BackendMmap {
+					t.Skip("mmap backend not supported on this platform")
+				}
+				t.Fatal(err)
+			}
+			defer f.Close()
+			tm, err := newTiledMatrix(f, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer tm.close()
+			s, err := newSeqState(tm, Options{K: 5, MaxIter: 200, Solver: SolverBPP, ComputeError: true}, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s.close()
+			s.ooc = tm
+			it := 0
+			round := func() {
+				if err := s.step(it); err != nil {
+					t.Fatal(err)
+				}
+				it++
+			}
+			round() // warm up the workspace arena
+			round()
+			if allocs := testing.AllocsPerRun(10, round); allocs != 0 {
+				t.Errorf("steady-state out-of-core step allocates %v times per iteration", allocs)
+			}
+		})
+	}
+}
+
+// TestOutOfCoreReportAndMetrics: the run report carries the ooc
+// section and an attached registry receives the I/O instruments.
+func TestOutOfCoreReportAndMetrics(t *testing.T) {
+	d := lowRankDense(30, 25, 3, 0.01, 9)
+	f := openTileFile(t, writeTileFile(t, d, 8), ooc.BackendAuto)
+	reg := metrics.NewRegistry()
+	opts := Options{K: 3, MaxIter: 4, Seed: 7, ComputeError: true, Metrics: reg}
+	res, err := RunOutOfCore(f, 2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := DescribeTiled("unit", f)
+	if ds.Storage != "out-of-core" || ds.Rows != 30 || ds.Cols != 25 || ds.NNZ != 750 {
+		t.Fatalf("DescribeTiled = %+v", ds)
+	}
+	rep := NewReport(ds, 1, opts, res, "")
+	if rep.OOC == nil || rep.OOC.Passes != res.OOC.Passes {
+		t.Fatalf("report ooc section = %+v", rep.OOC)
+	}
+	var sb strings.Builder
+	if err := rep.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"ooc"`, `"hidden_fraction"`, `"storage": "out-of-core"`} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("report JSON lacks %s", want)
+		}
+	}
+	js, err := json.Marshal(reg.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"nmf.ooc.bytes_loaded", "nmf.ooc.load_ns", "nmf.ooc.hidden_fraction"} {
+		if !strings.Contains(string(js), want) {
+			t.Errorf("metrics snapshot lacks %s", want)
+		}
+	}
+}

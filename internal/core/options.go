@@ -394,6 +394,10 @@ type Result struct {
 	Grid                 grid.Grid
 	GridAuto             bool
 	GridPredictedSeconds float64
+	// OOC is the tile-I/O accounting of an out-of-core run (nil for
+	// in-core runs): bytes and tiles streamed, loader vs consumer-wait
+	// time, and the hidden (overlapped) fraction.
+	OOC *OOCStats
 }
 
 // relErrFrom computes ‖A−WH‖_F/‖A‖_F from the iteration byproducts:

@@ -18,8 +18,9 @@ import (
 //	1 — initial schema
 //	2 — adds the per-iteration "progress" telemetry series (pure
 //	    addition; v1 reports remain readable); later also gains
-//	    dataset.storage, kernel_isa, and the top-level "updater"
-//	    recording the algorithm plug-in the skeleton ran (again pure
+//	    dataset.storage, kernel_isa, the top-level "updater"
+//	    recording the algorithm plug-in the skeleton ran, and the
+//	    "ooc" tile-I/O section of out-of-core runs (all pure
 //	    additions)
 const ReportVersion = 2
 
@@ -119,6 +120,12 @@ type Report struct {
 	// PerRank exposes the rank skew the aggregate view maxes away.
 	PerRank []perf.RankStats `json:"per_rank,omitempty"`
 
+	// OOC is the tile-I/O accounting of an out-of-core run (schema
+	// v2+, pure addition): tile geometry, backend, bytes streamed, and
+	// the load/wait/hidden-fraction split showing how much I/O the
+	// prefetch pipeline overlapped with compute.
+	OOC *OOCStats `json:"ooc,omitempty"`
+
 	// Metrics is the registry snapshot when the run had one attached.
 	Metrics *metrics.Snapshot `json:"metrics,omitempty"`
 	// TracePath records where the Chrome trace was written, if
@@ -161,6 +168,7 @@ func NewReport(ds DatasetInfo, p int, opts Options, res *Result, tracePath strin
 		ModeledTotalSeconds:  res.Breakdown.ModeledTotal(),
 		MeasuredTotalSeconds: res.Breakdown.MeasuredTotal(),
 		PerRank:              res.PerRank,
+		OOC:                  res.OOC,
 		TracePath:            tracePath,
 	}
 	if res.Grid.PR > 0 {

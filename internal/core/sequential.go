@@ -46,6 +46,11 @@ type seqState struct {
 	relErr []float64
 	iters  int
 	done   bool
+
+	// ooc, when non-nil, streams the two A-products from the tile
+	// file's prefetch pipeline instead of in-core kernels (see
+	// RunOutOfCore); a is then the same tiledMatrix.
+	ooc *tiledMatrix
 }
 
 // newSeqState validates the options and allocates the run's buffers.
@@ -107,7 +112,14 @@ func (s *seqState) step(it int) error {
 		s.haveHGram = true
 	}
 	ps := s.clk.Start(perf.TaskMM)
-	mulHtInto(s.aht, s.a, s.h, s.ws, s.pool) // m×k
+	if s.ooc != nil {
+		if err := s.ooc.streamMulABt(s.aht, s.h, s.pool, s.tc); err != nil {
+			s.clk.Stop(ps)
+			return fmt.Errorf("core: streaming A·Hᵀ at iteration %d: %w", it, err)
+		}
+	} else {
+		mulHtInto(s.aht, s.a, s.h, s.ws, s.pool) // m×k
+	}
 	s.clk.Stop(ps)
 	s.tr.AddFlops(perf.TaskMM, 2*int64(s.a.NNZ())*int64(s.k))
 
@@ -124,7 +136,14 @@ func (s *seqState) step(it int) error {
 	s.tr.AddFlops(perf.TaskGram, gramFlops(s.m, s.k))
 
 	ps = s.clk.Start(perf.TaskMM)
-	mulAtBInto(s.wta, s.a, s.w, s.ws, s.pool) // k×n
+	if s.ooc != nil {
+		if err := s.ooc.streamMulAtB(s.wta, s.w, s.pool, s.tc); err != nil {
+			s.clk.Stop(ps)
+			return fmt.Errorf("core: streaming Wᵀ·A at iteration %d: %w", it, err)
+		}
+	} else {
+		mulAtBInto(s.wta, s.a, s.w, s.ws, s.pool) // k×n
+	}
 	s.clk.Stop(ps)
 	s.tr.AddFlops(perf.TaskMM, 2*int64(s.a.NNZ())*int64(s.k))
 
@@ -182,8 +201,15 @@ func RunSequential(a Matrix, opts Options) (*Result, error) {
 		return nil, err
 	}
 	defer s.close()
+	return s.runLoop("Sequential", tsess)
+}
 
-	ckpt := newCheckpointer(s.opts, "Sequential", s.m, s.n)
+// runLoop is the iteration loop shared by the in-core sequential
+// driver and the out-of-core streaming driver: step until
+// convergence or MaxIter, emitting progress and checkpoints, then
+// assemble the Result.
+func (s *seqState) runLoop(algorithm string, tsess *trace.Session) (*Result, error) {
+	ckpt := newCheckpointer(s.opts, algorithm, s.m, s.n)
 	setup := s.tr.Snapshot()
 	pe := newProgressEmitter(s.opts.Progress, s.tr)
 	for it := 0; it < s.opts.MaxIter && !s.done; it++ {
@@ -208,7 +234,7 @@ func RunSequential(a Matrix, opts Options) (*Result, error) {
 		Iterations: s.iters,
 		Breakdown:  breakdown,
 		PerRank:    perf.PerRank(s.opts.Model, []*perf.Tracker{iterTracker}, nil, s.iters),
-		Algorithm:  "Sequential",
+		Algorithm:  algorithm,
 	}
 	if tsess != nil {
 		res.Trace = tsess.Merge()

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"strings"
+	"sync"
 	"testing"
 
 	"hpcnmf/internal/grid"
@@ -34,11 +35,15 @@ func TestCustomUpdaterPlugsIntoSkeleton(t *testing.T) {
 	a := WrapDense(lowRankDense(m, n, k, 0.02, 3))
 	base := Options{K: k, MaxIter: 4, Seed: 11, Solver: SolverBPP, ComputeError: true}
 
+	// The factory runs once per rank, concurrently under RunHPC.
+	var madeMu sync.Mutex
 	var made []*countingUpdater
 	custom := base
 	custom.Update = func() Updater {
 		u := &countingUpdater{inner: nnls.NewBPP()}
+		madeMu.Lock()
 		made = append(made, u)
+		madeMu.Unlock()
 		return u
 	}
 

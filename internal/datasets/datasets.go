@@ -33,16 +33,38 @@ import (
 // DSYN generates the dense synthetic matrix: uniform [0,1) entries
 // plus Gaussian noise (σ = 0.1), clamped to stay non-negative.
 func DSYN(m, n int, seed uint64) *mat.Dense {
-	s := rng.New(seed)
 	a := mat.NewDense(m, n)
-	for i := range a.Data {
-		v := s.Float64() + 0.1*s.Normal()
-		if v < 0 {
-			v = 0
-		}
-		a.Data[i] = v
-	}
+	i := 0
+	_ = StreamDSYN(m, n, seed, func(row []float64) error {
+		copy(a.Data[i:], row)
+		i += n
+		return nil
+	})
 	return a
+}
+
+// StreamDSYN generates DSYN one row at a time, calling emit with each
+// row in order. The row slice is reused between calls — copy it if it
+// must outlive the callback. The values are bitwise identical to
+// DSYN's: out-of-core tile files written from this stream factorize
+// to exactly the same answer as the in-core matrix. Generation stops
+// at the first error emit returns.
+func StreamDSYN(m, n int, seed uint64, emit func(row []float64) error) error {
+	s := rng.New(seed)
+	row := make([]float64, n)
+	for i := 0; i < m; i++ {
+		for j := range row {
+			v := s.Float64() + 0.1*s.Normal()
+			if v < 0 {
+				v = 0
+			}
+			row[j] = v
+		}
+		if err := emit(row); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // SSYN generates the sparse synthetic matrix: Erdős–Rényi with the
@@ -226,7 +248,8 @@ type Dataset struct {
 // (floored to keep the matrices usable).
 type Scale float64
 
-func (s Scale) dim(v int) int {
+// Dim applies the scale to a default dimension, flooring at 8.
+func (s Scale) Dim(v int) int {
 	d := int(float64(v) * float64(s))
 	if d < 8 {
 		d = 8
@@ -243,24 +266,24 @@ func ByName(name string, scale Scale, seed uint64) (Dataset, error) {
 	}
 	switch strings.ToLower(name) {
 	case "dsyn":
-		m, n := scale.dim(1728), scale.dim(1152)
+		m, n := scale.Dim(1728), scale.Dim(1152)
 		return Dataset{Name: "DSYN", Matrix: core.WrapDense(DSYN(m, n, seed))}, nil
 	case "ssyn":
-		m, n := scale.dim(1728), scale.dim(1152)
+		m, n := scale.Dim(1728), scale.Dim(1152)
 		return Dataset{Name: "SSYN", Matrix: core.WrapSparse(SSYN(m, n, 0.01, seed)), Sparse: true}, nil
 	case "video":
 		spec := DefaultVideo()
-		spec.Width = scale.dim(spec.Width)
-		spec.Height = scale.dim(spec.Height)
-		spec.Frames = scale.dim(spec.Frames)
+		spec.Width = scale.Dim(spec.Width)
+		spec.Height = scale.Dim(spec.Height)
+		spec.Frames = scale.Dim(spec.Frames)
 		return Dataset{Name: "Video", Matrix: core.WrapDense(Video(spec, seed))}, nil
 	case "webbase":
-		nodes := scale.dim(20000)
+		nodes := scale.Dim(20000)
 		return Dataset{Name: "Webbase", Matrix: core.WrapSparse(Webbase(nodes, 3, seed)), Sparse: true}, nil
 	case "bow":
 		spec := BagOfWordsSpec{
-			Vocab:  scale.dim(6000),
-			Docs:   scale.dim(4000),
+			Vocab:  scale.Dim(6000),
+			Docs:   scale.Dim(4000),
 			Topics: 10,
 			DocLen: 150,
 		}

@@ -30,24 +30,58 @@ func (a *Dense) WriteBinary(w io.Writer) error {
 	return bw.Flush()
 }
 
-// ReadBinary parses a matrix written by WriteBinary.
+// ReadBinary parses a matrix written by WriteBinary, leaving any
+// bytes that follow it unread (checkpoints concatenate two factors in
+// one stream). Use ReadBinaryStrict when the matrix should be the
+// whole stream.
 func ReadBinary(r io.Reader) (*Dense, error) {
+	d, _, err := readBinary(r)
+	return d, err
+}
+
+// ReadBinaryStrict parses a matrix written by WriteBinary and
+// requires the stream to end there: a corrupt file with trailing
+// bytes after the payload is an error instead of being silently
+// accepted.
+func ReadBinaryStrict(r io.Reader) (*Dense, error) {
+	d, br, err := readBinary(r)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := br.ReadByte(); err != io.EOF {
+		if err != nil {
+			return nil, fmt.Errorf("mat: checking for end of stream: %w", err)
+		}
+		return nil, fmt.Errorf("mat: trailing data after %dx%d matrix payload", d.Rows, d.Cols)
+	}
+	return d, nil
+}
+
+func readBinary(r io.Reader) (*Dense, *bufio.Reader, error) {
 	br := bufio.NewReader(r)
 	magic := make([]byte, len(binaryMagic))
 	if _, err := io.ReadFull(br, magic); err != nil {
-		return nil, fmt.Errorf("mat: reading magic: %w", err)
+		return nil, nil, fmt.Errorf("mat: reading magic: %w", err)
 	}
 	if string(magic) != binaryMagic {
-		return nil, fmt.Errorf("mat: bad magic %q", magic)
+		return nil, nil, fmt.Errorf("mat: bad magic %q", magic)
 	}
 	var hdr [2]int64
 	if err := binary.Read(br, binary.LittleEndian, hdr[:]); err != nil {
-		return nil, fmt.Errorf("mat: reading header: %w", err)
+		return nil, nil, fmt.Errorf("mat: reading header: %w", err)
 	}
-	rows, cols := int(hdr[0]), int(hdr[1])
-	if rows < 0 || cols < 0 || (cols != 0 && rows > (1<<40)/cols) {
-		return nil, fmt.Errorf("mat: implausible dims %dx%d", rows, cols)
+	// All dimension arithmetic stays in int64: on 32-bit platforms a
+	// hostile header could otherwise wrap rows*cols into a small
+	// positive int and truncate the read silently.
+	r64, c64 := hdr[0], hdr[1]
+	const maxElements = int64(1) << 40
+	if r64 < 0 || c64 < 0 || (c64 != 0 && r64 > maxElements/c64) {
+		return nil, nil, fmt.Errorf("mat: implausible dims %dx%d", r64, c64)
 	}
+	if total64 := r64 * c64; total64 > int64(^uint(0)>>1) {
+		return nil, nil, fmt.Errorf("mat: %dx%d matrix (%d elements) does not fit this platform's int", r64, c64, total64)
+	}
+	rows, cols := int(r64), int(c64)
 	// Read incrementally so a corrupt header cannot force a huge
 	// allocation before any data has been validated: memory grows
 	// only as actual payload arrives.
@@ -57,11 +91,11 @@ func ReadBinary(r io.Reader) (*Dense, error) {
 	for len(data) < total {
 		n := min(total-len(data), len(chunk))
 		if err := binary.Read(br, binary.LittleEndian, chunk[:n]); err != nil {
-			return nil, fmt.Errorf("mat: reading data at element %d of %d: %w", len(data), total, err)
+			return nil, nil, fmt.Errorf("mat: reading data at element %d of %d: %w", len(data), total, err)
 		}
 		data = append(data, chunk[:n]...)
 	}
-	return &Dense{Rows: rows, Cols: cols, Data: data}, nil
+	return &Dense{Rows: rows, Cols: cols, Data: data}, br, nil
 }
 
 // WriteMatrixMarket writes the matrix in MatrixMarket array format

@@ -95,6 +95,67 @@ func TestBinaryRejectsCorruptHeader(t *testing.T) {
 	}
 }
 
+func TestBinaryRejectsOverflowDims(t *testing.T) {
+	// Headers whose element count is plausible per-dimension but whose
+	// product overflows: the validation must run in int64 (on 32-bit
+	// platforms rows*cols in int would wrap to a small positive count
+	// and truncate the read silently).
+	a := randomDense(2, 2, 26)
+	var buf bytes.Buffer
+	if err := a.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+	putDims := func(rows, cols uint64) []byte {
+		b := append([]byte(nil), good...)
+		for i := 0; i < 8; i++ {
+			b[len(binaryMagic)+i] = byte(rows >> (8 * i))
+			b[len(binaryMagic)+8+i] = byte(cols >> (8 * i))
+		}
+		return b
+	}
+	cases := []struct {
+		name       string
+		rows, cols uint64
+	}{
+		{"2^31 squared", 1 << 31, 1 << 31},
+		{"2^62 x 4", 1 << 62, 4},
+		{"just over 2^40", (1 << 40) / 3, 4},
+	}
+	for _, tc := range cases {
+		if _, err := ReadBinary(bytes.NewReader(putDims(tc.rows, tc.cols))); err == nil ||
+			!strings.Contains(err.Error(), "implausible") {
+			t.Errorf("%s: err = %v, want implausible-dims rejection", tc.name, err)
+		}
+	}
+}
+
+func TestBinaryStrictRejectsTrailingGarbage(t *testing.T) {
+	a := randomDense(5, 4, 27)
+	var buf bytes.Buffer
+	if err := a.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	clean := append([]byte(nil), buf.Bytes()...)
+	dirty := append(append([]byte(nil), clean...), 0xde, 0xad)
+
+	if got, err := ReadBinaryStrict(bytes.NewReader(clean)); err != nil || !got.Equal(a, 0) {
+		t.Fatalf("strict read of a clean stream: %v", err)
+	}
+	if _, err := ReadBinaryStrict(bytes.NewReader(dirty)); err == nil ||
+		!strings.Contains(err.Error(), "trailing") {
+		t.Fatalf("strict read accepted trailing garbage: %v", err)
+	}
+
+	// The non-strict reader must keep accepting embedded matrices:
+	// checkpoints concatenate W and H in one stream.
+	two := append(append([]byte(nil), clean...), clean...)
+	r := bytes.NewReader(two)
+	if _, err := ReadBinary(r); err != nil {
+		t.Fatalf("embedded read: %v", err)
+	}
+}
+
 func TestMatrixMarketArrayRoundTrip(t *testing.T) {
 	a := randomDense(6, 9, 23)
 	var buf bytes.Buffer

@@ -1,0 +1,56 @@
+package ooc
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzTileHeader throws arbitrary byte blocks at the header parser
+// and checks the invariants: no panic, accepted headers re-encode to
+// the same bytes (after tile-row clamping), and every accepted header
+// has a shape the rest of the package can index with int.
+func FuzzTileHeader(f *testing.F) {
+	if b, err := EncodeHeader(Header{Rows: 100, Cols: 13, TileRows: 10}); err == nil {
+		f.Add(b)
+	}
+	if b, err := EncodeHeader(Header{Rows: 1, Cols: 1, TileRows: 1}); err == nil {
+		f.Add(b)
+	}
+	if b, err := EncodeHeader(Header{Rows: 1 << 20, Cols: 1 << 19, TileRows: 4096}); err == nil {
+		f.Add(b)
+	}
+	f.Add([]byte(Magic))
+	f.Add(bytes.Repeat([]byte{0xff}, HeaderSize))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		h, err := ParseHeader(b)
+		if err != nil {
+			return
+		}
+		if h.Rows < 1 || h.Cols < 1 || h.TileRows < 1 || h.TileRows > h.Rows {
+			t.Fatalf("accepted header with invalid shape: %+v", h)
+		}
+		if h.Rows*h.Cols > maxElements || h.Rows*h.Cols > maxPlatformInt {
+			t.Fatalf("accepted oversized header: %+v", h)
+		}
+		if h.Tiles() < 1 || h.MaxTileElems() < 1 {
+			t.Fatalf("degenerate tiling: %+v", h)
+		}
+		if r0, r1 := h.TileBounds(h.Tiles() - 1); r0 < 0 || r1 != int(h.Rows) || r0 >= r1 {
+			t.Fatalf("last tile bounds [%d,%d) inconsistent with %+v", r0, r1, h)
+		}
+		// Re-encode: the tile-row clamp is the only permitted delta.
+		enc, err := EncodeHeader(h)
+		if err != nil {
+			t.Fatalf("accepted header does not re-encode: %+v: %v", h, err)
+		}
+		orig := append([]byte(nil), b[:HeaderSize]...)
+		if clamped := binary.LittleEndian.Uint64(orig[32:]); clamped != uint64(h.TileRows) {
+			binary.LittleEndian.PutUint64(orig[32:], uint64(h.TileRows))
+			binary.LittleEndian.PutUint32(orig[56:], crcOf(orig))
+		}
+		if !bytes.Equal(enc, orig) {
+			t.Fatalf("re-encode mismatch:\n got %x\nwant %x", enc, orig)
+		}
+	})
+}

@@ -1,0 +1,14 @@
+//go:build !(linux && amd64)
+
+package ooc
+
+import (
+	"errors"
+	"os"
+)
+
+// errNoMmap reports that this platform build has no mmap backend;
+// Open falls back to the chunked ReaderAt backend.
+var errNoMmap = errors.New("ooc: mmap backend not supported on this platform")
+
+func openMmap(*os.File, Header) (backend, error) { return nil, errNoMmap }

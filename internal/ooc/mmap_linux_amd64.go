@@ -1,0 +1,63 @@
+//go:build linux && amd64
+
+package ooc
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+	"unsafe"
+)
+
+// mmapBackend maps the whole file read-only and serves tiles as
+// zero-copy views into the mapping. The float64 payload starts at
+// byte 64 of the page-aligned mapping, so views are 8-byte aligned.
+// load touches one element per page so the kernel faults the tile in
+// on the loader goroutine, not under the compute kernels.
+//
+// Caveat: resident mapped pages are counted in the process RSS, so
+// under a hard RSS cap prefer the readerat backend, whose residency
+// is exactly the pipeline's tile buffers.
+type mmapBackend struct {
+	f    *os.File
+	data []byte
+	view []float64
+}
+
+// mmapSink defeats dead-code elimination of the page-touch loop.
+var mmapSink float64
+
+func openMmap(f *os.File, h Header) (backend, error) {
+	size := h.FileSize()
+	if int64(int(size)) != size {
+		return nil, fmt.Errorf("ooc: %d-byte file exceeds mmap range", size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, err
+	}
+	total := int(h.Rows * h.Cols)
+	view := unsafe.Slice((*float64)(unsafe.Pointer(&data[HeaderSize])), total)
+	return &mmapBackend{f: f, data: data, view: view}, nil
+}
+
+func (b *mmapBackend) name() string { return BackendMmap }
+
+func (b *mmapBackend) close() error {
+	err := syscall.Munmap(b.data)
+	b.data, b.view = nil, nil
+	if cerr := b.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+func (b *mmapBackend) load(off int64, n int, dst []float64) ([]float64, error) {
+	v := b.view[off : off+int64(n)]
+	var s float64
+	for i := 0; i < len(v); i += 512 { // one touch per 4 KiB page
+		s += v[i]
+	}
+	mmapSink = s
+	return v, nil
+}

@@ -33,6 +33,7 @@ import (
 	"hpcnmf/internal/mat"
 	"hpcnmf/internal/metrics"
 	"hpcnmf/internal/mpi"
+	"hpcnmf/internal/ooc"
 	"hpcnmf/internal/perf"
 	"hpcnmf/internal/sparse"
 	"hpcnmf/internal/trace"
@@ -219,11 +220,67 @@ func LoadFactor(path string) (*Dense, error) {
 		return nil, err
 	}
 	defer in.Close()
-	return mat.ReadBinary(in)
+	return mat.ReadBinaryStrict(in)
 }
 
 // Run factorizes A ≈ W·H sequentially (ANLS, Algorithm 1).
 func Run(a Matrix, opts Options) (*Result, error) { return core.RunSequential(a, opts) }
+
+// Out-of-core factorization: datasets larger than RAM live in a tiled
+// on-disk format (written by WriteTiled or `datagen -tiled`) and are
+// streamed in row panels through a prefetch pipeline that loads tile
+// t+1 while the updater consumes tile t (see README "Out-of-core
+// datasets" and DESIGN decision 15).
+
+// TileFile is an open out-of-core tile file.
+type TileFile = ooc.File
+
+// OOCStats is the tile-I/O accounting of an out-of-core run
+// (Result.OOC): bytes streamed, loader vs wait time, and the fraction
+// of I/O hidden behind compute.
+type OOCStats = core.OOCStats
+
+// Tile-reader backends for OpenTiledBackend.
+const (
+	TileBackendAuto     = ooc.BackendAuto
+	TileBackendMmap     = ooc.BackendMmap
+	TileBackendReaderAt = ooc.BackendReaderAt
+)
+
+// DefaultTileDepth is the default prefetch depth of the out-of-core
+// tile pipeline: tiles loaded ahead of the one being consumed.
+const DefaultTileDepth = ooc.DefaultDepth
+
+// OpenTiled opens a tile file with the best available backend (mmap
+// where supported, chunked ReaderAt otherwise). The header is
+// CRC-validated and the file length must match it exactly.
+func OpenTiled(path string) (*TileFile, error) { return ooc.Open(path) }
+
+// OpenTiledBackend opens a tile file with an explicit reader backend.
+func OpenTiledBackend(path, backend string) (*TileFile, error) {
+	return ooc.OpenBackend(path, backend)
+}
+
+// WriteTiled writes an in-core dense matrix as a tile file with
+// tileRows-row panels (≤ 0 picks a ~8 MiB default).
+func WriteTiled(path string, d *Dense, tileRows int) error {
+	return ooc.WriteMatrix(path, d, tileRows)
+}
+
+// RunOutOfCore factorizes a tile file with the streaming sequential
+// skeleton: factors stay in memory, A is read in row panels with
+// prefetch depth tiles in flight (≤ 0 picks double buffering). The
+// result — factors and error history — is bitwise identical to Run on
+// the same matrix for every built-in updater, any tile size, and any
+// KernelThreads; Result.OOC reports how much tile I/O was hidden
+// behind compute.
+func RunOutOfCore(f *TileFile, depth int, opts Options) (*Result, error) {
+	return core.RunOutOfCore(f, depth, opts)
+}
+
+// DescribeTiled builds the DatasetInfo for a tile file without
+// touching its payload.
+func DescribeTiled(name string, f *TileFile) DatasetInfo { return core.DescribeTiled(name, f) }
 
 // RunNaive factorizes in parallel with the naive double-partitioned
 // algorithm (Algorithm 2) on p simulated ranks — the baseline whose
