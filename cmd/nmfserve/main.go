@@ -22,12 +22,16 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"hpcnmf"
+	"hpcnmf/internal/cluster"
 	"hpcnmf/internal/obs"
 	"hpcnmf/internal/serve"
+	"hpcnmf/internal/store"
 )
 
 func main() {
@@ -57,6 +61,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 		drainSecs  = fs.Int("drain-timeout", 30, "seconds to wait for in-flight HTTP requests on shutdown")
 		pprofOn    = fs.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ for continuous profiling")
 		logSpec    = fs.String("log", "info", "log level spec: a default level plus per-component overrides, e.g. 'info,serve=debug'")
+		storeDir   = fs.String("store", "", "durable model store directory; fitted models are committed here and warm-started on boot")
+		peerList   = fs.String("peers", "", "comma-separated static cluster peer list (host:port,...); enables sharded serving")
+		selfAddr   = fs.String("self", "", "this instance's advertised address — must appear in -peers (cluster mode)")
+		replicas   = fs.Int("replicas", 1, "replication factor: how many peers hold each model resident (cluster mode)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -98,7 +106,39 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 
-	srv := serve.New(serve.Options{
+	// Cluster mode: validate the topology before anything listens, so a
+	// misconfigured instance fails fast instead of serving wrong shards.
+	var topo *cluster.Topology
+	if *peerList != "" {
+		if *selfAddr == "" {
+			return fmt.Errorf("-peers requires -self (this instance's advertised address)")
+		}
+		if *storeDir == "" {
+			return fmt.Errorf("-peers requires -store (the shared durable store is the cluster's source of truth)")
+		}
+		if *replicas < 1 {
+			return fmt.Errorf("-replicas must be >= 1")
+		}
+		topo, err = cluster.NewTopology(strings.Split(*peerList, ","), *replicas)
+		if err != nil {
+			return err
+		}
+		if !topo.Contains(*selfAddr) {
+			return fmt.Errorf("-self %q is not in -peers %q", *selfAddr, *peerList)
+		}
+	} else if *selfAddr != "" {
+		return fmt.Errorf("-self is only meaningful with -peers")
+	}
+
+	var durable *store.FS
+	if *storeDir != "" {
+		durable, err = store.NewFS(*storeDir)
+		if err != nil {
+			return fmt.Errorf("opening model store: %w", err)
+		}
+	}
+
+	opts := serve.Options{
 		MaxBatch:      *maxBatch,
 		MaxDelay:      delay,
 		QueueCap:      *queueCap,
@@ -110,14 +150,53 @@ func run(args []string, stdout, stderr io.Writer) error {
 		TraceEvents:   *tracePath != "",
 		Pprof:         *pprofOn,
 		Logger:        logger,
-	})
+	}
+	if durable != nil {
+		opts.Durable = durable
+	}
+	// The router wraps the server, so it is built after serve.New; the
+	// commit hooks reach it through an atomic pointer, which is stored
+	// before the listener accepts the first request.
+	var rtp atomic.Pointer[cluster.Router]
+	if topo != nil {
+		self := *selfAddr
+		opts.WarmFilter = func(id string) bool { return topo.IsOwner(self, id) }
+		opts.OnCommit = func(id string) {
+			if r := rtp.Load(); r != nil {
+				r.FanOutCommit(id)
+			}
+		}
+		opts.OnDelete = func(id string) {
+			if r := rtp.Load(); r != nil {
+				r.FanOutDelete(id)
+			}
+		}
+	}
+	srv := serve.New(opts)
+
+	var handler http.Handler = srv
+	if topo != nil {
+		rt, err := cluster.New(srv, cluster.Options{
+			Self:     *selfAddr,
+			Peers:    topo.Peers(),
+			Replicas: topo.Replicas(),
+			Logger:   logger,
+		})
+		if err != nil {
+			srv.Close()
+			return err
+		}
+		rtp.Store(rt)
+		handler = rt
+		fmt.Fprintf(stdout, "cluster shard %s of %d peers, replication %d\n", *selfAddr, len(topo.Peers()), topo.Replicas())
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		srv.Close()
 		return err
 	}
-	hs := &http.Server{Handler: srv}
+	hs := &http.Server{Handler: handler}
 	fmt.Fprintf(stdout, "listening on %s\n", ln.Addr())
 
 	sigCh := make(chan os.Signal, 1)

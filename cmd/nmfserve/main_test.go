@@ -3,7 +3,9 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"net"
 	"net/http"
+	"os"
 	"path/filepath"
 	"strings"
 	"sync"
@@ -42,10 +44,169 @@ func TestServeFlagValidation(t *testing.T) {
 		{"stray-arg"},
 		{"-not-a-flag"},
 		{"-addr", "999.999.999.999:1"}, // unlistenable address
+		// Cluster flags must be mutually consistent.
+		{"-peers", "a:1,b:1"},                                     // -peers without -self
+		{"-peers", "a:1,b:1", "-self", "a:1"},                     // -peers without -store
+		{"-peers", "a:1,b:1", "-self", "c:1", "-store", "/tmp/x"}, // self not in peers
+		{"-peers", "a:1,a:1", "-self", "a:1", "-store", "/tmp/x"}, // duplicate peer
+		{"-peers", "a:1,b:1", "-self", "a:1", "-store", "/tmp/x", "-replicas", "0"},
+		{"-self", "a:1"}, // -self without -peers
 	}
 	for _, args := range cases {
 		if err := run(args, &out, &errb); err == nil {
 			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}
+
+// TestServeClusterEndToEnd boots a two-shard cluster over one shared
+// store directory via the real command seam, fits a model through
+// shard A, and reads it back byte-consistently through shard B —
+// proving the flags wire the store, topology, and router together.
+func TestServeClusterEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	// Reserve two ports so the peer list can name concrete addresses.
+	addrs := make([]string, 2)
+	lns := make([]net.Listener, 2)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = ln.Addr().String()
+		lns[i] = ln
+	}
+	peers := strings.Join(addrs, ",")
+
+	outs := make([]*syncBuffer, 2)
+	done := make(chan error, 2)
+	for i := range addrs {
+		outs[i] = &syncBuffer{}
+		lns[i].Close() // free the port for run's own listener
+		go func(i int) {
+			done <- run([]string{
+				"-addr", addrs[i], "-self", addrs[i],
+				"-peers", peers, "-replicas", "2",
+				"-store", filepath.Join(dir, "models"),
+				"-fit-workers", "1", "-max-delay", "0",
+			}, outs[i], outs[i])
+		}(i)
+	}
+	for i := range addrs {
+		deadline := time.Now().Add(10 * time.Second)
+		for !strings.Contains(outs[i].String(), "listening on") {
+			select {
+			case err := <-done:
+				t.Fatalf("shard %d exited early: %v\noutput: %s", i, err, outs[i].String())
+			default:
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("shard %d never listened; output: %q", i, outs[i].String())
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		if !strings.Contains(outs[i].String(), "cluster shard") {
+			t.Fatalf("shard %d did not announce cluster mode: %q", i, outs[i].String())
+		}
+	}
+
+	// Fit through shard 0; the accepted response names the shard that
+	// ran it (job ids are shard-local).
+	data := make([]float64, 6*5)
+	for i := range data {
+		data[i] = 0.3 + float64(i%5)/5
+	}
+	body, _ := json.Marshal(map[string]any{"model": "cm", "rows": 6, "cols": 5, "data": data, "k": 2, "max_iter": 20})
+	resp, err := http.Post("http://"+addrs[0]+"/v1/fit", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("fit: %v", err)
+	}
+	shard := resp.Header.Get("X-Shard")
+	var accepted struct {
+		StatusURL string `json:"status_url"`
+	}
+	json.NewDecoder(resp.Body).Decode(&accepted)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted || shard == "" {
+		t.Fatalf("fit: status %d, shard %q", resp.StatusCode, shard)
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for state := ""; state != "done"; {
+		if time.Now().After(deadline) {
+			t.Fatalf("fit stuck in %q", state)
+		}
+		r, err := http.Get("http://" + shard + accepted.StatusURL)
+		if err != nil {
+			t.Fatalf("poll: %v", err)
+		}
+		var job struct{ State, Error string }
+		json.NewDecoder(r.Body).Decode(&job)
+		r.Body.Close()
+		if job.State == "failed" {
+			t.Fatalf("fit failed: %s", job.Error)
+		}
+		state = job.State
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Project through both shards: answers must be byte-identical.
+	col := make([]float64, 6)
+	for i := range col {
+		col[i] = data[i*5]
+	}
+	body, _ = json.Marshal(map[string]any{"model": "cm", "column": col})
+	var answers [][]byte
+	for _, a := range addrs {
+		r, err := http.Post("http://"+a+"/v1/project", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatalf("project via %s: %v", a, err)
+		}
+		var pb bytes.Buffer
+		pb.ReadFrom(r.Body)
+		r.Body.Close()
+		if r.StatusCode != http.StatusOK {
+			t.Fatalf("project via %s: status %d, body %s", a, r.StatusCode, pb.String())
+		}
+		answers = append(answers, pb.Bytes())
+	}
+	if !bytes.Equal(answers[0], answers[1]) {
+		t.Fatalf("shards disagree:\n%s\n%s", answers[0], answers[1])
+	}
+
+	// /healthz reports the topology from either shard.
+	r, err := http.Get("http://" + addrs[1] + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	var h struct {
+		Status   string   `json:"status"`
+		Peers    []string `json:"peers"`
+		Replicas int      `json:"replicas"`
+	}
+	json.NewDecoder(r.Body).Decode(&h)
+	r.Body.Close()
+	if h.Status != "ok" || len(h.Peers) != 2 || h.Replicas != 2 {
+		t.Fatalf("healthz = %+v", h)
+	}
+
+	// The durable store holds the committed model on disk.
+	entries, err := os.ReadDir(filepath.Join(dir, "models"))
+	if err != nil || len(entries) == 0 {
+		t.Fatalf("store dir empty after commit: %v, %d entries", err, len(entries))
+	}
+
+	// Both shards drain cleanly on SIGINT.
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("shard exited with %v", err)
+			}
+		case <-time.After(20 * time.Second):
+			t.Fatal("shards did not shut down after SIGINT")
 		}
 	}
 }

@@ -1,0 +1,116 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestTopologyValidation(t *testing.T) {
+	if _, err := NewTopology(nil, 1); err == nil {
+		t.Fatal("empty peer list accepted")
+	}
+	if _, err := NewTopology([]string{"a", ""}, 1); err == nil {
+		t.Fatal("empty peer accepted")
+	}
+	if _, err := NewTopology([]string{"a", "a"}, 1); err == nil {
+		t.Fatal("duplicate peer accepted")
+	}
+	topo, err := NewTopology([]string{"b", "a"}, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.Replicas() != 2 {
+		t.Fatalf("replicas = %d, want clamp to 2", topo.Replicas())
+	}
+	if got := fmt.Sprint(topo.Peers()); got != "[a b]" {
+		t.Fatalf("peers = %s, want sorted [a b]", got)
+	}
+}
+
+// TestOwnersDeterministic: every instance must compute identical owner
+// sets regardless of the order its peer list was written in.
+func TestOwnersDeterministic(t *testing.T) {
+	a, _ := NewTopology([]string{"n1:1", "n2:1", "n3:1", "n4:1"}, 2)
+	b, _ := NewTopology([]string{"n4:1", "n2:1", "n1:1", "n3:1"}, 2)
+	for i := 0; i < 200; i++ {
+		id := fmt.Sprintf("model-%d", i)
+		if fmt.Sprint(a.Owners(id)) != fmt.Sprint(b.Owners(id)) {
+			t.Fatalf("owner sets diverge for %s: %v vs %v", id, a.Owners(id), b.Owners(id))
+		}
+	}
+}
+
+// TestOwnersProperties: R distinct owners, all cluster members, and
+// the primary is always first.
+func TestOwnersProperties(t *testing.T) {
+	peers := []string{"h1:1", "h2:1", "h3:1", "h4:1", "h5:1"}
+	topo, _ := NewTopology(peers, 3)
+	for i := 0; i < 500; i++ {
+		id := fmt.Sprintf("m%d", i)
+		owners := topo.Owners(id)
+		if len(owners) != 3 {
+			t.Fatalf("Owners(%s) has %d entries, want 3", id, len(owners))
+		}
+		seen := map[string]bool{}
+		for _, o := range owners {
+			if seen[o] {
+				t.Fatalf("Owners(%s) repeats %s", id, o)
+			}
+			seen[o] = true
+			if !topo.Contains(o) {
+				t.Fatalf("Owners(%s) includes non-member %s", id, o)
+			}
+			if !topo.IsOwner(o, id) {
+				t.Fatalf("IsOwner(%s, %s) = false for a listed owner", o, id)
+			}
+		}
+		if topo.IsOwner("h1:1", id) != seen["h1:1"] {
+			t.Fatalf("IsOwner disagrees with Owners for %s", id)
+		}
+	}
+}
+
+// TestDistributionBalance: rendezvous hashing should spread primaries
+// roughly evenly — no peer may own more than twice its fair share of
+// 5000 keys across 5 peers.
+func TestDistributionBalance(t *testing.T) {
+	peers := []string{"p1:1", "p2:1", "p3:1", "p4:1", "p5:1"}
+	topo, _ := NewTopology(peers, 1)
+	counts := map[string]int{}
+	const keys = 5000
+	for i := 0; i < keys; i++ {
+		counts[topo.Owners(fmt.Sprintf("user-model-%d", i))[0]]++
+	}
+	fair := keys / len(peers)
+	for p, c := range counts {
+		if c > 2*fair || c < fair/2 {
+			t.Fatalf("peer %s owns %d of %d keys (fair share %d) — distribution is skewed: %v", p, c, keys, fair, counts)
+		}
+	}
+}
+
+// TestRemovalStability: removing one peer must only reassign keys that
+// peer owned — every other key keeps its primary (the property that
+// makes kill-one-instance lose only one shard's primaries).
+func TestRemovalStability(t *testing.T) {
+	all := []string{"q1:1", "q2:1", "q3:1", "q4:1"}
+	full, _ := NewTopology(all, 1)
+	reduced, _ := NewTopology(all[:3], 1) // q4 removed
+	moved := 0
+	const keys = 1000
+	for i := 0; i < keys; i++ {
+		id := fmt.Sprintf("k%d", i)
+		before := full.Owners(id)[0]
+		after := reduced.Owners(id)[0]
+		if before == "q4:1" {
+			moved++
+			continue // had to move
+		}
+		if before != after {
+			t.Fatalf("key %s moved %s -> %s though its owner survived", id, before, after)
+		}
+	}
+	if moved == 0 || moved > keys/2 {
+		t.Fatalf("q4 owned %d of %d keys — implausible", moved, keys)
+	}
+}

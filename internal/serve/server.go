@@ -17,8 +17,15 @@ import (
 	"hpcnmf/internal/mat"
 	"hpcnmf/internal/metrics"
 	"hpcnmf/internal/obs"
+	mstore "hpcnmf/internal/store"
 	"hpcnmf/internal/trace"
 )
+
+// errRehydrating is returned for requests against a model that another
+// request is currently faulting in from the durable store; mapped to
+// 503 + Retry-After — the model exists and will be servable shortly,
+// which is exactly not a 404.
+var errRehydrating = errors.New("serve: model is rehydrating from the durable store")
 
 // Options configures a serving instance. The zero value serves with
 // the defaults noted on each field.
@@ -69,6 +76,27 @@ type Options struct {
 	// Logger receives structured operational logs (fits, failures,
 	// shutdown); nil discards them.
 	Logger *slog.Logger
+	// Durable is the persistence seam behind the resident LRU: every
+	// committed fit is written through to it before the job reports
+	// done, evicted models fault back in on the next projection, and a
+	// cold instance warm-starts by scanning it. Nil (the default)
+	// serves memory-only — eviction then loses the model, loudly.
+	Durable mstore.ModelStore
+	// WarmFilter restricts the warm-start scan: only ids it accepts
+	// are preloaded (nil preloads everything). The cluster layer uses
+	// it so each shard warms only the models it replicates; filtered
+	// models still fault in on demand if a request reaches us anyway.
+	WarmFilter func(id string) bool
+	// NoWarmStart skips the boot-time store scan (models still fault
+	// in lazily). For tests and very large stores.
+	NoWarmStart bool
+	// OnCommit, when set, runs after every durable model commit (fit
+	// or AddModel), outside the store locks. The cluster layer hangs
+	// replica fan-out on it.
+	OnCommit func(id string)
+	// OnDelete runs after every model deletion, outside the store
+	// locks; the cluster layer fans out replica eviction.
+	OnDelete func(id string)
 }
 
 func (o Options) withDefaults() Options {
@@ -117,6 +145,14 @@ type serveMetrics struct {
 	storeModels    *metrics.Gauge
 	storeBytes     *metrics.Gauge
 	storeEvictions *metrics.Counter
+
+	// Durable-store traffic.
+	storeEvictionsUndurable *metrics.Counter
+	storeCommits            *metrics.Counter
+	storeCommitErrors       *metrics.Counter
+	storeRehydrations       *metrics.Counter
+	storeRehydrateErrors    *metrics.Counter
+	storeWarmStarts         *metrics.Counter
 }
 
 func newServeMetrics(reg *metrics.Registry) *serveMetrics {
@@ -137,6 +173,13 @@ func newServeMetrics(reg *metrics.Registry) *serveMetrics {
 		storeModels:    reg.Gauge("serve.store.models"),
 		storeBytes:     reg.Gauge("serve.store.bytes"),
 		storeEvictions: reg.Counter("serve.store.evictions"),
+
+		storeEvictionsUndurable: reg.Counter("serve.store.evictions_undurable"),
+		storeCommits:            reg.Counter("serve.store.commits"),
+		storeCommitErrors:       reg.Counter("serve.store.commit_errors"),
+		storeRehydrations:       reg.Counter("serve.store.rehydrations"),
+		storeRehydrateErrors:    reg.Counter("serve.store.rehydrate_errors"),
+		storeWarmStarts:         reg.Counter("serve.store.warm_starts"),
 	}
 }
 
@@ -183,8 +226,11 @@ func New(opts Options) *Server {
 		s.reqTC = sess.Tracer(0)
 		s.sessions = append(s.sessions, sess)
 	}
-	s.st = newStore(opts.StoreBudget, s.met)
+	s.st = newStore(opts.StoreBudget, s.met, s.log)
 	s.jobs = newJobs(opts.FitWorkers, opts.FitQueue, s.met, s.log, s.runFit)
+	if opts.Durable != nil && !opts.NoWarmStart {
+		s.warmStart()
+	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/fit", s.handleFit)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
@@ -253,7 +299,9 @@ func (s *Server) Trace() *trace.Trace {
 }
 
 // AddModel installs a fitted basis directly (no fit job) — the
-// preloaded-model path and the test seam. The basis is copied.
+// preloaded-model path and the test seam. The basis is copied. With a
+// durable store configured the model is committed to it first, same
+// as a fit.
 func (s *Server) AddModel(id string, w *mat.Dense) error {
 	if id == "" {
 		return fmt.Errorf("serve: empty model id")
@@ -262,7 +310,167 @@ func (s *Server) AddModel(id string, w *mat.Dense) error {
 	if err != nil {
 		return err
 	}
-	return s.st.add(m)
+	if err := s.commit(m); err != nil {
+		m.bat.close()
+		return err
+	}
+	if err := s.st.add(m); err != nil {
+		m.bat.close()
+		return err
+	}
+	s.notifyCommit(m.id)
+	return nil
+}
+
+// commit writes the model through to the durable store (when one is
+// configured) and marks it durable. A model is only ever announced —
+// job done, 2xx response — after commit returns nil, so "committed"
+// and "crash-safe" are the same event.
+func (s *Server) commit(m *model) error {
+	if s.opts.Durable == nil {
+		return nil
+	}
+	err := s.opts.Durable.Put(&mstore.Model{
+		ID:         m.id,
+		W:          m.w,
+		Fitted:     m.fitted,
+		RelErr:     m.relErr,
+		Iterations: m.iterations,
+	})
+	if err != nil {
+		s.met.storeCommitErrors.Inc()
+		return fmt.Errorf("serve: committing model %q to the durable store: %w", m.id, err)
+	}
+	m.durable = true
+	s.met.storeCommits.Inc()
+	return nil
+}
+
+// notifyCommit runs the commit hook outside all store locks.
+func (s *Server) notifyCommit(id string) {
+	if s.opts.OnCommit != nil && s.opts.Durable != nil {
+		s.opts.OnCommit(id)
+	}
+}
+
+// warmStart scans the durable store and preloads every committed
+// model the WarmFilter accepts, so a restarted instance serves its
+// catalog immediately instead of faulting models in one 503 at a
+// time. Corrupt entries are quarantined by the store and skipped —
+// a rotten blob must not keep an instance from booting.
+func (s *Server) warmStart() {
+	ids, err := s.opts.Durable.List()
+	if err != nil {
+		s.log.Warn("warm-start: listing durable store failed", "err", err)
+		return
+	}
+	loaded := 0
+	for _, id := range ids {
+		if s.opts.WarmFilter != nil && !s.opts.WarmFilter(id) {
+			continue
+		}
+		if err := s.loadFromDurable(id); err != nil {
+			s.log.Warn("warm-start: skipping model", "model", id, "err", err)
+			continue
+		}
+		loaded++
+	}
+	s.met.storeWarmStarts.Add(int64(loaded))
+	if loaded > 0 || len(ids) > 0 {
+		s.log.Info("warm-started from durable store", "loaded", loaded, "committed", len(ids))
+	}
+}
+
+// loadFromDurable fetches one committed model and installs it
+// resident (already marked durable — it came from the store).
+func (s *Server) loadFromDurable(id string) error {
+	dm, err := s.opts.Durable.Get(id)
+	if err != nil {
+		return err
+	}
+	m, err := s.newModel(id, dm.W)
+	if err != nil {
+		return err
+	}
+	m.durable = true
+	m.fitted = dm.Fitted
+	m.relErr = dm.RelErr
+	m.iterations = dm.Iterations
+	if err := s.st.add(m); err != nil {
+		m.bat.close()
+		return err
+	}
+	return nil
+}
+
+// Rehydrate faults a model in from the durable store, replacing any
+// resident copy — the receiving end of the cluster's commit fan-out,
+// where a fresher committed version must displace the cached one.
+func (s *Server) Rehydrate(id string) error {
+	if s.opts.Durable == nil {
+		return fmt.Errorf("serve: no durable store configured")
+	}
+	if err := s.loadFromDurable(id); err != nil {
+		return err
+	}
+	s.met.storeRehydrations.Inc()
+	return nil
+}
+
+// Evict drops a model's resident copy without touching the durable
+// store; reports whether it was resident. The receiving end of the
+// cluster's delete fan-out.
+func (s *Server) Evict(id string) bool { return s.st.remove(id) }
+
+// HasModel reports whether a model is resident.
+func (s *Server) HasModel(id string) bool { return s.st.has(id) }
+
+// Models lists the resident models.
+func (s *Server) Models() []ModelInfo { return s.st.list() }
+
+// rehydrateMiss handles a projection miss when a durable store is
+// configured: claim the id, fault it in, and let the caller retry the
+// submit. Exactly one request pays the load; concurrent ones see
+// errRehydrating (503), and ids absent from the store stay 404.
+func (s *Server) rehydrateMiss(id string) error {
+	claimed, err := s.st.beginRehydrate(id)
+	if err != nil {
+		return err // errRehydrating or store shut down
+	}
+	if !claimed {
+		return nil // raced back into residency — just retry
+	}
+	defer s.st.endRehydrate(id)
+	if err := s.loadFromDurable(id); err != nil {
+		if errors.Is(err, mstore.ErrNotFound) {
+			return notFoundError{id}
+		}
+		s.met.storeRehydrateErrors.Inc()
+		var ce *mstore.CorruptError
+		if errors.As(err, &ce) {
+			// The entry existed but was rotten; the store quarantined
+			// it. The model is gone — a 404 plus a loud log is honest.
+			s.log.Error("durable model entry corrupt — quarantined", "model", id, "err", err)
+			return notFoundError{id}
+		}
+		return fmt.Errorf("serve: rehydrating model %q: %w", id, err)
+	}
+	s.met.storeRehydrations.Inc()
+	s.log.Info("model rehydrated from durable store", "model", id)
+	return nil
+}
+
+// submitWithRehydrate runs the store submit, faulting the model in
+// from the durable backing on a miss and retrying once.
+func (s *Server) submitWithRehydrate(id string, fn func(*model) error) error {
+	err := s.st.withModel(id, fn)
+	if s.opts.Durable == nil || !errors.Is(err, notFoundError{id}) {
+		return err
+	}
+	if rerr := s.rehydrateMiss(id); rerr != nil {
+		return rerr
+	}
+	return s.st.withModel(id, fn)
 }
 
 // newModel wraps a basis in a model with a running batcher.
@@ -304,7 +512,7 @@ func (s *Server) project(ctx context.Context, modelID string, col []float64) (*p
 	s.met.requests.Inc()
 	r := getReq(col)
 	r.sc = trace.FromContext(ctx)
-	err := s.st.withModel(modelID, func(m *model) error {
+	err := s.submitWithRehydrate(modelID, func(m *model) error {
 		if len(col) != m.w.Rows {
 			return &shapeError{got: len(col), want: m.w.Rows}
 		}
@@ -338,7 +546,7 @@ func (s *Server) projectMany(ctx context.Context, modelID string, cols [][]float
 		reqs[i] = getReq(c)
 		reqs[i].sc = sc
 	}
-	err := s.st.withModel(modelID, func(m *model) error {
+	err := s.submitWithRehydrate(modelID, func(m *model) error {
 		for _, c := range cols {
 			if len(c) != m.w.Rows {
 				return &shapeError{got: len(c), want: m.w.Rows}
@@ -414,10 +622,17 @@ func (s *Server) runFit(j *fitJob) (float64, int, error) {
 	if len(res.RelErr) > 0 {
 		m.relErr = res.RelErr[len(res.RelErr)-1]
 	}
+	// Durable commit before the job can report done: a fit the client
+	// was told succeeded must survive a crash of this process.
+	if err := s.commit(m); err != nil {
+		m.bat.close()
+		return 0, 0, err
+	}
 	if err := s.st.add(m); err != nil {
 		m.bat.close()
 		return 0, 0, err
 	}
+	s.notifyCommit(m.id)
 	return m.relErr, res.Iterations, nil
 }
 
@@ -627,6 +842,12 @@ func (s *Server) handleProject(w http.ResponseWriter, r *http.Request) {
 		case errors.Is(err, errBusy):
 			w.Header().Set("Retry-After", "1")
 			httpError(w, http.StatusTooManyRequests, err)
+		case errors.Is(err, errRehydrating):
+			// The model exists — it is mid-fault-in from the durable
+			// store. Tell the client to come right back, not that the
+			// model is gone.
+			w.Header().Set("Retry-After", "1")
+			httpError(w, http.StatusServiceUnavailable, err)
 		case errors.Is(err, errClosing):
 			httpError(w, http.StatusServiceUnavailable, err)
 		default:
@@ -664,9 +885,24 @@ func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleDeleteModel(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	if !s.st.remove(id) {
+	resident := s.st.remove(id)
+	committed := false
+	if s.opts.Durable != nil {
+		switch err := s.opts.Durable.Delete(id); {
+		case err == nil:
+			committed = true
+		case errors.Is(err, mstore.ErrNotFound):
+		default:
+			httpError(w, http.StatusInternalServerError, fmt.Errorf("serve: deleting %q from durable store: %w", id, err))
+			return
+		}
+	}
+	if !resident && !committed {
 		httpError(w, http.StatusNotFound, notFoundError{id})
 		return
+	}
+	if s.opts.OnDelete != nil {
+		s.opts.OnDelete(id)
 	}
 	w.WriteHeader(http.StatusNoContent)
 }

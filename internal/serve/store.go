@@ -13,6 +13,7 @@ package serve
 
 import (
 	"fmt"
+	"log/slog"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -35,6 +36,11 @@ type model struct {
 	// touches stay on the store's read-lock path.
 	lastUsed atomic.Int64
 
+	// durable marks a model with a committed copy in the durable
+	// backing store: evicting it is a cache decision, not data loss,
+	// because a later projection faults it back in.
+	durable bool
+
 	// Fit provenance, surfaced by the models listing.
 	fitted     time.Time
 	relErr     float64
@@ -54,6 +60,7 @@ type ModelInfo struct {
 	Rows       int       `json:"rows"`
 	K          int       `json:"k"`
 	Bytes      int64     `json:"bytes"`
+	Durable    bool      `json:"durable,omitempty"`
 	Fitted     time.Time `json:"fitted,omitempty"`
 	RelErr     float64   `json:"rel_err,omitempty"`
 	Iterations int       `json:"iterations,omitempty"`
@@ -77,11 +84,18 @@ type store struct {
 	bytes  int64
 	models map[string]*model
 	met    *serveMetrics
+	log    *slog.Logger
 	closed bool
+
+	// rehydrating guards in-flight faults from the durable backing
+	// store: one loader per id, concurrent requests get a retryable
+	// errRehydrating (503) instead of piling onto the disk read.
+	rehydrating map[string]struct{}
 }
 
-func newStore(budget int64, met *serveMetrics) *store {
-	return &store{budget: budget, models: map[string]*model{}, met: met}
+func newStore(budget int64, met *serveMetrics, log *slog.Logger) *store {
+	return &store{budget: budget, models: map[string]*model{}, met: met, log: log,
+		rehydrating: map[string]struct{}{}}
 }
 
 // withModel runs fn on the named model under the read lock, bumping
@@ -127,6 +141,15 @@ func (s *store) add(m *model) error {
 		s.bytes -= victim.bytes
 		drain = append(drain, victim.bat)
 		s.met.storeEvictions.Inc()
+		if !victim.durable {
+			// Evicting the only copy of a fitted model is data loss, not
+			// cache management: the next projection against it will 404
+			// and the fit cannot be replayed. Run with a durable store
+			// (nmfserve -store) to make eviction safe.
+			s.met.storeEvictionsUndurable.Inc()
+			s.log.Warn("evicting model with no durable backing — the fitted model is lost",
+				"model", victim.id, "bytes", victim.bytes)
+		}
 	}
 	s.publishGauges()
 	s.mu.Unlock()
@@ -177,6 +200,7 @@ func (s *store) list() []ModelInfo {
 			Rows:       m.w.Rows,
 			K:          m.w.Cols,
 			Bytes:      m.bytes,
+			Durable:    m.durable,
 			Fitted:     m.fitted,
 			RelErr:     m.relErr,
 			Iterations: m.iterations,
@@ -203,6 +227,40 @@ func (s *store) closeAll() {
 	for _, b := range victims {
 		b.close()
 	}
+}
+
+// has reports whether a model is resident.
+func (s *store) has(id string) bool {
+	s.mu.RLock()
+	_, ok := s.models[id]
+	s.mu.RUnlock()
+	return ok
+}
+
+// beginRehydrate claims the right to fault id in from the durable
+// store. It fails when another loader already holds the claim (the
+// caller should answer 503 + Retry-After) and is a no-op success
+// signal when the model raced back into residency.
+func (s *store) beginRehydrate(id string) (claimed bool, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false, fmt.Errorf("serve: store is shut down")
+	}
+	if _, ok := s.models[id]; ok {
+		return false, nil // already resident — no rehydration needed
+	}
+	if _, busy := s.rehydrating[id]; busy {
+		return false, errRehydrating
+	}
+	s.rehydrating[id] = struct{}{}
+	return true, nil
+}
+
+func (s *store) endRehydrate(id string) {
+	s.mu.Lock()
+	delete(s.rehydrating, id)
+	s.mu.Unlock()
 }
 
 // publishGauges mirrors occupancy into the metrics registry; callers

@@ -1,0 +1,227 @@
+package store
+
+// Chaos tests for the filesystem backend: every way a crash or bad
+// disk can mangle the on-disk state — staged temp litter, truncated
+// blobs, bit flips — must leave the store serving only complete,
+// validated models, mirroring the crash-recovery suite of
+// internal/core/checkpoint_test.go.
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// corruptName returns the quarantine path for an id.
+func corruptName(t *testing.T, dir, id string) string {
+	t.Helper()
+	name, err := fileName(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return filepath.Join(dir, strings.TrimSuffix(name, modelExt)+corruptExt)
+}
+
+func blobPath(t *testing.T, dir, id string) string {
+	t.Helper()
+	name, err := fileName(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return filepath.Join(dir, name)
+}
+
+// TestTornWriteRecovery: temp files staged by a writer that died
+// before rename are swept at open, invisible to List, and never shadow
+// the committed entry.
+func TestTornWriteRecovery(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewFS(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := testModel("survivor", 4, 2)
+	if err := s.Put(want); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate two crashed writers: one torn mid-write, one empty.
+	name, _ := fileName("survivor")
+	for i, junk := range [][]byte{[]byte(blobMagic + "torn-partial"), nil} {
+		p := filepath.Join(dir, name+tmpInfix+string(rune('a'+i)))
+		if err := os.WriteFile(p, junk, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A fresh open sweeps the litter.
+	s2, err := NewFS(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	left, _ := filepath.Glob(filepath.Join(dir, "*"+tmpInfix+"*"))
+	if len(left) != 0 {
+		t.Fatalf("stale temps survived open: %v", left)
+	}
+	ids, err := s2.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 1 || ids[0] != "survivor" {
+		t.Fatalf("List = %v, want [survivor]", ids)
+	}
+	got, err := s2.Get("survivor")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameModel(t, got, want)
+}
+
+// TestTruncatedBlobQuarantined: a blob cut short (crash after rename
+// on a filesystem that reordered data, or a bad copy) fails CRC, is
+// quarantined, and the id reads as not-found afterwards.
+func TestTruncatedBlobQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewFS(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(testModel("trunc", 6, 3)); err != nil {
+		t.Fatal(err)
+	}
+	p := blobPath(t, dir, "trunc")
+	blob, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, keep := range []int{len(blob) - 1, len(blob) / 2, 10, 0} {
+		if err := os.WriteFile(p, blob[:keep], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, err := s.Get("trunc")
+		var ce *CorruptError
+		if !errors.As(err, &ce) {
+			t.Fatalf("Get(truncated to %d) = %v, want CorruptError", keep, err)
+		}
+		if _, err := os.Stat(corruptName(t, dir, "trunc")); err != nil {
+			t.Fatalf("truncated blob (%d bytes) not quarantined: %v", keep, err)
+		}
+		if _, err := s.Get("trunc"); !errors.Is(err, ErrNotFound) {
+			t.Fatalf("Get after quarantine = %v, want ErrNotFound", err)
+		}
+		ids, err := s.List()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ids) != 0 {
+			t.Fatalf("List still shows quarantined entry: %v", ids)
+		}
+	}
+}
+
+// TestCRCCorruptionQuarantined: any single flipped byte anywhere in
+// the blob is caught and quarantined — and a re-Put of the id
+// recovers it.
+func TestCRCCorruptionQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewFS(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := testModel("flip", 5, 2)
+	if err := s.Put(want); err != nil {
+		t.Fatal(err)
+	}
+	p := blobPath(t, dir, "flip")
+	blob, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte in the magic, the header, the payload, and the CRC.
+	for _, off := range []int{0, 14, len(blob) / 2, len(blob) - 2} {
+		bad := append([]byte(nil), blob...)
+		bad[off] ^= 0x40
+		if err := os.WriteFile(p, bad, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, err := s.Get("flip")
+		var ce *CorruptError
+		if !errors.As(err, &ce) {
+			t.Fatalf("Get(flipped byte %d) = %v, want CorruptError", off, err)
+		}
+		// Recovery: a fresh commit replaces the quarantined entry.
+		if err := s.Put(want); err != nil {
+			t.Fatal(err)
+		}
+		got, err := s.Get("flip")
+		if err != nil {
+			t.Fatalf("Get after re-Put: %v", err)
+		}
+		sameModel(t, got, want)
+	}
+}
+
+// TestQuarantineKeepsOthersServing: one rotten entry must not block
+// the rest of the manifest (the warm-start scan depends on this).
+func TestQuarantineKeepsOthersServing(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewFS(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"good1", "bad", "good2"} {
+		if err := s.Put(testModel(id, 3, 2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.WriteFile(blobPath(t, dir, "bad"), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var ce *CorruptError
+	if _, err := s.Get("bad"); !errors.As(err, &ce) {
+		t.Fatal("corrupt entry not detected")
+	}
+	for _, id := range []string{"good1", "good2"} {
+		if _, err := s.Get(id); err != nil {
+			t.Fatalf("Get(%q) after sibling quarantine: %v", id, err)
+		}
+	}
+	ids, err := s.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 2 {
+		t.Fatalf("List = %v, want the two good entries", ids)
+	}
+}
+
+// TestHeaderIDMismatchQuarantined: a blob copied under the wrong
+// filename (header id ≠ filename id) is rejected even though its CRC
+// is intact.
+func TestHeaderIDMismatchQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewFS(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(testModel("real", 3, 2)); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(blobPath(t, dir, "real"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "imposter" hex-encodes to a valid entry name for a different id.
+	name, _ := fileName("imposter")
+	if err := os.WriteFile(filepath.Join(dir, name), blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = s.Get("imposter")
+	var ce *CorruptError
+	if !errors.As(err, &ce) {
+		t.Fatalf("Get(imposter) = %v, want CorruptError", err)
+	}
+	if got, err := s.Get("real"); err != nil || got.ID != "real" {
+		t.Fatalf("original entry damaged: %v", err)
+	}
+}

@@ -1,0 +1,117 @@
+package store
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"hpcnmf/internal/mat"
+)
+
+// FuzzModelBlob throws arbitrary bytes at the blob decoder: it must
+// never panic, never allocate unboundedly, and — when it does accept
+// an input — re-encoding the decoded model must reproduce a blob that
+// decodes to the same model (the accepted set is exactly the codec's
+// own image, modulo JSON field ordering).
+func FuzzModelBlob(f *testing.F) {
+	// Seed with valid blobs of a few shapes plus near-misses.
+	for _, mk := range [][2]int{{1, 1}, {3, 2}, {8, 5}} {
+		m := testModel("seed", mk[0], mk[1])
+		blob, err := EncodeModel(m)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(blob)
+		// CRC-valid but truncated payload region.
+		f.Add(blob[:len(blob)-5])
+		// Flip one header byte.
+		bad := append([]byte(nil), blob...)
+		bad[9] ^= 0xff
+		f.Add(bad)
+	}
+	f.Add([]byte(blobMagic))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := DecodeModel(data)
+		if err != nil {
+			return
+		}
+		if m.ID == "" || m.W == nil {
+			t.Fatalf("decoder accepted a model with no id or basis: %+v", m)
+		}
+		re, err := EncodeModel(m)
+		if err != nil {
+			t.Fatalf("re-encoding an accepted model failed: %v", err)
+		}
+		m2, err := DecodeModel(re)
+		if err != nil {
+			t.Fatalf("re-encoded blob does not decode: %v", err)
+		}
+		if m2.ID != m.ID || m2.W.Rows != m.W.Rows || m2.W.Cols != m.W.Cols {
+			t.Fatalf("round trip changed identity: %q %dx%d -> %q %dx%d",
+				m.ID, m.W.Rows, m.W.Cols, m2.ID, m2.W.Rows, m2.W.Cols)
+		}
+		for i := range m.W.Data {
+			if math.Float64bits(m.W.Data[i]) != math.Float64bits(m2.W.Data[i]) {
+				t.Fatalf("round trip changed basis element %d", i)
+			}
+		}
+	})
+}
+
+// FuzzModelBlobMutations mutates a known-good blob at one position and
+// requires the decoder to either reject it or return an internally
+// consistent model — it must never return a basis whose dims disagree
+// with its data length.
+func FuzzModelBlobMutations(f *testing.F) {
+	base, err := EncodeModel(testModel("mut", 4, 3))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(0, byte(0xff))
+	f.Add(len(base)/2, byte(0x01))
+	f.Add(len(base)-1, byte(0x80))
+	f.Fuzz(func(t *testing.T, pos int, x byte) {
+		blob := append([]byte(nil), base...)
+		if len(blob) > 0 {
+			p := pos % len(blob)
+			if p < 0 {
+				p += len(blob)
+			}
+			blob[p] ^= x
+		}
+		m, err := DecodeModel(blob)
+		if err != nil {
+			return
+		}
+		if x != 0 && !bytes.Equal(blob, base) {
+			// A mutation that still decodes must have been caught by the
+			// CRC unless it produced an identical byte stream.
+			t.Fatalf("mutated blob decoded without error (pos %d, x %02x)", pos, x)
+		}
+		if m.W == nil || len(m.W.Data) != m.W.Rows*m.W.Cols {
+			t.Fatal("decoder returned inconsistent basis")
+		}
+	})
+}
+
+// TestDecodeRejectsOversizeHeaderClaim pins the allocation bound: a
+// header length field larger than the input cannot make the decoder
+// allocate or read past the buffer.
+func TestDecodeRejectsOversizeHeaderClaim(t *testing.T) {
+	blob, err := EncodeModel(&Model{ID: "x", W: mat.NewDense(1, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite the header-length field (bytes 8..11) with huge values.
+	for _, v := range []uint32{0, maxBlobHeader + 1, 1<<32 - 1} {
+		bad := append([]byte(nil), blob...)
+		bad[8] = byte(v)
+		bad[9] = byte(v >> 8)
+		bad[10] = byte(v >> 16)
+		bad[11] = byte(v >> 24)
+		if _, err := DecodeModel(bad); err == nil {
+			t.Fatalf("header length %d accepted", v)
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package store
+
+import (
+	"sort"
+	"sync"
+)
+
+// Memory is the in-process ModelStore: committed entries live in a map
+// of encoded blobs. It round-trips every model through the same codec
+// as the filesystem backend, so the two are behaviorally
+// interchangeable — including deep-copy semantics on Put and Get.
+// "Durable" here means "survives eviction from the serving layer's
+// resident LRU", not "survives the process"; it is the backend for
+// tests and ephemeral deployments.
+type Memory struct {
+	mu    sync.RWMutex
+	blobs map[string][]byte
+}
+
+// NewMemory returns an empty in-memory store.
+func NewMemory() *Memory {
+	return &Memory{blobs: map[string][]byte{}}
+}
+
+// Put commits the model (replacing any previous entry).
+func (s *Memory) Put(m *Model) error {
+	blob, err := EncodeModel(m)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.blobs[m.ID] = blob
+	s.mu.Unlock()
+	return nil
+}
+
+// Get returns a fresh decode of the committed entry.
+func (s *Memory) Get(id string) (*Model, error) {
+	s.mu.RLock()
+	blob, ok := s.blobs[id]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, ErrNotFound
+	}
+	m, err := DecodeModel(blob)
+	if err != nil {
+		return nil, &CorruptError{ID: id, Reason: err}
+	}
+	return m, nil
+}
+
+// List returns the committed ids, sorted.
+func (s *Memory) List() ([]string, error) {
+	s.mu.RLock()
+	ids := make([]string, 0, len(s.blobs))
+	for id := range s.blobs {
+		ids = append(ids, id)
+	}
+	s.mu.RUnlock()
+	sort.Strings(ids)
+	return ids, nil
+}
+
+// Delete removes the entry.
+func (s *Memory) Delete(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.blobs[id]; !ok {
+		return ErrNotFound
+	}
+	delete(s.blobs, id)
+	return nil
+}
